@@ -1,0 +1,462 @@
+//! # tspu-circumvent
+//!
+//! The circumvention strategies of paper §8 and a harness that evaluates
+//! each against every blocking mechanism and both deployment shapes
+//! (symmetric-only, and symmetric + upstream-only).
+//!
+//! Server-side strategies need no client modification:
+//! * **small advertised window** — the SYN/ACK announces a tiny window, so
+//!   an unmodified client's stack segments the ClientHello (brdgrd-style);
+//! * **split handshake** — the server answers a SYN with a bare SYN,
+//!   tricking the TSPU's role inference (a Fig. 4 "green" sequence);
+//! * **combined** — both at once;
+//! * **delayed response** — the server sits out the TSPU's short SYN-SENT
+//!   timeout (60 s) before answering, so the tracked flow expires and the
+//!   connection looks server-initiated.
+//!
+//! Client-side strategies modify the client stack:
+//! * **TCP segmentation** of the ClientHello;
+//! * **IP fragmentation** of the ClientHello packet;
+//! * **padding extension** — inflates the ClientHello past one MSS;
+//! * **record prepend** — an innocuous TLS record before the ClientHello;
+//! * **TTL-limited decoys** — found *mitigated* by the paper (§8), and
+//!   mitigated here: the inspection window covers later packets;
+//! * **QUIC version change** — draft-29 / quicping escape the version-1
+//!   fingerprint.
+
+use std::time::Duration;
+
+use tspu_netsim::HostId;
+use tspu_registry::Universe;
+use tspu_stack::client::SendShaping;
+use tspu_stack::server::ReassemblingApp;
+use tspu_stack::{
+    ClientOutcome, PortBehavior, QuicClient, ServerApp, ServerPort, TcpClient, TcpClientConfig,
+};
+use tspu_topology::VantageLab;
+use tspu_wire::quic::QuicVersion;
+use tspu_wire::tls::{change_cipher_spec_record, ClientHelloBuilder};
+
+/// A circumvention strategy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// No strategy: the baseline that must fail for blocked domains.
+    None,
+    ServerSmallWindow(u16),
+    ServerSplitHandshake,
+    ServerCombined(u16),
+    ServerDelayedResponse(Duration),
+    ClientSegmentation(usize),
+    ClientIpFragmentation(usize),
+    ClientPadding(usize),
+    ClientPrependRecord,
+    ClientTtlDecoy(u8),
+    QuicVersion(QuicVersion),
+}
+
+impl Strategy {
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::None => "baseline".into(),
+            Strategy::ServerSmallWindow(w) => format!("server: small window ({w})"),
+            Strategy::ServerSplitHandshake => "server: split handshake".into(),
+            Strategy::ServerCombined(w) => format!("server: split + window ({w})"),
+            Strategy::ServerDelayedResponse(d) => format!("server: delay {}s", d.as_secs()),
+            Strategy::ClientSegmentation(n) => format!("client: TCP segmentation ({n})"),
+            Strategy::ClientIpFragmentation(n) => format!("client: IP fragmentation ({n})"),
+            Strategy::ClientPadding(n) => format!("client: padding extension ({n})"),
+            Strategy::ClientPrependRecord => "client: prepend TLS record".into(),
+            Strategy::ClientTtlDecoy(ttl) => format!("client: TTL-{ttl} decoys [mitigated]"),
+            Strategy::QuicVersion(v) => format!("client: QUIC version {v:?}"),
+        }
+    }
+
+    /// True for strategies deployable without touching the client.
+    pub fn server_side(&self) -> bool {
+        matches!(
+            self,
+            Strategy::ServerSmallWindow(_)
+                | Strategy::ServerSplitHandshake
+                | Strategy::ServerCombined(_)
+                | Strategy::ServerDelayedResponse(_)
+        )
+    }
+}
+
+/// The censored-resource classes a strategy is evaluated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// A domain blocked by SNI-I only.
+    Sni1,
+    /// An out-registry SNI-II domain.
+    Sni2,
+    /// A domain on both SNI-I and the SNI-IV backup list.
+    Sni4,
+    /// QUIC to an uncensored domain (the protocol itself is the target).
+    Quic,
+}
+
+impl Target {
+    /// All four targets.
+    pub const ALL: [Target; 4] = [Target::Sni1, Target::Sni2, Target::Sni4, Target::Quic];
+
+    /// The domain representing this class in the evaluation.
+    pub fn domain(&self) -> &'static str {
+        match self {
+            Target::Sni1 => "meduza.io",
+            Target::Sni2 => "play.google.com",
+            Target::Sni4 => "twitter.com",
+            Target::Quic => "example.org",
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Target::Sni1 => "SNI-I",
+            Target::Sni2 => "SNI-II",
+            Target::Sni4 => "SNI-IV",
+            Target::Quic => "QUIC",
+        }
+    }
+}
+
+/// Size of the page the evaluation server returns.
+const PAGE_BYTES: usize = 16_000;
+
+/// The evaluation harness: one lab, fresh flows per trial.
+pub struct CircumventionLab {
+    pub lab: VantageLab,
+    port: u16,
+}
+
+impl CircumventionLab {
+    /// Builds the harness (QUIC filter on, throttling off: the post-
+    /// March-4 policy under which §8 was written).
+    pub fn new(universe: &Universe) -> CircumventionLab {
+        CircumventionLab { lab: VantageLab::build(universe, false, true), port: 20_000 }
+    }
+
+    /// Builds the harness with every device upgraded to the given
+    /// hardening level — the arms-race scenario §8 predicts.
+    pub fn hardened(universe: &Universe, hardening: tspu_core::Hardening) -> CircumventionLab {
+        let harness = CircumventionLab::new(universe);
+        for vantage in &harness.lab.vantages {
+            vantage.sym_device.borrow_mut().set_hardening(hardening);
+            for device in &vantage.upstream_devices {
+                device.borrow_mut().set_hardening(hardening);
+            }
+        }
+        harness
+    }
+
+    fn next_port(&mut self) -> u16 {
+        self.port = self.port.wrapping_add(1).max(20_000);
+        self.port
+    }
+
+    /// Evaluates `strategy` against `target` from the named vantage.
+    /// Returns true when the client obtained response data — circumvention
+    /// succeeded.
+    pub fn evaluate(&mut self, strategy: Strategy, target: Target, vantage: &str) -> bool {
+        // Residual verdicts from previous trials must lapse.
+        self.lab.net.run_for(Duration::from_secs(481));
+        let port = self.next_port();
+        let (v_host, v_addr) = {
+            let v = self.lab.vantage(vantage);
+            (v.host, v.addr)
+        };
+        let us_addr = self.lab.us_main_addr;
+        let us_host = self.lab.us_main;
+
+        if let (Target::Quic, Strategy::QuicVersion(version)) = (target, strategy) {
+            return self.evaluate_quic(v_host, v_addr, us_host, us_addr, port, version);
+        }
+        if target == Target::Quic {
+            // Non-QUIC strategies against the QUIC filter: only the
+            // version change applies; baseline shows the block.
+            return self.evaluate_quic(v_host, v_addr, us_host, us_addr, port, QuicVersion::V1);
+        }
+
+        // Configure the server per strategy. The response is a full
+        // "page": big enough that SNI-II's 5–8-packet allowance visibly
+        // truncates it (a bare ServerHello would sneak through).
+        let behavior = PortBehavior::TlsServerPage(PAGE_BYTES);
+        let server_port = match strategy {
+            Strategy::ServerSmallWindow(w) => {
+                ServerPort::new(443, behavior).small_window(w)
+            }
+            Strategy::ServerSplitHandshake => {
+                ServerPort::new(443, behavior).split_handshake()
+            }
+            Strategy::ServerCombined(w) => ServerPort::new(443, behavior)
+                .split_handshake()
+                .small_window(w),
+            Strategy::ServerDelayedResponse(d) => {
+                ServerPort::new(443, behavior).delayed(d)
+            }
+            _ => ServerPort::new(443, behavior),
+        };
+        // Real servers reassemble fragmented IP packets (the TSPU does
+        // not — that asymmetry is the point of the fragmentation
+        // strategies).
+        self.lab.net.set_app(
+            us_host,
+            Box::new(ReassemblingApp::new(ServerApp::new(us_addr).with_port(server_port))),
+        );
+
+        // Configure the client per strategy.
+        let mut builder = ClientHelloBuilder::new(target.domain());
+        if let Strategy::ClientPadding(n) = strategy {
+            builder = builder.padding(n);
+        }
+        let mut request = builder.build();
+        if strategy == Strategy::ClientPrependRecord {
+            let mut with_record = change_cipher_spec_record();
+            with_record.extend_from_slice(&request);
+            request = with_record;
+        }
+        let mut shaping = SendShaping::default();
+        match strategy {
+            Strategy::ClientSegmentation(n) => shaping.segment_bytes = Some(n),
+            Strategy::ClientIpFragmentation(n) => shaping.ip_fragment_bytes = Some(n),
+            Strategy::ClientTtlDecoy(ttl) => {
+                shaping.decoys = vec![(ttl, vec![0xde; 120]), (ttl, vec![0xad; 120])];
+            }
+            Strategy::ClientPadding(_) => {
+                // Padding inflates the record past one MSS so the stack
+                // segments naturally.
+                shaping.segment_bytes = Some(1460.min(request.len() - 1));
+            }
+            _ => {}
+        }
+
+        let mut config = TcpClientConfig::new(v_addr, port, us_addr, 443, request);
+        config.shaping = shaping;
+        let (app, report, syn) = TcpClient::start(config);
+        self.lab.net.set_app(v_host, Box::new(app));
+        self.lab.net.send_from(v_host, syn);
+        self.lab.net.run_until_idle();
+        // Success means the whole page arrived, not just a first packet:
+        // SNI-II lets a handful of packets through before the symmetric
+        // drops set in.
+        report.outcome() == ClientOutcome::GotData
+            && report.read().bytes_received >= PAGE_BYTES * 3 / 4
+    }
+
+    fn evaluate_quic(
+        &mut self,
+        v_host: HostId,
+        v_addr: std::net::Ipv4Addr,
+        us_host: HostId,
+        us_addr: std::net::Ipv4Addr,
+        port: u16,
+        version: QuicVersion,
+    ) -> bool {
+        self.lab
+            .net
+            .set_app(us_host, Box::new(ServerApp::new(us_addr).with_udp_echo(443)));
+        let (app, replies, packets) = QuicClient::start(v_addr, port, us_addr, version, 3);
+        self.lab.net.set_app(v_host, Box::new(app));
+        for (delay, packet) in packets {
+            let _ = delay;
+            self.lab.net.send_from(v_host, packet);
+        }
+        self.lab.net.run_until_idle();
+        let got = *replies.borrow();
+        got >= 3
+    }
+}
+
+/// One row of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    pub strategy: String,
+    pub server_side: bool,
+    /// (target label, succeeded on symmetric-only, succeeded with an
+    /// additional upstream-only device on path).
+    pub outcomes: Vec<(&'static str, bool, bool)>,
+}
+
+/// Every strategy the paper discusses, in evaluation order.
+pub fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::None,
+        Strategy::ServerSmallWindow(64),
+        Strategy::ServerSplitHandshake,
+        Strategy::ServerCombined(64),
+        Strategy::ServerDelayedResponse(Duration::from_secs(61)),
+        Strategy::ClientSegmentation(16),
+        Strategy::ClientIpFragmentation(64),
+        Strategy::ClientPadding(1400),
+        Strategy::ClientPrependRecord,
+        Strategy::ClientTtlDecoy(1),
+        Strategy::QuicVersion(QuicVersion::Draft29),
+        Strategy::QuicVersion(QuicVersion::QuicPing),
+    ]
+}
+
+/// Runs the full §8 matrix: every strategy × every target × both
+/// deployment shapes (ER-Telecom symmetric-only, Rostelecom with an
+/// upstream-only second device).
+pub fn evaluate_matrix(universe: &Universe) -> Vec<MatrixRow> {
+    evaluate_matrix_with(CircumventionLab::new(universe))
+}
+
+/// Runs the matrix against fully hardened devices — §8's predicted
+/// future: "the TSPU could easily patch these evasion strategies".
+pub fn evaluate_matrix_hardened(universe: &Universe) -> Vec<MatrixRow> {
+    evaluate_matrix_with(CircumventionLab::hardened(universe, tspu_core::Hardening::full()))
+}
+
+fn evaluate_matrix_with(mut harness: CircumventionLab) -> Vec<MatrixRow> {
+    let mut rows = Vec::new();
+    for strategy in all_strategies() {
+        let mut outcomes = Vec::new();
+        for target in Target::ALL {
+            // Skip meaningless combinations: TCP strategies are evaluated
+            // on TCP targets; QUIC version changes on the QUIC target.
+            let relevant = match (strategy, target) {
+                (Strategy::QuicVersion(_), t) => t == Target::Quic,
+                (Strategy::None, _) => true,
+                (_, Target::Quic) => false,
+                _ => true,
+            };
+            if !relevant {
+                continue;
+            }
+            let symmetric_only = harness.evaluate(strategy, target, "ER-Telecom");
+            let with_upstream = harness.evaluate(strategy, target, "Rostelecom");
+            outcomes.push((target.label(), symmetric_only, with_upstream));
+        }
+        rows.push(MatrixRow {
+            strategy: strategy.name(),
+            server_side: strategy.server_side(),
+            outcomes,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> CircumventionLab {
+        let universe = Universe::generate(3);
+        CircumventionLab::new(&universe)
+    }
+
+    #[test]
+    fn baseline_blocked_everywhere() {
+        let mut h = harness();
+        for target in Target::ALL {
+            assert!(!h.evaluate(Strategy::None, target, "ER-Telecom"), "{target:?}");
+        }
+        // And an uncensored domain loads fine (harness sanity).
+        let port = h.next_port();
+        let v = h.lab.vantage("ER-Telecom");
+        let (v_host, v_addr) = (v.host, v.addr);
+        let us = h.lab.us_main;
+        let us_addr = h.lab.us_main_addr;
+        h.lab.net.set_app(us, Box::new(ServerApp::https_site(us_addr)));
+        let (app, report, syn) = TcpClient::start(TcpClientConfig::new(
+            v_addr,
+            port,
+            us_addr,
+            443,
+            ClientHelloBuilder::new("rust-lang.org").build(),
+        ));
+        h.lab.net.set_app(v_host, Box::new(app));
+        h.lab.net.send_from(v_host, syn);
+        h.lab.net.run_until_idle();
+        assert_eq!(report.outcome(), ClientOutcome::GotData);
+    }
+
+    #[test]
+    fn split_handshake_beats_sni1_not_sni4() {
+        let mut h = harness();
+        assert!(h.evaluate(Strategy::ServerSplitHandshake, Target::Sni1, "ER-Telecom"));
+        assert!(!h.evaluate(Strategy::ServerSplitHandshake, Target::Sni4, "ER-Telecom"));
+    }
+
+    #[test]
+    fn small_window_beats_all_sni_mechanisms() {
+        let mut h = harness();
+        for target in [Target::Sni1, Target::Sni2, Target::Sni4] {
+            assert!(h.evaluate(Strategy::ServerSmallWindow(64), target, "ER-Telecom"), "{target:?}");
+            assert!(h.evaluate(Strategy::ServerSmallWindow(64), target, "Rostelecom"), "{target:?} upstream");
+        }
+    }
+
+    #[test]
+    fn client_segmentation_and_fragmentation_evade() {
+        let mut h = harness();
+        for strategy in [
+            Strategy::ClientSegmentation(16),
+            Strategy::ClientIpFragmentation(64),
+            Strategy::ClientPrependRecord,
+        ] {
+            for target in [Target::Sni1, Target::Sni2, Target::Sni4] {
+                assert!(h.evaluate(strategy, target, "ER-Telecom"), "{strategy:?} {target:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_decoys_are_mitigated() {
+        // §8: "sending TTL-limited random-looking packets no longer
+        // prevents the following ClientHello from triggering".
+        let mut h = harness();
+        assert!(!h.evaluate(Strategy::ClientTtlDecoy(1), Target::Sni1, "ER-Telecom"));
+    }
+
+    #[test]
+    fn delayed_response_waits_out_syn_sent() {
+        let mut h = harness();
+        assert!(h.evaluate(
+            Strategy::ServerDelayedResponse(Duration::from_secs(61)),
+            Target::Sni1,
+            "ER-Telecom"
+        ));
+        // Too short a delay does not help.
+        assert!(!h.evaluate(
+            Strategy::ServerDelayedResponse(Duration::from_secs(30)),
+            Target::Sni1,
+            "ER-Telecom"
+        ));
+    }
+
+    #[test]
+    fn hardened_devices_close_the_evasions() {
+        // §8's prediction, end to end: the patched TSPU defeats every
+        // SNI-layer strategy (the QUIC version change survives — patching
+        // it needs a new fingerprint, not more resources).
+        let universe = Universe::generate(3);
+        let mut h = CircumventionLab::hardened(&universe, tspu_core::Hardening::full());
+        for strategy in [
+            Strategy::ServerSmallWindow(64),
+            Strategy::ServerSplitHandshake,
+            Strategy::ClientSegmentation(16),
+            Strategy::ClientIpFragmentation(64),
+            Strategy::ClientPadding(1400),
+            Strategy::ClientPrependRecord,
+        ] {
+            assert!(
+                !h.evaluate(strategy, Target::Sni1, "ER-Telecom"),
+                "{strategy:?} must be defeated by full hardening"
+            );
+        }
+        // Version-change still works: the fingerprint is version-keyed.
+        assert!(h.evaluate(Strategy::QuicVersion(QuicVersion::Draft29), Target::Quic, "ER-Telecom"));
+    }
+
+    #[test]
+    fn quic_version_change_evades() {
+        let mut h = harness();
+        assert!(!h.evaluate(Strategy::None, Target::Quic, "ER-Telecom"), "v1 blocked");
+        assert!(h.evaluate(Strategy::QuicVersion(QuicVersion::Draft29), Target::Quic, "ER-Telecom"));
+        assert!(h.evaluate(Strategy::QuicVersion(QuicVersion::QuicPing), Target::Quic, "ER-Telecom"));
+    }
+}

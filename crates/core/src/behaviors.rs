@@ -1,0 +1,122 @@
+//! Blocking verdicts and how they act on packets (paper §5.2, Fig. 2).
+
+use std::time::Duration;
+
+use tspu_netsim::Time;
+
+use crate::constants;
+use crate::policer::TokenBucket;
+use crate::policy::ThrottleConfig;
+
+/// The six ways the TSPU severs a connection, minus IP-based blocking
+/// (which is evaluated per packet against the address list rather than
+/// stored on a flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// SNI-I: remote→local packets have their payload truncated and flags
+    /// rewritten to RST/ACK; local→remote packets pass.
+    RstRewrite,
+    /// SNI-II: a handful more packets pass in either direction, then
+    /// everything is dropped symmetrically.
+    DelayedDrop,
+    /// SNI-III: both directions policed by a token bucket.
+    Throttle,
+    /// SNI-IV: every packet of the flow dropped immediately, both sides,
+    /// including the trigger itself.
+    FullDrop,
+    /// QUIC: every subsequent packet of the UDP flow dropped, both sides,
+    /// including the trigger.
+    QuicDrop,
+}
+
+impl BlockKind {
+    /// Residual duration of this verdict once applied (Table 2).
+    pub fn duration(self) -> Duration {
+        match self {
+            BlockKind::RstRewrite => constants::BLOCK_SNI1,
+            BlockKind::DelayedDrop => constants::BLOCK_SNI2,
+            BlockKind::Throttle => Duration::from_secs(u64::MAX / 2_000_000), // while policy active
+            BlockKind::FullDrop => constants::BLOCK_SNI4,
+            BlockKind::QuicDrop => constants::BLOCK_QUIC,
+        }
+    }
+
+    /// The paper's name for the behavior.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            BlockKind::RstRewrite => "SNI-I",
+            BlockKind::DelayedDrop => "SNI-II",
+            BlockKind::Throttle => "SNI-III",
+            BlockKind::FullDrop => "SNI-IV",
+            BlockKind::QuicDrop => "QUIC",
+        }
+    }
+}
+
+/// An active blocking verdict on a flow.
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    pub kind: BlockKind,
+    /// When the verdict was (last) applied.
+    pub since: Time,
+    /// SNI-II: packets still allowed through before symmetric drops.
+    pub allowance: u8,
+    /// SNI-III: the policing bucket.
+    pub bucket: Option<TokenBucket>,
+}
+
+impl BlockState {
+    /// Creates a fresh verdict at `now`. For SNI-II, `allowance` packets
+    /// (5–8 in the paper) still pass; for SNI-III a policer is attached.
+    pub fn new(kind: BlockKind, now: Time, allowance: u8, throttle: ThrottleConfig) -> BlockState {
+        let bucket = match kind {
+            BlockKind::Throttle => Some(TokenBucket::new(
+                throttle.rate_bytes_per_sec,
+                throttle.burst_bytes,
+                now,
+            )),
+            _ => None,
+        };
+        BlockState { kind, since: now, allowance, bucket }
+    }
+
+    /// Whether the verdict is still in force at `now`.
+    pub fn active(&self, now: Time) -> bool {
+        now.since(self.since) <= self.kind.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_match_table_2() {
+        assert_eq!(BlockKind::RstRewrite.duration(), Duration::from_secs(75));
+        assert_eq!(BlockKind::DelayedDrop.duration(), Duration::from_secs(420));
+        assert_eq!(BlockKind::FullDrop.duration(), Duration::from_secs(40));
+        assert_eq!(BlockKind::QuicDrop.duration(), Duration::from_secs(420));
+    }
+
+    #[test]
+    fn residual_expiry() {
+        let block = BlockState::new(BlockKind::RstRewrite, Time::from_secs(100), 0, ThrottleConfig::hard_2022());
+        assert!(block.active(Time::from_secs(100)));
+        assert!(block.active(Time::from_secs(175)));
+        assert!(!block.active(Time::from_secs(176)));
+    }
+
+    #[test]
+    fn throttle_carries_bucket() {
+        let block = BlockState::new(BlockKind::Throttle, Time::ZERO, 0, ThrottleConfig::hard_2022());
+        assert!(block.bucket.is_some());
+        let block = BlockState::new(BlockKind::FullDrop, Time::ZERO, 0, ThrottleConfig::hard_2022());
+        assert!(block.bucket.is_none());
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(BlockKind::DelayedDrop.paper_name(), "SNI-II");
+        assert_eq!(BlockKind::QuicDrop.paper_name(), "QUIC");
+    }
+}

@@ -1,0 +1,624 @@
+//! TSPU connection tracking: flow table, client/server role inference, and
+//! the idle-timeout state machine of paper §5.3.2–§5.3.3.
+//!
+//! ## The state machine
+//!
+//! The paper probes the TSPU with every TCP flag sequence up to length 3
+//! (Fig. 4) and estimates per-state timeouts (Tables 2 and 8). This module
+//! encodes the *minimal automaton consistent with those observations*:
+//!
+//! * The sender of a flow's **first packet** becomes the inferred client —
+//!   whatever the packet is. A bare SYN/ACK is "unusual but a valid
+//!   prefix" (§7.1.1); a bare data packet or ACK also creates a flow.
+//! * A **pure SYN from the side opposite the client** (simultaneous open
+//!   or split handshake) makes roles *ambiguous*: SNI-I no longer applies,
+//!   but the SNI-IV backup filter still does — Fig. 4's green nodes.
+//! * A **bare ACK from the client while roles are ambiguous** completes a
+//!   role reversal: the tracker decides the other side was the client all
+//!   along (the client is ACKing the remote's SYN the way a server would).
+//!   This reconciles Table 2's SYN-RECEIVED measurement with Table 8's
+//!   `Ls;Rs;Lt → DROP` row.
+//! * A **bare ACK answering a SYN** (no SYN/ACK ever seen) is a protocol
+//!   violation; the tracker marks the flow [`ConnState::Invalid`] and
+//!   exempts it from SNI blocking (Table 8's `Ls;Ra;Lt → PASS` row).
+//! * A **SYN answered by a SYN/ACK** is already `ESTABLISHED` — the TSPU
+//!   does not wait for the final ACK (Table 2's 480 s row sleeps *before*
+//!   the final ACK).
+//!
+//! Timeouts are idle timeouts, refreshed by any packet of the flow, with
+//! the per-state values from [`crate::constants`].
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use tspu_wire::tcp::TcpFlags;
+
+use tspu_netsim::Time;
+
+use crate::behaviors::BlockState;
+use crate::constants;
+
+/// Which side of the device a packet came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The Russian / client-network side.
+    Local,
+    /// The rest of the internet.
+    Remote,
+}
+
+impl Side {
+    /// The other side.
+    pub fn flip(self) -> Side {
+        match self {
+            Side::Local => Side::Remote,
+            Side::Remote => Side::Local,
+        }
+    }
+}
+
+/// A direction-normalized flow key: the local endpoint always comes first,
+/// so both directions of a connection hit the same entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    pub local_addr: Ipv4Addr,
+    pub local_port: u16,
+    pub remote_addr: Ipv4Addr,
+    pub remote_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Builds a key from packet fields plus the side the packet came from.
+    pub fn from_packet(
+        from: Side,
+        src_addr: Ipv4Addr,
+        src_port: u16,
+        dst_addr: Ipv4Addr,
+        dst_port: u16,
+        protocol: u8,
+    ) -> FlowKey {
+        match from {
+            Side::Local => FlowKey {
+                local_addr: src_addr,
+                local_port: src_port,
+                remote_addr: dst_addr,
+                remote_port: dst_port,
+                protocol,
+            },
+            Side::Remote => FlowKey {
+                local_addr: dst_addr,
+                local_port: dst_port,
+                remote_addr: src_addr,
+                remote_port: src_port,
+                protocol,
+            },
+        }
+    }
+}
+
+/// Connection-tracking states. Each carries the idle timeout measured for
+/// it in the paper (see [`crate::constants`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnState {
+    /// A pure SYN seen, nothing back yet.
+    SynSent,
+    /// A SYN from the side opposite the inferred client: simultaneous
+    /// open / split handshake — roles ambiguous.
+    SynRecv,
+    /// SYN answered by SYN/ACK (or an ambiguous handshake completed).
+    Established,
+    /// Flow created by a data-bearing packet with no handshake.
+    Loose,
+    /// Flow created by a bare ACK (a connection whose start the tracker
+    /// missed).
+    AckFirst,
+    /// Flow created by a bare SYN/ACK — §7.1.1's "unusual but valid
+    /// prefix", the state upstream-only devices typically hold.
+    SynAckFirst,
+    /// The tracker saw a protocol-violating packet and gave up; SNI
+    /// blocking is exempted while this entry lives.
+    Invalid,
+    /// A UDP flow (tracked for QUIC verdicts).
+    Udp,
+}
+
+impl ConnState {
+    /// The idle timeout of this state.
+    pub fn timeout(self) -> Duration {
+        match self {
+            ConnState::SynSent => constants::TIMEOUT_SYN_SENT,
+            ConnState::SynRecv => constants::TIMEOUT_SYN_RECV,
+            ConnState::Established => constants::TIMEOUT_ESTABLISHED,
+            ConnState::Loose => constants::TIMEOUT_LOOSE,
+            ConnState::AckFirst => constants::TIMEOUT_ACK_FIRST,
+            ConnState::SynAckFirst => constants::TIMEOUT_SYNACK_FIRST,
+            ConnState::Invalid => constants::TIMEOUT_INVALID,
+            ConnState::Udp => constants::TIMEOUT_UDP,
+        }
+    }
+}
+
+/// One tracked flow.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    pub state: ConnState,
+    /// The currently inferred client.
+    pub client: Side,
+    /// Who sent the first packet of the flow.
+    pub first_sender: Side,
+    /// A SYN arrived from the side opposite the client (green sequences).
+    pub ambiguous: bool,
+    /// Roles were reversed after an ambiguous handshake resolved toward
+    /// the other side; the SNI-IV backup remains armed if the original
+    /// first sender was local.
+    pub reversed: bool,
+    pub created: Time,
+    pub last_seen: Time,
+    /// Active blocking verdict, if this flow tripped a trigger.
+    pub block: Option<BlockState>,
+    /// This device failed to act on this flow (Table 1's failure rates);
+    /// triggers are ignored for the entry's lifetime.
+    pub exempt: bool,
+    /// Whether the exemption dice have been rolled for this flow yet.
+    pub exemption_decided: bool,
+    /// Accumulated local→remote stream bytes, kept only when the device
+    /// runs with TCP-reassembly hardening (see `crate::hardening`).
+    pub rx_stream: Vec<u8>,
+}
+
+impl FlowEntry {
+    fn new(now: Time, first_sender: Side, state: ConnState) -> FlowEntry {
+        FlowEntry {
+            state,
+            client: first_sender,
+            first_sender,
+            ambiguous: false,
+            reversed: false,
+            created: now,
+            last_seen: now,
+            block: None,
+            exempt: false,
+            exemption_decided: false,
+            rx_stream: Vec::new(),
+        }
+    }
+
+    /// True once the entry has outlived its idle timeout. While a verdict
+    /// is in force, packets do NOT refresh `last_seen` (the state is
+    /// frozen at trigger time), so residual censorship ends at
+    /// min(block-kind duration, state idle timeout) — the reconciliation
+    /// of Table 2's residuals with Table 8's `Lt → 180 s` row.
+    pub fn expired(&self, now: Time) -> bool {
+        now.since(self.last_seen) > self.state.timeout()
+    }
+
+    /// SNI-I applies to flows whose client is unambiguously local.
+    pub fn sni1_applies(&self) -> bool {
+        self.client == Side::Local && !self.ambiguous && self.state != ConnState::Invalid
+    }
+
+    /// SNI-II applies whenever the inferred client is local, ambiguous or
+    /// not (Table 8's `Ls;Rs;Lt → DROP` with an SNI-II trigger).
+    pub fn sni2_applies(&self) -> bool {
+        self.client == Side::Local && self.state != ConnState::Invalid
+    }
+
+    /// SNI-IV is the backup filter: it arms exactly when SNI-I has been
+    /// evaded by role games but the flow's origin was local (§5.3.2).
+    pub fn sni4_applies(&self) -> bool {
+        if self.state == ConnState::Invalid || self.sni1_applies() {
+            return false;
+        }
+        self.client == Side::Local || (self.reversed && self.first_sender == Side::Local)
+    }
+}
+
+/// The flow table.
+#[derive(Default)]
+pub struct ConnTracker {
+    flows: HashMap<FlowKey, FlowEntry>,
+    /// GC threshold: when the table grows past this, expired entries are
+    /// swept on the next observation.
+    gc_watermark: usize,
+}
+
+impl ConnTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> ConnTracker {
+        ConnTracker { flows: HashMap::new(), gc_watermark: 65_536 }
+    }
+
+    /// Number of live entries (including expired-but-unswept).
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Read-only view of a flow, expiry-checked.
+    pub fn get(&self, now: Time, key: &FlowKey) -> Option<&FlowEntry> {
+        self.flows.get(key).filter(|e| !e.expired(now))
+    }
+
+    /// Mutable view of a flow, expiry-checked.
+    pub fn get_mut(&mut self, now: Time, key: &FlowKey) -> Option<&mut FlowEntry> {
+        self.flows.get_mut(key).filter(|e| !e.expired(now))
+    }
+
+    /// Removes a flow.
+    pub fn remove(&mut self, key: &FlowKey) {
+        self.flows.remove(key);
+    }
+
+    /// Observes a TCP packet of flow `key` from `side`, creating or
+    /// transitioning the entry, and returns it.
+    pub fn observe_tcp(
+        &mut self,
+        now: Time,
+        key: FlowKey,
+        side: Side,
+        flags: TcpFlags,
+        payload_len: usize,
+    ) -> &mut FlowEntry {
+        self.maybe_gc(now);
+        // Replace expired entries with fresh flows.
+        if self.flows.get(&key).is_some_and(|e| e.expired(now)) {
+            self.flows.remove(&key);
+        }
+        let is_new = !self.flows.contains_key(&key);
+        let entry = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| FlowEntry::new(now, side, initial_state(flags, payload_len)));
+        // Clear a lapsed block so residual censorship genuinely ends.
+        if entry.block.as_ref().is_some_and(|b| !b.active(now)) {
+            entry.block = None;
+        }
+        if entry.block.is_some() {
+            // Verdict in force: the flow's state is frozen at trigger
+            // time; blocked traffic neither transitions nor refreshes it.
+            return entry;
+        }
+        if !is_new {
+            transition(entry, side, flags, payload_len);
+        }
+        entry.last_seen = now;
+        entry
+    }
+
+    /// Observes a UDP packet; UDP flows exist mainly to carry QUIC block
+    /// state and use the loose timeout.
+    pub fn observe_udp(&mut self, now: Time, key: FlowKey, side: Side) -> &mut FlowEntry {
+        self.maybe_gc(now);
+        if self.flows.get(&key).is_some_and(|e| e.expired(now)) {
+            self.flows.remove(&key);
+        }
+        let entry = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| FlowEntry::new(now, side, ConnState::Udp));
+        if entry.block.as_ref().is_some_and(|b| !b.active(now)) {
+            entry.block = None;
+        }
+        if entry.block.is_none() {
+            entry.last_seen = now;
+        }
+        entry
+    }
+
+    fn maybe_gc(&mut self, now: Time) {
+        if self.flows.len() > self.gc_watermark {
+            self.flows.retain(|_, e| !e.expired(now));
+            if self.flows.len() > self.gc_watermark {
+                self.gc_watermark *= 2;
+            }
+        }
+    }
+}
+
+/// The state a brand-new flow starts in, from its first packet.
+fn initial_state(flags: TcpFlags, payload_len: usize) -> ConnState {
+    if flags.is_pure_syn() {
+        ConnState::SynSent
+    } else if flags.is_syn_ack() {
+        ConnState::SynAckFirst
+    } else if payload_len > 0 {
+        ConnState::Loose
+    } else if flags.ack() && !flags.rst() && !flags.fin() {
+        ConnState::AckFirst
+    } else {
+        ConnState::Loose
+    }
+}
+
+/// Applies one packet's worth of state transition to an existing entry.
+fn transition(entry: &mut FlowEntry, side: Side, flags: TcpFlags, payload_len: usize) {
+    if flags.is_pure_syn() {
+        if side != entry.client {
+            // Simultaneous open / split handshake: roles become ambiguous.
+            if entry.state != ConnState::Invalid {
+                entry.state = ConnState::SynRecv;
+                entry.ambiguous = true;
+            }
+        }
+        // A SYN retransmission from the client refreshes only.
+        return;
+    }
+    if flags.is_syn_ack() {
+        match entry.state {
+            ConnState::SynSent if side != entry.client => {
+                // Normal handshake step 2: established right away.
+                entry.state = ConnState::Established;
+            }
+            ConnState::SynRecv => {
+                // Either side completing an ambiguous handshake.
+                entry.state = ConnState::Established;
+            }
+            _ => {}
+        }
+        return;
+    }
+    let bare_ack = flags.ack() && payload_len == 0 && !flags.rst() && !flags.fin();
+    if bare_ack {
+        match entry.state {
+            ConnState::SynSent if side != entry.client => {
+                // An ACK answering a SYN with no SYN/ACK in between:
+                // protocol violation, tracker gives up (Ls;Ra → PASS).
+                entry.state = ConnState::Invalid;
+                entry.ambiguous = false;
+            }
+            ConnState::SynRecv if entry.ambiguous && side == entry.client => {
+                // The nominal client ACKs the opposite SYN like a server
+                // would: the tracker reverses roles (Table 2, SYN-RECEIVED
+                // row measured through exactly this sequence).
+                entry.client = entry.client.flip();
+                entry.ambiguous = false;
+                entry.reversed = true;
+            }
+            ConnState::SynRecv => {
+                entry.state = ConnState::Established;
+            }
+            _ => {}
+        }
+    }
+    // A data-bearing packet on a half-open handshake degrades the entry to
+    // the loose-data state (Table 8: `Ls;Rs;Lt` measures 180 s, the Loose
+    // timeout, not SYN-RECEIVED's 105 s). Role flags are preserved.
+    if payload_len > 0 && matches!(entry.state, ConnState::SynSent | ConnState::SynRecv) {
+        entry.state = ConnState::Loose;
+    }
+    // RST / FIN packets refresh the entry without changing state: the TSPU
+    // keeps residual state even across RSTs (fresh source ports are needed
+    // to escape residual censorship, §3).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5);
+    const REMOTE: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 5);
+
+    fn key() -> FlowKey {
+        FlowKey {
+            local_addr: LOCAL,
+            local_port: 40000,
+            remote_addr: REMOTE,
+            remote_port: 443,
+            protocol: 6,
+        }
+    }
+
+    /// Plays a sequence of (side, flags, payload) and returns the entry.
+    fn play(tracker: &mut ConnTracker, seq: &[(Side, TcpFlags, usize)]) -> FlowEntry {
+        let mut now = Time::ZERO;
+        for &(side, flags, len) in seq {
+            tracker.observe_tcp(now, key(), side, flags, len);
+            now += Duration::from_millis(10);
+        }
+        tracker.flows.get(&key()).unwrap().clone()
+    }
+
+    use Side::{Local as L, Remote as R};
+    const S: TcpFlags = TcpFlags::SYN;
+    const SA: TcpFlags = TcpFlags::SYN_ACK;
+    const A: TcpFlags = TcpFlags::ACK;
+
+    #[test]
+    fn key_normalization() {
+        let from_local = FlowKey::from_packet(L, LOCAL, 40000, REMOTE, 443, 6);
+        let from_remote = FlowKey::from_packet(R, REMOTE, 443, LOCAL, 40000, 6);
+        assert_eq!(from_local, from_remote);
+    }
+
+    #[test]
+    fn normal_handshake_client_local() {
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, SA, 0), (L, A, 0)]);
+        assert_eq!(e.state, ConnState::Established);
+        assert_eq!(e.client, L);
+        assert!(!e.ambiguous);
+        assert!(e.sni1_applies());
+        assert!(e.sni2_applies());
+        assert!(!e.sni4_applies()); // SNI-I takes precedence
+    }
+
+    #[test]
+    fn syn_plus_synack_is_already_established() {
+        // Table 2: the 480 s state is reached before the final ACK.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, SA, 0)]);
+        assert_eq!(e.state, ConnState::Established);
+    }
+
+    #[test]
+    fn remote_initiated_flow_never_sni_blockable() {
+        // Fig. 4: "any sequence starting with a packet sent by the remote
+        // peer is NOT a valid prefix".
+        let mut t = ConnTracker::new();
+        for seq in [
+            vec![(R, S, 0)],
+            vec![(R, S, 0), (L, SA, 0)],
+            vec![(R, S, 0), (L, SA, 0), (R, A, 0)],
+            vec![(R, A, 0)],
+            vec![(R, SA, 0)],
+            vec![(R, TcpFlags::PSH_ACK, 0), (L, TcpFlags::PSH_ACK, 100)],
+        ] {
+            let e = play(&mut t, &seq);
+            assert!(!e.sni1_applies(), "{seq:?}");
+            assert!(!e.sni2_applies(), "{seq:?}");
+            assert!(!e.sni4_applies(), "{seq:?}");
+            t.remove(&key());
+        }
+    }
+
+    #[test]
+    fn simultaneous_open_is_green() {
+        // Ls;Rs: evades SNI-I, still trips SNI-II and SNI-IV.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, S, 0)]);
+        assert_eq!(e.state, ConnState::SynRecv);
+        assert!(e.ambiguous);
+        assert!(!e.sni1_applies());
+        assert!(e.sni2_applies());
+        assert!(e.sni4_applies());
+    }
+
+    #[test]
+    fn split_handshake_is_green() {
+        // §8 server-side strategy: client SYN, server answers with bare
+        // SYN, client SYN/ACKs, server ACKs.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, S, 0), (L, SA, 0), (R, A, 0)]);
+        assert_eq!(e.state, ConnState::Established);
+        assert!(e.ambiguous);
+        assert!(!e.sni1_applies());
+        assert!(e.sni4_applies());
+    }
+
+    #[test]
+    fn ambiguous_handshake_ack_reverses_roles() {
+        // Ls;Rs;La — Table 2's SYN-RECEIVED sequence: after the local bare
+        // ACK the tracker decides the remote is the client.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, S, 0), (L, A, 0)]);
+        assert_eq!(e.state, ConnState::SynRecv);
+        assert_eq!(e.client, R);
+        assert!(!e.ambiguous);
+        assert!(e.reversed);
+        assert!(!e.sni1_applies());
+        assert!(!e.sni2_applies()); // PASS while alive — the Table 2 flip
+        assert!(e.sni4_applies()); // backup still armed
+    }
+
+    #[test]
+    fn ack_answering_syn_invalidates_flow() {
+        // Ls;Ra → Invalid → exempt (Table 8 row `Ls;Ra;Lt` = PASS, 180 s).
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, A, 0)]);
+        assert_eq!(e.state, ConnState::Invalid);
+        assert!(!e.sni1_applies());
+        assert!(!e.sni2_applies());
+        assert!(!e.sni4_applies());
+        assert_eq!(e.state.timeout(), Duration::from_secs(180));
+    }
+
+    #[test]
+    fn synack_first_is_valid_blockable_prefix() {
+        // §7.1.1: upstream-only devices see the RU SYN/ACK first and treat
+        // its sender as the client.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, SA, 0)]);
+        assert_eq!(e.state, ConnState::SynAckFirst);
+        assert_eq!(e.client, L);
+        assert!(e.sni1_applies());
+        assert!(e.sni2_applies());
+        assert_eq!(e.state.timeout(), Duration::from_secs(480));
+    }
+
+    #[test]
+    fn loose_data_first_flow_is_blockable() {
+        // Table 8 `Lt` row: a bare triggering data packet DROPs (180 s).
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, TcpFlags::PSH_ACK, 500)]);
+        assert_eq!(e.state, ConnState::Loose);
+        assert!(e.sni1_applies());
+        assert_eq!(e.state.timeout(), Duration::from_secs(180));
+    }
+
+    #[test]
+    fn ack_first_flow_is_blockable_with_long_timeout() {
+        // Table 8 `La;Lt` row: DROP, 480 s.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, A, 0)]);
+        assert_eq!(e.state, ConnState::AckFirst);
+        assert!(e.sni1_applies());
+        assert_eq!(e.state.timeout(), Duration::from_secs(480));
+    }
+
+    #[test]
+    fn idle_expiry_replaces_entry() {
+        let mut t = ConnTracker::new();
+        t.observe_tcp(Time::ZERO, key(), R, S, 0);
+        // Still alive within 60 s.
+        let now = Time::from_secs(59);
+        assert!(t.get(now, &key()).is_some());
+        // Expired beyond 60 s: a local trigger now creates a *fresh* flow
+        // with client = local.
+        let now = Time::from_secs(61);
+        assert!(t.get(now, &key()).is_none());
+        let e = t.observe_tcp(now, key(), L, TcpFlags::PSH_ACK, 300);
+        assert_eq!(e.client, L);
+        assert_eq!(e.state, ConnState::Loose);
+    }
+
+    #[test]
+    fn activity_refreshes_idle_timeout() {
+        let mut t = ConnTracker::new();
+        t.observe_tcp(Time::ZERO, key(), L, S, 0);
+        t.observe_tcp(Time::from_secs(50), key(), L, S, 0); // retransmit
+        assert!(t.get(Time::from_secs(100), &key()).is_some());
+        assert!(t.get(Time::from_secs(111), &key()).is_none());
+    }
+
+    #[test]
+    fn established_timeout_is_480() {
+        let mut t = ConnTracker::new();
+        t.observe_tcp(Time::ZERO, key(), L, S, 0);
+        t.observe_tcp(Time::from_secs(1), key(), R, SA, 0);
+        assert!(t.get(Time::from_secs(480), &key()).is_some());
+        assert!(t.get(Time::from_secs(482), &key()).is_none());
+    }
+
+    #[test]
+    fn late_remote_syn_on_established_goes_ambiguous() {
+        // A remote SYN arriving mid-connection still creates ambiguity.
+        let mut t = ConnTracker::new();
+        let e = play(&mut t, &[(L, S, 0), (R, SA, 0), (L, A, 0), (R, S, 0)]);
+        assert!(e.ambiguous);
+        assert!(!e.sni1_applies());
+        assert!(e.sni4_applies());
+    }
+
+    #[test]
+    fn gc_sweeps_expired_flows() {
+        let mut t = ConnTracker::new();
+        t.gc_watermark = 8;
+        for port in 0..32u16 {
+            let k = FlowKey { local_port: 1000 + port, ..key() };
+            t.observe_tcp(Time::ZERO, k, L, TcpFlags::PSH_ACK, 10);
+        }
+        assert_eq!(t.len(), 32);
+        // The watermark self-raised while everything was live; reset it so
+        // the next observation sweeps the now-expired entries.
+        t.gc_watermark = 8;
+        t.observe_tcp(Time::from_secs(300), key(), L, S, 0);
+        assert!(t.len() <= 2);
+    }
+}

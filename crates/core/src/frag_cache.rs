@@ -1,0 +1,374 @@
+//! The TSPU fragment cache (paper §5.3.1, Fig. 3).
+//!
+//! Observed behavior, encoded here as ground truth:
+//!
+//! 1. Incomplete fragment trains are **buffered, not forwarded**.
+//! 2. When the last fragment (MF = 0) arrives, **all fragments are
+//!    forwarded individually, without reassembly**, in offset order.
+//! 3. Forwarded fragments 2..n have their **TTL rewritten to the TTL of
+//!    the first fragment** (offset 0) — the behavior the remote
+//!    localization technique exploits (§7.2).
+//! 4. A **duplicate or overlapping** fragment poisons the train: nothing
+//!    from that packet is forwarded.
+//! 5. At most **45 fragments** are accepted per packet; the 46th discards
+//!    the entire queue — the TSPU fingerprint (Linux: 64, Cisco: 24,
+//!    Juniper: 250).
+//! 6. Trains missing fragments are discarded after **5 seconds**.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use tspu_netsim::Time;
+use tspu_wire::ipv4::Ipv4Packet;
+
+use crate::constants;
+
+/// Key identifying one fragmented datagram in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragKey {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub ident: u16,
+}
+
+#[derive(Debug)]
+struct Train {
+    started: Time,
+    /// (offset, payload_len, packet bytes), insertion order preserved.
+    fragments: Vec<(usize, usize, Vec<u8>)>,
+    /// Train was poisoned by a malformed fragment; drop everything until
+    /// the state times out.
+    poisoned: bool,
+}
+
+impl Train {
+    fn expired(&self, now: Time, timeout: std::time::Duration) -> bool {
+        now.since(self.started) > timeout
+    }
+}
+
+/// Configuration for [`FragCache`], defaulting to the TSPU's observed
+/// constants. Benches ablate these against conventional-DPI settings.
+#[derive(Debug, Clone, Copy)]
+pub struct FragConfig {
+    pub queue_limit: usize,
+    pub timeout: std::time::Duration,
+}
+
+impl Default for FragConfig {
+    fn default() -> FragConfig {
+        FragConfig { queue_limit: constants::FRAG_QUEUE_LIMIT, timeout: constants::FRAG_TIMEOUT }
+    }
+}
+
+/// The fragment cache. Feed it every IP fragment; non-fragments do not
+/// belong here (the device routes them past it).
+pub struct FragCache {
+    config: FragConfig,
+    trains: HashMap<FragKey, Train>,
+    /// Trains discarded so far (stats).
+    discarded: u64,
+    /// Full trains flushed so far (stats).
+    flushed: u64,
+}
+
+impl Default for FragCache {
+    fn default() -> FragCache {
+        FragCache::new(FragConfig::default())
+    }
+}
+
+impl FragCache {
+    /// Creates a cache with the given limits.
+    pub fn new(config: FragConfig) -> FragCache {
+        FragCache { config, trains: HashMap::new(), discarded: 0, flushed: 0 }
+    }
+
+    /// Trains discarded so far.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Trains flushed so far.
+    pub fn flushed(&self) -> u64 {
+        self.flushed
+    }
+
+    /// Buffered trains right now.
+    pub fn pending(&self) -> usize {
+        self.trains.len()
+    }
+
+    /// Offers one fragment. Returns the packets to forward now: empty
+    /// while buffering (or when poisoned), or the whole train once its
+    /// last fragment arrives.
+    pub fn offer(&mut self, now: Time, packet: &[u8]) -> Vec<Vec<u8>> {
+        let Ok(view) = Ipv4Packet::new_checked(packet) else {
+            return vec![packet.to_vec()]; // unparseable: not ours to manage
+        };
+        debug_assert!(view.is_fragment(), "FragCache::offer expects fragments");
+        let key = FragKey { src: view.src_addr(), dst: view.dst_addr(), ident: view.ident() };
+        let offset = view.frag_offset();
+        let len = view.payload().len();
+        let more = view.more_fragments();
+
+        // Expired state is swept lazily.
+        let timeout = self.config.timeout;
+        if self.trains.get(&key).is_some_and(|t| t.expired(now, timeout)) {
+            self.trains.remove(&key);
+            self.discarded += 1;
+        }
+
+        let train = self.trains.entry(key).or_insert(Train {
+            started: now,
+            fragments: Vec::new(),
+            poisoned: false,
+        });
+
+        if train.poisoned {
+            return Vec::new();
+        }
+
+        // Rule 4: duplicates or overlaps poison the train.
+        let new_range = offset..offset + len.max(1);
+        let overlaps = train.fragments.iter().any(|(off, flen, _)| {
+            let existing = *off..*off + (*flen).max(1);
+            new_range.start < existing.end && existing.start < new_range.end
+        });
+        if overlaps {
+            train.fragments.clear();
+            train.poisoned = true;
+            self.discarded += 1;
+            return Vec::new();
+        }
+
+        // Rule 5: the 46th fragment discards the queue.
+        if train.fragments.len() >= self.config.queue_limit {
+            train.fragments.clear();
+            train.poisoned = true;
+            self.discarded += 1;
+            return Vec::new();
+        }
+
+        train.fragments.push((offset, len, packet.to_vec()));
+
+        if more {
+            return Vec::new(); // Rule 1: keep buffering.
+        }
+
+        // Rule 2 + 3: last fragment arrived — flush all in offset order,
+        // rewriting TTLs to the first fragment's.
+        let mut train = self.trains.remove(&key).expect("train exists");
+        train.fragments.sort_by_key(|(off, _, _)| *off);
+        let first_ttl = train
+            .fragments
+            .iter()
+            .find(|(off, _, _)| *off == 0)
+            .map(|(_, _, bytes)| Ipv4Packet::new_unchecked(&bytes[..]).ttl());
+        self.flushed += 1;
+        train
+            .fragments
+            .into_iter()
+            .map(|(offset, _, mut bytes)| {
+                if offset != 0 {
+                    if let Some(ttl) = first_ttl {
+                        let mut view = Ipv4Packet::new_unchecked(&mut bytes[..]);
+                        view.set_ttl(ttl);
+                        view.fill_checksum();
+                    }
+                }
+                bytes
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_wire::frag;
+    use tspu_wire::ipv4::{Ipv4Repr, Protocol};
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+    fn datagram(payload_len: usize, ttl: u8) -> Vec<u8> {
+        let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
+        let mut repr = Ipv4Repr::new(SRC, DST, Protocol::Udp, payload.len());
+        repr.ttl = ttl;
+        repr.ident = 7;
+        repr.build(&payload)
+    }
+
+    #[test]
+    fn buffers_until_last_then_flushes_in_order() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(600, 60), 128).unwrap();
+        assert_eq!(pieces.len(), 5);
+        let mut now = Time::ZERO;
+        for piece in &pieces[..4] {
+            assert!(cache.offer(now, piece).is_empty());
+            now += std::time::Duration::from_millis(1);
+        }
+        let out = cache.offer(now, &pieces[4]);
+        assert_eq!(out.len(), 5);
+        // Offset order.
+        let offsets: Vec<usize> = out
+            .iter()
+            .map(|p| Ipv4Packet::new_unchecked(&p[..]).frag_offset())
+            .collect();
+        assert_eq!(offsets, vec![0, 128, 256, 384, 512]);
+        assert_eq!(cache.flushed(), 1);
+        assert_eq!(cache.pending(), 0);
+    }
+
+    #[test]
+    fn flush_works_with_out_of_order_arrival() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(400, 60), 128).unwrap();
+        // Deliver the last fragment in the middle: flush happens only when
+        // the MF=0 fragment arrives, which here is out of order.
+        assert!(cache.offer(Time::ZERO, &pieces[1]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        let out = cache.offer(Time::ZERO, &pieces[3]); // last (MF=0)
+        // Fragment 2 never arrived; the TSPU flushes what it has anyway —
+        // it does not reassemble, so it cannot know the train is short.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn ttl_rewritten_to_first_fragments_ttl() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(300, 57), 128).unwrap();
+        // Lower the trailing fragments' TTLs as if they took a longer path.
+        let mut doctored: Vec<Vec<u8>> = pieces.clone();
+        for piece in doctored.iter_mut().skip(1) {
+            let mut view = Ipv4Packet::new_unchecked(&mut piece[..]);
+            view.set_ttl(3);
+            view.fill_checksum();
+        }
+        let mut out = Vec::new();
+        for piece in &doctored {
+            out = cache.offer(Time::ZERO, piece);
+        }
+        assert_eq!(out.len(), 3);
+        for packet in &out {
+            let view = Ipv4Packet::new_checked(&packet[..]).unwrap();
+            assert_eq!(view.ttl(), 57, "all fragments carry the first's TTL");
+            assert!(view.verify_checksum());
+        }
+    }
+
+    #[test]
+    fn duplicate_poisons_train() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(400, 60), 128).unwrap();
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[1]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[1]).is_empty()); // duplicate
+        // Even the final fragment now yields nothing.
+        assert!(cache.offer(Time::ZERO, &pieces[3]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[2]).is_empty());
+        assert_eq!(cache.flushed(), 0);
+        assert!(cache.discarded() >= 1);
+    }
+
+    #[test]
+    fn overlap_poisons_train() {
+        let mut cache = FragCache::default();
+        let original = datagram(400, 60);
+        let pieces = frag::fragment(&original, 128).unwrap();
+        // Craft an overlapping fragment: offset 64 over the 0..128 piece.
+        let overlap = {
+            let view = Ipv4Packet::new_checked(&original[..]).unwrap();
+            let mut repr = Ipv4Repr::parse(&view).unwrap();
+            repr.frag_offset = 64;
+            repr.more_fragments = true;
+            repr.payload_len = 128;
+            repr.build(&view.payload()[64..192])
+        };
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &overlap).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[3]).is_empty());
+        assert_eq!(cache.flushed(), 0);
+    }
+
+    #[test]
+    fn queue_limit_45_accepts_46th_discards() {
+        // The fingerprint: a packet in 45 fragments is delivered, the same
+        // packet in 46 is not.
+        let payload = 1480;
+        for (n, expect_delivery) in [(45usize, true), (46, false)] {
+            let mut cache = FragCache::default();
+            let pieces = frag::fragment_into(&datagram(payload, 60), n).unwrap();
+            let mut out = Vec::new();
+            for piece in &pieces {
+                out = cache.offer(Time::ZERO, piece);
+            }
+            assert_eq!(!out.is_empty(), expect_delivery, "n={n}");
+            if expect_delivery {
+                assert_eq!(out.len(), 45);
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_discards_incomplete_train() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(400, 60), 128).unwrap();
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[1]).is_empty());
+        // 6 s later the train is gone; the arriving last fragment starts a
+        // fresh (single-fragment) train and flushes alone.
+        let out = cache.offer(Time::from_secs(6), &pieces[3]);
+        assert_eq!(out.len(), 1);
+        assert!(cache.discarded() >= 1);
+    }
+
+    #[test]
+    fn within_timeout_train_survives() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(300, 60), 128).unwrap();
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert!(cache.offer(Time::from_secs(4), &pieces[1]).is_empty());
+        // Note: the 5 s window runs from the train's first fragment.
+        let out = cache.offer(Time::from_micros(4_900_000), &pieces[2]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn independent_idents_do_not_interfere() {
+        let mut cache = FragCache::default();
+        let a = frag::fragment(&datagram(300, 60), 128).unwrap();
+        let mut b_src = datagram(300, 60);
+        {
+            let mut view = Ipv4Packet::new_unchecked(&mut b_src[..]);
+            view.set_ident(99);
+            view.fill_checksum();
+        }
+        let b = frag::fragment(&b_src, 128).unwrap();
+        assert!(cache.offer(Time::ZERO, &a[0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &b[0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &a[1]).is_empty());
+        let out_b = cache.offer(Time::ZERO, &b[1]);
+        assert!(out_b.is_empty());
+        let out_b = cache.offer(Time::ZERO, &b[2]);
+        assert_eq!(out_b.len(), 3);
+        assert_eq!(cache.pending(), 1); // a still buffering
+    }
+
+    #[test]
+    fn ablation_conventional_dpi_limits() {
+        // With Linux-like limits (64), a 46-fragment packet passes.
+        let mut cache = FragCache::new(FragConfig {
+            queue_limit: 64,
+            timeout: std::time::Duration::from_secs(30),
+        });
+        let pieces = frag::fragment_into(&datagram(1480, 60), 46).unwrap();
+        let mut out = Vec::new();
+        for piece in &pieces {
+            out = cache.offer(Time::ZERO, piece);
+        }
+        assert_eq!(out.len(), 46);
+    }
+}

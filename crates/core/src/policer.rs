@@ -1,0 +1,135 @@
+//! Token-bucket traffic policing — the throttling mechanism behind both
+//! the March 2021 Twitter event (~130 kbit/s) and the Feb–Mar 2022 hard
+//! throttle (~650 B/s). The paper (§5.2, citing Xue et al. 2021) observes
+//! a *policer* — packets exceeding the rate are dropped, not queued.
+
+use tspu_netsim::Time;
+
+/// A classic token bucket: `rate` bytes/second refill, `burst` bytes depth.
+/// A packet passes only if the bucket holds at least its size in tokens.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bytes_per_sec: u64,
+    burst_bytes: u64,
+    /// Current fill in micro-byte units (bytes × 1e6) for exact integer
+    /// refill arithmetic on the microsecond clock.
+    tokens_micro: u64,
+    last_refill: Time,
+}
+
+impl TokenBucket {
+    /// Creates a bucket, initially full.
+    pub fn new(rate_bytes_per_sec: u64, burst_bytes: u64, now: Time) -> TokenBucket {
+        TokenBucket {
+            rate_bytes_per_sec,
+            burst_bytes,
+            tokens_micro: burst_bytes * 1_000_000,
+            last_refill: now,
+        }
+    }
+
+    /// The configured sustained rate.
+    pub fn rate(&self) -> u64 {
+        self.rate_bytes_per_sec
+    }
+
+    fn refill(&mut self, now: Time) {
+        let elapsed_micros = now.since(self.last_refill).as_micros() as u64;
+        self.last_refill = now;
+        let added = elapsed_micros.saturating_mul(self.rate_bytes_per_sec);
+        self.tokens_micro = (self.tokens_micro + added).min(self.burst_bytes * 1_000_000);
+    }
+
+    /// Offers a packet of `len` bytes at `now`; returns true if it passes
+    /// (and consumes tokens), false if it is dropped.
+    pub fn admit(&mut self, now: Time, len: usize) -> bool {
+        self.refill(now);
+        let need = (len as u64) * 1_000_000;
+        if self.tokens_micro >= need {
+            self.tokens_micro -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current token count in whole bytes (for inspection).
+    pub fn tokens(&self) -> u64 {
+        self.tokens_micro / 1_000_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn initial_burst_admits() {
+        let mut bucket = TokenBucket::new(650, 1600, Time::ZERO);
+        assert!(bucket.admit(Time::ZERO, 1500));
+        // Bucket nearly empty; a second full packet is dropped.
+        assert!(!bucket.admit(Time::ZERO, 1500));
+    }
+
+    #[test]
+    fn refills_at_configured_rate() {
+        let mut bucket = TokenBucket::new(650, 1600, Time::ZERO);
+        assert!(bucket.admit(Time::ZERO, 1500));
+        // After 1 s: +650 bytes → 750 total; still not enough for 1500.
+        assert!(!bucket.admit(Time::from_secs(1), 1500));
+        // After ~2.2 s more: > 1500 available.
+        assert!(bucket.admit(Time::from_secs(4), 1500));
+    }
+
+    #[test]
+    fn sustained_goodput_approximates_rate() {
+        // Send 1460-byte packets every 100 ms for 60 s through the 2022
+        // hard throttle; goodput must land in the paper's 600–700 B/s.
+        let mut bucket = TokenBucket::new(650, 1600, Time::ZERO);
+        let mut delivered = 0u64;
+        let mut now = Time::ZERO;
+        for _ in 0..600 {
+            if bucket.admit(now, 1460) {
+                delivered += 1460;
+            }
+            now += Duration::from_millis(100);
+        }
+        let rate = delivered as f64 / 60.0;
+        assert!((600.0..=760.0).contains(&rate), "goodput {rate} B/s");
+    }
+
+    #[test]
+    fn rate_2021_much_faster_than_2022() {
+        let run = |rate, burst| {
+            let mut bucket = TokenBucket::new(rate, burst, Time::ZERO);
+            let mut delivered = 0u64;
+            let mut now = Time::ZERO;
+            for _ in 0..1000 {
+                if bucket.admit(now, 1460) {
+                    delivered += 1460;
+                }
+                now += Duration::from_millis(10);
+            }
+            delivered
+        };
+        let slow = run(650, 1600);
+        let fast = run(16_250, 16_000);
+        assert!(fast > slow * 20, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut bucket = TokenBucket::new(1000, 2000, Time::ZERO);
+        bucket.refill(Time::from_secs(1000));
+        assert_eq!(bucket.tokens(), 2000);
+    }
+
+    #[test]
+    fn zero_length_always_admits() {
+        let mut bucket = TokenBucket::new(1, 1, Time::ZERO);
+        for _ in 0..10 {
+            assert!(bucket.admit(Time::ZERO, 0));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The central censorship policy and its distribution model.
+//!
+//! Roskomnadzor "orders, distributes, and controls" TSPU devices (§5.1);
+//! the defining property the paper exploits to attribute blocking to the
+//! TSPU is *uniformity*: every device in the country enforces the same
+//! blocklists at the same moment, including "out-registry" resources that
+//! individual ISPs do not block. We model this with a single [`Policy`]
+//! value behind a shared [`PolicyHandle`]; every [`crate::TspuDevice`]
+//! clones the handle, so a central update (e.g. the March 4, 2022 switch
+//! from throttling to RST blocking) is observed by all devices at once.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use crate::constants;
+
+/// A set of domain names with suffix matching: `web.facebook.com` matches
+/// an entry for `facebook.com` (the paper's blocklists name registrable
+/// domains while SNIs carry full hostnames).
+#[derive(Debug, Clone, Default)]
+pub struct DomainSet {
+    entries: HashSet<String>,
+}
+
+impl DomainSet {
+    /// An empty set.
+    pub fn new() -> DomainSet {
+        DomainSet::default()
+    }
+
+    /// Builds a set from an iterator of domain names.
+    pub fn from_names<I: IntoIterator<Item = S>, S: Into<String>>(domains: I) -> DomainSet {
+        let mut set = DomainSet::new();
+        for d in domains {
+            set.insert(d);
+        }
+        set
+    }
+
+    /// Inserts a domain (normalized to lowercase, trailing dot stripped).
+    pub fn insert<S: Into<String>>(&mut self, domain: S) {
+        let mut d = domain.into().to_ascii_lowercase();
+        if d.ends_with('.') {
+            d.pop();
+        }
+        self.entries.insert(d);
+    }
+
+    /// Removes a domain.
+    pub fn remove(&mut self, domain: &str) {
+        self.entries.remove(&domain.to_ascii_lowercase());
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if `hostname` equals an entry or is a subdomain of one.
+    /// Never matches a bare TLD-style parent it does not contain.
+    pub fn matches(&self, hostname: &str) -> bool {
+        let host = hostname.to_ascii_lowercase();
+        let host = host.strip_suffix('.').unwrap_or(&host);
+        let mut rest = host;
+        loop {
+            if self.entries.contains(rest) {
+                return true;
+            }
+            match rest.split_once('.') {
+                Some((_, parent)) if parent.contains('.') => rest = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|s| s.as_str())
+    }
+}
+
+/// Token-bucket parameters for the SNI-III throttling behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThrottleConfig {
+    /// Sustained rate in bytes per second.
+    pub rate_bytes_per_sec: u64,
+    /// Bucket depth in bytes (must fit at least one MTU-sized packet for
+    /// anything to pass at all).
+    pub burst_bytes: u64,
+}
+
+impl ThrottleConfig {
+    /// The Feb 26 – Mar 4, 2022 hard throttle (≈ 650 B/s).
+    pub fn hard_2022() -> ThrottleConfig {
+        ThrottleConfig { rate_bytes_per_sec: constants::THROTTLE_RATE_2022, burst_bytes: 1600 }
+    }
+
+    /// The March 2021 Twitter throttle (≈ 130 kbit/s).
+    pub fn twitter_2021() -> ThrottleConfig {
+        ThrottleConfig { rate_bytes_per_sec: constants::THROTTLE_RATE_2021, burst_bytes: 16_000 }
+    }
+}
+
+/// The complete censorship policy a TSPU device enforces.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// SNI-I: RST/ACK response rewriting — "the vast majority of blocking".
+    pub sni_rst: DomainSet,
+    /// SNI-II: delayed symmetric drop; out-registry domains such as
+    /// `play.google.com` and `nordvpn.com`.
+    pub sni_slow: DomainSet,
+    /// SNI-III: throttling (active only while `throttle_active`).
+    pub sni_throttle: DomainSet,
+    /// SNI-IV: backup full drop for a select subset of SNI-I targets
+    /// (Facebook/Twitter/Instagram domains).
+    pub sni_backup: DomainSet,
+    /// Whether the QUIC version-1 filter is on (deployed March 4, 2022).
+    pub quic_filter: bool,
+    /// Out-registry IP blocking (Tor entry nodes, VPN endpoints, …).
+    pub blocked_ips: HashSet<Ipv4Addr>,
+    /// Throttle parameters for SNI-III.
+    pub throttle: ThrottleConfig,
+    /// Whether SNI-III throttling is currently in force (it was replaced
+    /// by SNI-I RST blocking on March 4, 2022).
+    pub throttle_active: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Policy {
+        Policy {
+            sni_rst: DomainSet::new(),
+            sni_slow: DomainSet::new(),
+            sni_throttle: DomainSet::new(),
+            sni_backup: DomainSet::new(),
+            quic_filter: true,
+            blocked_ips: HashSet::new(),
+            throttle: ThrottleConfig::hard_2022(),
+            throttle_active: false,
+        }
+    }
+}
+
+impl Policy {
+    /// An empty policy (blocks nothing, QUIC filter off).
+    pub fn permissive() -> Policy {
+        Policy { quic_filter: false, ..Policy::default() }
+    }
+
+    /// A small policy exercising every mechanism — used throughout tests
+    /// and examples. Domain choices mirror Table 3.
+    pub fn example() -> Policy {
+        let mut policy = Policy::default();
+        for d in [
+            "twitter.com", "facebook.com", "instagram.com", "t.co", "twimg.com",
+            "dw.com", "meduza.io", "bbc.com", "tor.eff.org", "theins.ru",
+        ] {
+            policy.sni_rst.insert(d);
+        }
+        for d in ["play.google.com", "news.google.com", "nordvpn.com", "nordaccount.com"] {
+            policy.sni_slow.insert(d);
+        }
+        for d in ["twitter.com", "t.co", "twimg.com", "fbcdn.net"] {
+            policy.sni_throttle.insert(d);
+        }
+        for d in ["twitter.com", "t.co", "twimg.com", "web.facebook.com", "cdninstagram.com", "messenger.com"] {
+            policy.sni_backup.insert(d);
+        }
+        policy.blocked_ips.insert(Ipv4Addr::new(198, 51, 100, 7)); // "Tor entry node"
+        policy
+    }
+}
+
+/// A shared handle to the centrally controlled policy.
+///
+/// Cloning the handle models Roskomnadzor distributing the same list to
+/// another device; mutating through any handle updates every device.
+#[derive(Clone)]
+pub struct PolicyHandle {
+    inner: Rc<RefCell<Policy>>,
+}
+
+impl PolicyHandle {
+    /// Wraps a policy for central distribution.
+    pub fn new(policy: Policy) -> PolicyHandle {
+        PolicyHandle { inner: Rc::new(RefCell::new(policy)) }
+    }
+
+    /// Reads the current policy.
+    pub fn read(&self) -> std::cell::Ref<'_, Policy> {
+        self.inner.borrow()
+    }
+
+    /// Applies a centrally coordinated update — visible to all devices
+    /// holding this handle, at once.
+    pub fn update<F: FnOnce(&mut Policy)>(&self, f: F) {
+        f(&mut self.inner.borrow_mut());
+    }
+
+    /// The March 4, 2022 transition observed in §5.2: throttling (SNI-III)
+    /// stops, the affected domains move to RST blocking (SNI-I), and the
+    /// QUIC filter turns on.
+    pub fn march_4_2022_transition(&self) {
+        self.update(|p| {
+            p.throttle_active = false;
+            let throttled: Vec<String> = p.sni_throttle.iter().map(str::to_string).collect();
+            for d in throttled {
+                p.sni_rst.insert(d);
+            }
+            p.quic_filter = true;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_set_exact_and_suffix() {
+        let set = DomainSet::from_names(["facebook.com", "t.co"]);
+        assert!(set.matches("facebook.com"));
+        assert!(set.matches("web.facebook.com"));
+        assert!(set.matches("x.y.facebook.com"));
+        assert!(set.matches("T.CO"));
+        assert!(!set.matches("notfacebook.com"));
+        assert!(!set.matches("facebook.com.evil.org"));
+        assert!(!set.matches("com"));
+        assert!(!set.matches(""));
+    }
+
+    #[test]
+    fn domain_set_normalizes() {
+        let mut set = DomainSet::new();
+        set.insert("Example.COM.");
+        assert!(set.matches("example.com"));
+        assert!(set.matches("example.com."));
+        assert_eq!(set.len(), 1);
+        set.remove("example.com");
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn suffix_match_stops_above_registrable_len() {
+        // "co" must not be reachable as a parent of "t.co" matching "x.co":
+        let set = DomainSet::from_names(["t.co"]);
+        assert!(!set.matches("x.co"));
+        assert!(set.matches("a.t.co"));
+    }
+
+    #[test]
+    fn shared_policy_updates_are_uniform() {
+        let handle_a = PolicyHandle::new(Policy::example());
+        let handle_b = handle_a.clone(); // a second "device"
+        assert!(!handle_b.read().sni_rst.matches("navalny.com"));
+        handle_a.update(|p| p.sni_rst.insert("navalny.com"));
+        assert!(handle_b.read().sni_rst.matches("navalny.com"));
+    }
+
+    #[test]
+    fn march_4_transition_moves_throttled_to_rst() {
+        let handle = PolicyHandle::new(Policy {
+            throttle_active: true,
+            quic_filter: false,
+            ..Policy::example()
+        });
+        assert!(handle.read().throttle_active);
+        assert!(!handle.read().sni_rst.matches("fbcdn.net"));
+        handle.march_4_2022_transition();
+        let policy = handle.read();
+        assert!(!policy.throttle_active);
+        assert!(policy.quic_filter);
+        assert!(policy.sni_rst.matches("fbcdn.net"));
+        assert!(policy.sni_rst.matches("cdn.fbcdn.net"));
+    }
+
+    #[test]
+    fn example_policy_shapes() {
+        let policy = Policy::example();
+        assert!(policy.sni_rst.matches("twitter.com"));
+        assert!(policy.sni_backup.matches("twitter.com"));
+        assert!(policy.sni_slow.matches("play.google.com"));
+        // SNI-IV is a subset of SNI-I targets for the shared domains.
+        assert!(policy.sni_rst.matches("web.facebook.com"));
+    }
+}

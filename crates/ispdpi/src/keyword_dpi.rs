@@ -1,0 +1,151 @@
+//! The legacy in-path keyword DPI some ISPs deployed before the TSPU era
+//! (§2: "Previous work has found ISPs in Russia implemented different
+//! blocking mechanisms with varying efficacy, such as keyword filtering
+//! or DNS censorship" — citing Ramesh et al.'s decentralized-control
+//! study).
+//!
+//! Unlike the TSPU this box is ISP-specific commodity gear: it inspects
+//! plaintext HTTP only (port 80), matches the Host header against the
+//! ISP's own list, and silently swallows matching requests (timeout-style
+//! blocking, one of the low-efficacy mechanisms the NDSS'20 study
+//! catalogued). Its blindness to HTTPS and its *non-uniformity* across
+//! ISPs are exactly what §5.1 uses to separate ISP blocking from TSPU
+//! blocking.
+
+use std::collections::HashSet;
+
+use tspu_netsim::{Direction, Middlebox, Time};
+use tspu_wire::http::HttpRequest;
+use tspu_wire::ipv4::{Ipv4Packet, Protocol};
+use tspu_wire::tcp::TcpSegment;
+
+/// The keyword-filtering middlebox.
+pub struct HttpKeywordDpi {
+    isp: String,
+    blocklist: HashSet<String>,
+    /// Requests intercepted so far.
+    pub intercepted: u64,
+}
+
+impl HttpKeywordDpi {
+    /// Creates the DPI with the ISP's own list snapshot.
+    pub fn new(isp: &str, blocklist: HashSet<String>) -> HttpKeywordDpi {
+        HttpKeywordDpi { isp: isp.to_string(), blocklist, intercepted: 0 }
+    }
+
+    fn lists(&self, host: &str) -> bool {
+        let mut rest = host;
+        loop {
+            if self.blocklist.contains(rest) {
+                return true;
+            }
+            match rest.split_once('.') {
+                Some((_, parent)) if parent.contains('.') => rest = parent,
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Middlebox for HttpKeywordDpi {
+    fn process(&mut self, _now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+        if direction != Direction::LocalToRemote {
+            return vec![packet.to_vec()];
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(packet) else {
+            return vec![packet.to_vec()];
+        };
+        if ip.protocol() != Protocol::Tcp || ip.is_fragment() {
+            return vec![packet.to_vec()];
+        }
+        let Ok(segment) = TcpSegment::new_checked(ip.payload()) else {
+            return vec![packet.to_vec()];
+        };
+        if segment.dst_port() != 80 || segment.payload().is_empty() {
+            return vec![packet.to_vec()];
+        }
+        let Ok(request) = HttpRequest::parse(segment.payload()) else {
+            return vec![packet.to_vec()];
+        };
+        let Some(host) = request.host else {
+            return vec![packet.to_vec()];
+        };
+        if !self.lists(&host) {
+            return vec![packet.to_vec()];
+        }
+        // Swallow the offending request: the client times out — the
+        // blunt, cheap blocking the pre-TSPU era was known for.
+        self.intercepted += 1;
+        Vec::new()
+    }
+
+    fn label(&self) -> String {
+        format!("http-keyword-dpi({})", self.isp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tspu_wire::ipv4::Ipv4Repr;
+    use tspu_wire::tcp::{TcpFlags, TcpRepr};
+
+    fn dpi() -> HttpKeywordDpi {
+        let mut list = HashSet::new();
+        list.insert("blocked.ru".to_string());
+        HttpKeywordDpi::new("LegacyISP", list)
+    }
+
+    fn http_get(host: &str, port: u16) -> Vec<u8> {
+        let payload = HttpRequest::get(host, "/").build();
+        let mut tcp = TcpRepr::new(40_000, port, TcpFlags::PSH_ACK);
+        tcp.payload = payload;
+        let src = Ipv4Addr::new(10, 0, 0, 2);
+        let dst = Ipv4Addr::new(203, 0, 113, 8);
+        let seg = tcp.build(src, dst);
+        Ipv4Repr::new(src, dst, Protocol::Tcp, seg.len()).build(&seg)
+    }
+
+    #[test]
+    fn blocked_host_request_swallowed() {
+        let mut dpi = dpi();
+        let out = dpi.process(Time::ZERO, Direction::LocalToRemote, &http_get("blocked.ru", 80));
+        assert!(out.is_empty());
+        assert_eq!(dpi.intercepted, 1);
+    }
+
+    #[test]
+    fn subdomain_also_intercepted() {
+        let mut dpi = dpi();
+        assert!(dpi
+            .process(Time::ZERO, Direction::LocalToRemote, &http_get("www.blocked.ru", 80))
+            .is_empty());
+    }
+
+    #[test]
+    fn clean_host_passes() {
+        let mut dpi = dpi();
+        let packet = http_get("open.ru", 80);
+        assert_eq!(dpi.process(Time::ZERO, Direction::LocalToRemote, &packet), vec![packet]);
+        assert_eq!(dpi.intercepted, 0);
+    }
+
+    #[test]
+    fn https_is_invisible_to_the_legacy_box() {
+        // The same "request" on port 443 sails through: this box predates
+        // SNI filtering — which is why the TSPU was needed at all.
+        let mut dpi = dpi();
+        let https = http_get("blocked.ru", 443);
+        assert_eq!(dpi.process(Time::ZERO, Direction::LocalToRemote, &https).len(), 1);
+    }
+
+    #[test]
+    fn inbound_traffic_untouched() {
+        let mut dpi = dpi();
+        assert_eq!(
+            dpi.process(Time::ZERO, Direction::RemoteToLocal, &http_get("blocked.ru", 80)).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! # tspu-ispdpi
+//!
+//! The *decentralized* baseline the TSPU superseded: per-ISP blocking with
+//! per-ISP blocklists (§2, §6.2).
+//!
+//! The paper observes that at residential ISPs "a single ISP-implemented
+//! blocking method dominates": DNS resolvers returning the IP of the
+//! ISP's own blockpage for registry-listed names, consistent with
+//! Roskomnadzor's guidelines. Each ISP maintains its own (often stale)
+//! snapshot of the registry, so coverage differs per ISP — the very
+//! non-uniformity §5.1 uses to tell ISP blocking apart from the TSPU.
+//!
+//! [`IspResolver`] is the query-level policy object; [`DnsResolverApp`]
+//! wraps it as a packet-level UDP/53 server for end-to-end runs. The
+//! blockpage HTTP behavior is modeled as a canned response server in
+//! `tspu-stack`.
+
+pub mod keyword_dpi;
+pub mod resolver_app;
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+pub use keyword_dpi::HttpKeywordDpi;
+pub use resolver_app::DnsResolverApp;
+
+/// What a resolver answered for a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// The real address (resolution untouched).
+    Normal(Ipv4Addr),
+    /// The ISP's blockpage address was substituted.
+    Blockpage(Ipv4Addr),
+}
+
+impl Resolution {
+    /// The address a client would connect to.
+    pub fn addr(self) -> Ipv4Addr {
+        match self {
+            Resolution::Normal(a) | Resolution::Blockpage(a) => a,
+        }
+    }
+
+    /// True if this resolution was censored.
+    pub fn is_blocked(self) -> bool {
+        matches!(self, Resolution::Blockpage(_))
+    }
+}
+
+/// A residential ISP's censoring resolver.
+///
+/// "ISPs' DNS resolvers would return IPs pointing to the ISP's blockpage,
+/// which is different from ISP to ISP" (§6.2) — hence the per-ISP
+/// `blockpage_addr`. The paper also finds resolvers answer identically to
+/// queries from inside and outside the ISP, which holds here trivially:
+/// resolution does not depend on the querier.
+pub struct IspResolver {
+    isp: String,
+    blocklist: HashSet<String>,
+    blockpage_addr: Ipv4Addr,
+}
+
+impl IspResolver {
+    /// Creates a resolver for `isp` with its own blocklist snapshot and
+    /// blockpage address.
+    pub fn new(isp: &str, blocklist: HashSet<String>, blockpage_addr: Ipv4Addr) -> IspResolver {
+        IspResolver { isp: isp.to_string(), blocklist, blockpage_addr }
+    }
+
+    /// The ISP's name.
+    pub fn isp(&self) -> &str {
+        &self.isp
+    }
+
+    /// The blockpage address this ISP uses.
+    pub fn blockpage_addr(&self) -> Ipv4Addr {
+        self.blockpage_addr
+    }
+
+    /// Number of names on this ISP's list.
+    pub fn blocklist_len(&self) -> usize {
+        self.blocklist.len()
+    }
+
+    /// True if the ISP's snapshot lists `name` (exact or parent domain,
+    /// like the registry's own matching).
+    pub fn lists(&self, name: &str) -> bool {
+        let name = name.to_ascii_lowercase();
+        let mut rest = name.as_str();
+        loop {
+            if self.blocklist.contains(rest) {
+                return true;
+            }
+            match rest.split_once('.') {
+                Some((_, parent)) if parent.contains('.') => rest = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Resolves `name`, substituting the blockpage for listed names.
+    pub fn resolve(&self, name: &str, real_addr: Ipv4Addr) -> Resolution {
+        if self.lists(name) {
+            Resolution::Blockpage(self.blockpage_addr)
+        } else {
+            Resolution::Normal(real_addr)
+        }
+    }
+}
+
+/// Builds an ISP resolver from a registry dump (the z-i format of
+/// `tspu_registry::export`) as of the ISP's last sync date — the paper's
+/// staleness (§6.3: resolvers "do not enforce blocking effectively on
+/// domains recently added to the registry") expressed as a date.
+pub fn resolver_from_dump(
+    isp: &str,
+    dump: &str,
+    sync_day: u32,
+    blockpage_addr: Ipv4Addr,
+) -> IspResolver {
+    let entries = tspu_registry::export::parse(dump);
+    let list = tspu_registry::export::snapshot_as_of(&entries, sync_day);
+    IspResolver::new(isp, list, blockpage_addr)
+}
+
+/// Builds the three vantage-point ISP resolvers of the paper from a
+/// universe's per-ISP lists, with distinct blockpage addresses.
+pub fn vantage_resolvers(universe: &tspu_registry::Universe) -> Vec<IspResolver> {
+    let blockpages = [
+        ("Rostelecom", Ipv4Addr::new(95, 165, 1, 80)),
+        ("ER-Telecom", Ipv4Addr::new(93, 120, 2, 80)),
+        ("OBIT", Ipv4Addr::new(85, 93, 3, 80)),
+    ];
+    blockpages
+        .into_iter()
+        .map(|(isp, addr)| {
+            let list = universe
+                .blocks
+                .isp_resolver
+                .get(isp)
+                .cloned()
+                .unwrap_or_default();
+            IspResolver::new(isp, list, addr)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REAL: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 77);
+
+    fn resolver() -> IspResolver {
+        let mut list = HashSet::new();
+        list.insert("blocked.ru".to_string());
+        list.insert("casino-site.com".to_string());
+        IspResolver::new("TestISP", list, Ipv4Addr::new(10, 10, 10, 10))
+    }
+
+    #[test]
+    fn blocked_name_gets_blockpage() {
+        let r = resolver();
+        let res = r.resolve("blocked.ru", REAL);
+        assert!(res.is_blocked());
+        assert_eq!(res.addr(), Ipv4Addr::new(10, 10, 10, 10));
+    }
+
+    #[test]
+    fn subdomain_of_listed_name_blocked() {
+        let r = resolver();
+        assert!(r.resolve("www.blocked.ru", REAL).is_blocked());
+        assert!(!r.resolve("notblocked.ru", REAL).is_blocked());
+    }
+
+    #[test]
+    fn unlisted_name_resolves_normally() {
+        let r = resolver();
+        let res = r.resolve("kernel.org", REAL);
+        assert!(!res.is_blocked());
+        assert_eq!(res.addr(), REAL);
+    }
+
+    #[test]
+    fn vantage_resolvers_have_distinct_blockpages_and_stale_lists() {
+        let universe = tspu_registry::Universe::generate(1);
+        let resolvers = vantage_resolvers(&universe);
+        assert_eq!(resolvers.len(), 3);
+        let mut addrs: Vec<_> = resolvers.iter().map(|r| r.blockpage_addr()).collect();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 3, "each ISP uses its own blockpage");
+        // Staleness ordering from §6.3: Rostelecom < OBIT on recent names.
+        let blocked_recent = |r: &IspResolver| {
+            universe
+                .registry_sample
+                .iter()
+                .filter(|d| r.lists(&d.name))
+                .count()
+        };
+        let rostelecom = blocked_recent(&resolvers[0]);
+        let obit = blocked_recent(&resolvers[2]);
+        assert!(rostelecom < obit, "{rostelecom} vs {obit}");
+    }
+
+    #[test]
+    fn resolution_is_querier_independent() {
+        // §6.2: "We find no difference in responses between the two cases"
+        // (queries from inside the ISP vs from the US). Resolution here is
+        // a pure function of the name — assert the API admits no such
+        // dependence by resolving twice.
+        let r = resolver();
+        assert_eq!(r.resolve("blocked.ru", REAL), r.resolve("blocked.ru", REAL));
+    }
+}
+
+#[cfg(test)]
+mod dump_tests {
+    use super::*;
+
+    #[test]
+    fn dump_based_resolver_matches_sync_date_staleness() {
+        let universe = tspu_registry::Universe::generate(5);
+        let dump = tspu_registry::export::export(&universe);
+        let stale = resolver_from_dump("StaleISP", &dump, 15, Ipv4Addr::new(10, 0, 0, 80));
+        let fresh = resolver_from_dump("FreshISP", &dump, 120, Ipv4Addr::new(10, 0, 1, 80));
+        let coverage = |r: &IspResolver| {
+            universe
+                .registry_sample
+                .iter()
+                .filter(|d| r.lists(&d.name))
+                .count()
+        };
+        let stale_cov = coverage(&stale);
+        let fresh_cov = coverage(&fresh);
+        assert!(stale_cov < fresh_cov, "{stale_cov} vs {fresh_cov}");
+        // A domain added late is missed by the stale ISP only.
+        let late = universe
+            .registry_sample
+            .iter()
+            .find(|d| d.registry_added_day.unwrap() > 100)
+            .unwrap();
+        assert!(!stale.lists(&late.name));
+        assert!(fresh.lists(&late.name));
+    }
+}

@@ -1,0 +1,147 @@
+//! The censoring resolver as a packet-level host application: UDP/53
+//! A-queries in, real DNS responses out — with the blockpage address
+//! substituted for listed names, exactly what §6.2 measures by "send[ing]
+//! queries … once from the RU vantage points and once from US measurement
+//! machines".
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use tspu_netsim::{Application, Output, Time};
+use tspu_wire::dns::{DnsQuery, DnsResponse, QTYPE_A};
+use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+use tspu_wire::udp::{UdpDatagram, UdpRepr};
+
+use crate::IspResolver;
+
+/// A DNS server host running one ISP's censoring resolver.
+pub struct DnsResolverApp {
+    addr: Ipv4Addr,
+    resolver: IspResolver,
+    /// The "real" zone: what an honest resolver would answer.
+    zone: HashMap<String, Ipv4Addr>,
+    queries_served: u64,
+}
+
+impl DnsResolverApp {
+    /// Creates the server at `addr` backed by `resolver`, answering from
+    /// `zone` for unlisted names (NXDOMAIN when absent there too).
+    pub fn new(addr: Ipv4Addr, resolver: IspResolver, zone: HashMap<String, Ipv4Addr>) -> Self {
+        DnsResolverApp { addr, resolver, zone, queries_served: 0 }
+    }
+
+    /// Queries answered so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+}
+
+impl Application for DnsResolverApp {
+    fn on_packet(&mut self, _now: Time, packet: &[u8]) -> Vec<Output> {
+        let Ok(ip) = Ipv4Packet::new_checked(packet) else {
+            return Vec::new();
+        };
+        if ip.protocol() != Protocol::Udp || ip.is_fragment() {
+            return Vec::new();
+        }
+        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+            return Vec::new();
+        };
+        if udp.dst_port() != 53 {
+            return Vec::new();
+        }
+        let Ok(query) = DnsQuery::parse(udp.payload()) else {
+            return Vec::new();
+        };
+        self.queries_served += 1;
+        let response = if query.qtype != QTYPE_A {
+            DnsResponse::nxdomain(&query)
+        } else if self.resolver.lists(&query.qname) {
+            // The censorship: a blockpage A record for listed names.
+            DnsResponse::answer(&query, &[self.resolver.blockpage_addr()])
+        } else {
+            match self.zone.get(&query.qname) {
+                Some(real) => DnsResponse::answer(&query, &[*real]),
+                None => DnsResponse::nxdomain(&query),
+            }
+        };
+        let payload = response.build();
+        let datagram = UdpRepr::new(53, udp.src_port(), payload).build(self.addr, ip.src_addr());
+        let reply = Ipv4Repr::new(self.addr, ip.src_addr(), Protocol::Udp, datagram.len())
+            .build(&datagram);
+        vec![Output::send(reply)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tspu_netsim::{Network, Route};
+    use tspu_wire::dns::DnsQuery;
+
+    const RESOLVER_ADDR: Ipv4Addr = Ipv4Addr::new(10, 20, 0, 53);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 20, 0, 2);
+    const BLOCKPAGE: Ipv4Addr = Ipv4Addr::new(93, 120, 2, 80);
+    const REAL: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 5);
+
+    fn setup() -> (Network, tspu_netsim::HostId, tspu_netsim::HostId) {
+        let mut list = HashSet::new();
+        list.insert("blocked.ru".to_string());
+        let resolver = IspResolver::new("ER-Telecom", list, BLOCKPAGE);
+        let mut zone = HashMap::new();
+        zone.insert("blocked.ru".to_string(), REAL);
+        zone.insert("open.ru".to_string(), REAL);
+        let mut net = Network::with_default_latency();
+        let client = net.add_host(CLIENT);
+        let server = net.add_host_with_app(
+            RESOLVER_ADDR,
+            Box::new(DnsResolverApp::new(RESOLVER_ADDR, resolver, zone)),
+        );
+        net.set_route_symmetric(client, server, Route::direct());
+        (net, client, server)
+    }
+
+    fn resolve(net: &mut Network, client: tspu_netsim::HostId, name: &str) -> DnsResponse {
+        let query = DnsQuery { id: 0x77, qname: name.into(), qtype: QTYPE_A };
+        let datagram = UdpRepr::new(5353, 53, query.build()).build(CLIENT, RESOLVER_ADDR);
+        let packet = Ipv4Repr::new(CLIENT, RESOLVER_ADDR, Protocol::Udp, datagram.len())
+            .build(&datagram);
+        net.send_from(client, packet);
+        net.run_until_idle();
+        let inbox = net.take_inbox(client);
+        let ip = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        DnsResponse::parse(udp.payload()).unwrap()
+    }
+
+    #[test]
+    fn listed_name_gets_blockpage_a_record() {
+        let (mut net, client, _server) = setup();
+        let response = resolve(&mut net, client, "blocked.ru");
+        assert_eq!(response.answers, vec![BLOCKPAGE]);
+        assert_eq!(response.id, 0x77);
+    }
+
+    #[test]
+    fn unlisted_name_resolves_from_zone() {
+        let (mut net, client, _server) = setup();
+        let response = resolve(&mut net, client, "open.ru");
+        assert_eq!(response.answers, vec![REAL]);
+    }
+
+    #[test]
+    fn unknown_name_nxdomain() {
+        let (mut net, client, _server) = setup();
+        let response = resolve(&mut net, client, "nosuch.ru");
+        assert_eq!(response.rcode, tspu_wire::dns::RCODE_NXDOMAIN);
+        assert!(response.answers.is_empty());
+    }
+
+    #[test]
+    fn subdomain_of_listed_name_blockpaged() {
+        let (mut net, client, _server) = setup();
+        let response = resolve(&mut net, client, "www.blocked.ru");
+        assert_eq!(response.answers, vec![BLOCKPAGE]);
+    }
+}

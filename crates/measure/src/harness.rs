@@ -1,0 +1,208 @@
+//! Shared probe machinery: scripted packet exchanges between a vantage
+//! point and a remote machine, with captures at both ends (§3: "send
+//! different types of traffic — often with triggers — while capturing
+//! traffic from both ends for analysis").
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use tspu_netsim::{HostId, Network};
+use tspu_stack::craft::TcpPacketSpec;
+use tspu_wire::ipv4::{Ipv4Packet, Protocol};
+use tspu_wire::tcp::{TcpFlags, TcpSegment};
+use tspu_wire::tls::extract_sni;
+
+/// Which endpoint emits a scripted packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeSide {
+    /// The Russian vantage point.
+    Local,
+    /// The measurement machine outside Russia.
+    Remote,
+}
+
+/// One scripted packet.
+#[derive(Debug, Clone)]
+pub struct ScriptStep {
+    pub from: ProbeSide,
+    pub flags: TcpFlags,
+    pub payload: Vec<u8>,
+    /// Virtual time to let pass *before* sending this packet.
+    pub wait_before: Duration,
+    /// TTL override (TTL-limited probing).
+    pub ttl: Option<u8>,
+}
+
+impl ScriptStep {
+    /// A flags-only packet from a side.
+    pub fn new(from: ProbeSide, flags: TcpFlags) -> ScriptStep {
+        ScriptStep { from, flags, payload: Vec::new(), wait_before: Duration::ZERO, ttl: None }
+    }
+
+    /// Adds a payload (PSH/ACK data, triggers).
+    pub fn payload(mut self, payload: Vec<u8>) -> ScriptStep {
+        self.payload = payload;
+        self
+    }
+
+    /// Waits `wait` of virtual time before this packet.
+    pub fn after(mut self, wait: Duration) -> ScriptStep {
+        self.wait_before = wait;
+        self
+    }
+
+    /// Sets a TTL override.
+    pub fn ttl(mut self, ttl: u8) -> ScriptStep {
+        self.ttl = Some(ttl);
+        self
+    }
+}
+
+/// Summary of one packet observed at an endpoint.
+#[derive(Debug, Clone)]
+pub struct PacketSummary {
+    pub time: tspu_netsim::Time,
+    pub flags: TcpFlags,
+    pub payload_len: usize,
+    pub is_rst_ack: bool,
+    pub sni: Option<String>,
+    pub src: Ipv4Addr,
+}
+
+/// What each endpoint saw during a script run.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptResult {
+    pub at_local: Vec<PacketSummary>,
+    pub at_remote: Vec<PacketSummary>,
+}
+
+fn summarize(inbox: Vec<(tspu_netsim::Time, Vec<u8>)>) -> Vec<PacketSummary> {
+    inbox
+        .into_iter()
+        .filter_map(|(time, bytes)| {
+            let ip = Ipv4Packet::new_checked(&bytes[..]).ok()?;
+            if ip.protocol() != Protocol::Tcp || ip.is_fragment() {
+                return None;
+            }
+            let seg = TcpSegment::new_checked(ip.payload()).ok()?;
+            let flags = seg.flags();
+            let payload = seg.payload();
+            Some(PacketSummary {
+                time,
+                flags,
+                payload_len: payload.len(),
+                is_rst_ack: flags == TcpFlags::RST_ACK,
+                sni: extract_sni(payload).hostname().map(str::to_string),
+                src: ip.src_addr(),
+            })
+        })
+        .collect()
+}
+
+/// Endpoint descriptor for script runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScriptEnd {
+    pub host: HostId,
+    pub addr: Ipv4Addr,
+    pub port: u16,
+}
+
+/// Plays a scripted exchange between `local` and `remote` on `net`.
+/// Neither endpoint runs an application: every packet (including
+/// "responses") is scripted, which is how the paper isolates the DPI's
+/// *own* contribution from endpoint behavior.
+///
+/// Each step is followed by enough virtual time for in-flight packets to
+/// settle, so captures at both ends are complete when this returns.
+pub fn run_script(
+    net: &mut Network,
+    local: ScriptEnd,
+    remote: ScriptEnd,
+    steps: &[ScriptStep],
+) -> ScriptResult {
+    // Drain anything stale.
+    let _ = net.take_inbox(local.host);
+    let _ = net.take_inbox(remote.host);
+
+    for step in steps {
+        if step.wait_before > Duration::ZERO {
+            net.run_for(step.wait_before);
+        }
+        let (src_host, spec) = match step.from {
+            ProbeSide::Local => (
+                local.host,
+                TcpPacketSpec::new(local.addr, local.port, remote.addr, remote.port, step.flags),
+            ),
+            ProbeSide::Remote => (
+                remote.host,
+                TcpPacketSpec::new(remote.addr, remote.port, local.addr, local.port, step.flags),
+            ),
+        };
+        let mut spec = spec.payload(step.payload.clone());
+        if let Some(ttl) = step.ttl {
+            spec = spec.ttl(ttl);
+        }
+        net.send_from(src_host, spec.build());
+        // Let this packet (and anything it provokes) propagate before the
+        // next scripted step, as the paper's sequential tests do.
+        net.run_for(Duration::from_millis(200));
+    }
+    net.run_for(Duration::from_millis(500));
+
+    ScriptResult {
+        at_local: summarize(net.take_inbox(local.host)),
+        at_remote: summarize(net.take_inbox(remote.host)),
+    }
+}
+
+/// Convenience: the standard handshake prefix `Ls; Rsa; La`.
+pub fn handshake_prefix() -> Vec<ScriptStep> {
+    vec![
+        ScriptStep::new(ProbeSide::Local, TcpFlags::SYN),
+        ScriptStep::new(ProbeSide::Remote, TcpFlags::SYN_ACK),
+        ScriptStep::new(ProbeSide::Local, TcpFlags::ACK),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_registry::Universe;
+    use tspu_topology::VantageLab;
+    use tspu_wire::tls::ClientHelloBuilder;
+
+    #[test]
+    fn script_roundtrip_with_blocked_sni() {
+        let universe = Universe::generate(3);
+        let mut lab = VantageLab::build(&universe, false, true);
+        let vantage = lab.vantage("ER-Telecom");
+        let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port: 42000 };
+        let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
+        let mut steps = handshake_prefix();
+        steps.push(
+            ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
+                .payload(ClientHelloBuilder::new("twitter.com").build()),
+        );
+        steps.push(
+            ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK).payload(b"serverhello".to_vec()),
+        );
+        let result = run_script(&mut lab.net, local, remote, &steps);
+        // The remote got the handshake + the CH (SNI-I lets it pass).
+        assert!(result.at_remote.iter().any(|p| p.sni.as_deref() == Some("twitter.com")));
+        // The local side saw the response rewritten to RST/ACK.
+        assert!(result.at_local.iter().any(|p| p.is_rst_ack && p.payload_len == 0));
+    }
+
+    #[test]
+    fn script_wait_advances_virtual_time() {
+        let universe = Universe::generate(3);
+        let mut lab = VantageLab::build(&universe, false, true);
+        let vantage = lab.vantage("ER-Telecom");
+        let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port: 42001 };
+        let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
+        let before = lab.net.now();
+        let steps = [ScriptStep::new(ProbeSide::Local, TcpFlags::SYN).after(Duration::from_secs(480))];
+        let _ = run_script(&mut lab.net, local, remote, &steps);
+        assert!(lab.net.now() - before >= Duration::from_secs(480));
+    }
+}

@@ -1,0 +1,163 @@
+//! Local-to-remote TSPU localization (§7.1): TTL-limited triggers find the
+//! hop where blocking begins; the Fig. 8-left protocol finds additional
+//! upstream-only devices that symmetric probing cannot see.
+
+use std::time::Duration;
+
+use tspu_topology::VantageLab;
+use tspu_wire::tcp::TcpFlags;
+use tspu_wire::tls::ClientHelloBuilder;
+
+use crate::harness::{run_script, ProbeSide, ScriptEnd, ScriptStep};
+
+/// Result of the TTL sweep: the device lies between `hop` and `hop + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalizedDevice {
+    pub after_hop: u8,
+}
+
+/// §7.1: sends triggers with increasing TTL; control packets establish the
+/// flow and detect whether blocking occurred. "If we identify some TTL
+/// value N where we do not observe blocking but TTL N+1 results in
+/// blocking, the TSPU device exists between hop N and N+1."
+///
+/// One trial per TTL, each on a fresh source port and flow.
+pub fn localize_symmetric(
+    lab: &mut VantageLab,
+    vantage_name: &str,
+    port_base: u16,
+    max_ttl: u8,
+) -> Option<LocalizedDevice> {
+    let mut previous_blocked = None;
+    for ttl in 1..=max_ttl {
+        let vantage = lab.vantage(vantage_name);
+        let local = ScriptEnd {
+            host: vantage.host,
+            addr: vantage.addr,
+            port: port_base + u16::from(ttl),
+        };
+        let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
+        // Control packets (full TTL) establish the flow; the trigger is
+        // TTL-limited; a remote control response tests for blocking.
+        let mut steps = crate::harness::handshake_prefix();
+        steps.push(
+            ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
+                .payload(ClientHelloBuilder::new("meduza.io").build())
+                .ttl(ttl),
+        );
+        steps.push(
+            ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK)
+                .payload(vec![0x99; 90])
+                .after(Duration::from_millis(100)),
+        );
+        let result = run_script(&mut lab.net, local, remote, &steps);
+        let blocked = result.at_local.iter().any(|p| p.is_rst_ack);
+        if let Some(false) = previous_blocked {
+            if blocked {
+                return Some(LocalizedDevice { after_hop: ttl - 1 });
+            }
+        }
+        if previous_blocked.is_none() && blocked {
+            // Blocked already at TTL 1: device on the first link.
+            return Some(LocalizedDevice { after_hop: 0 });
+        }
+        previous_blocked = Some(blocked);
+    }
+    None
+}
+
+/// §7.1.1 (Fig. 8-left): detects upstream-only devices. The US machine
+/// opens the connection (so symmetric devices treat the remote as client
+/// and stay quiet); the RU side answers with a SYN/ACK which upstream-only
+/// devices see *first*, making them treat the RU side as client. A
+/// TTL-limited SNI-II ClientHello then walks the path: once it reaches the
+/// upstream-only device, the flow gets the delayed-drop verdict, observed
+/// by counting suppressed follow-ups.
+pub fn find_upstream_only(
+    lab: &mut VantageLab,
+    vantage_name: &str,
+    port_base: u16,
+    max_ttl: u8,
+) -> Vec<LocalizedDevice> {
+    let mut found = Vec::new();
+    let mut prev_blocked = false;
+    for ttl in 1..=max_ttl {
+        let vantage = lab.vantage(vantage_name);
+        let local = ScriptEnd {
+            host: vantage.host,
+            addr: vantage.addr,
+            port: port_base + u16::from(ttl),
+        };
+        // The US peer's port must be 443: from the upstream-only device's
+        // reversed perspective the RU side is a client talking to remote
+        // port 443 — the same quirk that forces the echo technique to pin
+        // the Paris ephemeral port to 443 (§7.2).
+        let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
+        let mut steps = vec![
+            // Remote-initiated connection.
+            ScriptStep::new(ProbeSide::Remote, TcpFlags::SYN),
+            ScriptStep::new(ProbeSide::Local, TcpFlags::SYN_ACK),
+            ScriptStep::new(ProbeSide::Remote, TcpFlags::ACK),
+            // TTL-limited SNI-II trigger from the RU side.
+            ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
+                .payload(ClientHelloBuilder::new("play.google.com").build())
+                .ttl(ttl),
+        ];
+        // Follow-up volley from the RU side: SNI-II drops upstream traffic
+        // after its allowance, which the US machine observes as missing
+        // packets.
+        for _ in 0..12 {
+            steps.push(ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK).payload(vec![0x66; 70]));
+        }
+        let result = run_script(&mut lab.net, local, remote, &steps);
+        let through = result.at_remote.iter().filter(|p| p.payload_len == 70).count();
+        let blocked = through < 12;
+        if blocked && !prev_blocked {
+            found.push(LocalizedDevice { after_hop: ttl - 1 });
+        }
+        prev_blocked = blocked;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_registry::Universe;
+
+    fn lab() -> VantageLab {
+        let universe = Universe::generate(3);
+        VantageLab::build(&universe, false, true)
+    }
+
+    #[test]
+    fn symmetric_device_within_first_three_hops() {
+        let mut lab = lab();
+        for vantage in ["Rostelecom", "ER-Telecom", "OBIT"] {
+            let found = localize_symmetric(&mut lab, vantage, 50_000, 8)
+                .unwrap_or_else(|| panic!("no device found at {vantage}"));
+            // The lab installs symmetric devices after hop 2.
+            assert_eq!(found.after_hop, 2, "{vantage}");
+            assert!(found.after_hop <= 3, "§7.1: within the first three hops");
+        }
+    }
+
+    #[test]
+    fn upstream_only_found_on_rostelecom_and_obit() {
+        let mut lab = lab();
+        // Rostelecom: upstream-only device one hop behind the symmetric
+        // one (after hop 3).
+        let found = find_upstream_only(&mut lab, "Rostelecom", 52_000, 8);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].after_hop, 3);
+
+        // OBIT: at the first transit link (after hop 3 in the lab).
+        let found = find_upstream_only(&mut lab, "OBIT", 53_000, 8);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].after_hop, 3);
+
+        // ER-Telecom: none.
+        let found = find_upstream_only(&mut lab, "ER-Telecom", 54_000, 8);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal QUIC fingerprint search (Fig. 14): which parts of a UDP packet
+//! does the TSPU's QUIC filter actually require? The paper's answer: dst
+//! port 443, payload ≥ 1001 bytes, and the version-1 bytes at offset 1–4.
+//! Everything else — including the long-header bit — is ignored.
+
+use std::net::Ipv4Addr;
+
+use tspu_core::{Policy, PolicyHandle, TspuDevice};
+use tspu_netsim::{Direction, Middlebox, Time};
+use tspu_wire::ipv4::{Ipv4Repr, Protocol};
+use tspu_wire::udp::UdpRepr;
+
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 3);
+const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 98);
+
+/// Sends one UDP payload and reports whether the QUIC filter dropped it
+/// (probed with a same-flow follow-up, which an installed verdict eats).
+pub fn filter_drops(policy: &PolicyHandle, dst_port: u16, payload: &[u8]) -> bool {
+    let mut dev = TspuDevice::reliable("quicfp", policy.clone());
+    let now = Time::ZERO;
+    let build = |bytes: &[u8]| {
+        let datagram = UdpRepr::new(50_001, dst_port, bytes.to_vec()).build(CLIENT, SERVER);
+        Ipv4Repr::new(CLIENT, SERVER, Protocol::Udp, datagram.len()).build(&datagram)
+    };
+    let first = dev.process(now, Direction::LocalToRemote, &build(payload));
+    let follow = dev.process(now, Direction::LocalToRemote, &build(&[0x01; 32]));
+    first.is_empty() && follow.is_empty()
+}
+
+/// The Fig. 14 findings, verified by construction over the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintFindings {
+    /// Smallest payload length (bytes) that triggers.
+    pub min_len: usize,
+    /// Whether any port other than 443 triggers.
+    pub other_ports_trigger: bool,
+    /// Byte offsets (within the payload) that must hold specific values.
+    pub required_offsets: [usize; 4],
+    /// Whether filler bytes affect the verdict.
+    pub filler_matters: bool,
+}
+
+/// Runs the minimal-fingerprint search: a 0xff-filled payload with the
+/// version field planted at offset 1, varied along each axis.
+pub fn search(policy: &PolicyHandle) -> FingerprintFindings {
+    let base = |len: usize| {
+        let mut payload = vec![0xffu8; len];
+        if payload.len() >= 5 {
+            payload[1..5].copy_from_slice(&1u32.to_be_bytes());
+        }
+        payload
+    };
+
+    // Length sweep around the threshold.
+    let mut min_len = usize::MAX;
+    for len in (995..=1005).rev() {
+        if filter_drops(policy, 443, &base(len)) {
+            min_len = len;
+        } else {
+            break;
+        }
+    }
+
+    // Port sweep.
+    let other_ports_trigger = [80u16, 8443, 444, 53]
+        .iter()
+        .any(|&p| filter_drops(policy, p, &base(1200)));
+
+    // Which offsets hold the required bytes: mutate one byte at a time.
+    let mut required = Vec::new();
+    for offset in 0..16 {
+        let mut mutated = base(1200);
+        mutated[offset] ^= 0x55;
+        if !filter_drops(policy, 443, &mutated) {
+            required.push(offset);
+        }
+    }
+    let required_offsets: [usize; 4] = match required.as_slice() {
+        [a, b, c, d] => [*a, *b, *c, *d],
+        other => panic!("unexpected required offsets: {other:?}"),
+    };
+
+    // Filler: zero the tail instead of 0xff.
+    let mut zero_fill = base(1200);
+    for byte in zero_fill.iter_mut().skip(16) {
+        *byte = 0;
+    }
+    let filler_matters = !filter_drops(policy, 443, &zero_fill);
+
+    FingerprintFindings { min_len, other_ports_trigger, required_offsets, filler_matters }
+}
+
+/// Default policy for the experiment.
+pub fn quicfp_policy() -> PolicyHandle {
+    PolicyHandle::new(Policy::example())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_wire::quic::{initial_payload, QuicVersion};
+
+    #[test]
+    fn findings_match_fig14() {
+        let policy = quicfp_policy();
+        let findings = search(&policy);
+        assert_eq!(findings.min_len, 1001, "≥ 1001 bytes of payload");
+        assert!(!findings.other_ports_trigger, "only port 443");
+        assert_eq!(findings.required_offsets, [1, 2, 3, 4], "version bytes only");
+        assert!(!findings.filler_matters, "filler is ignored");
+    }
+
+    #[test]
+    fn version_evasion() {
+        let policy = quicfp_policy();
+        // Version 1 triggers; draft-29 and quicping do not (§5.2).
+        assert!(filter_drops(&policy, 443, &initial_payload(QuicVersion::V1, 1200)));
+        assert!(!filter_drops(&policy, 443, &initial_payload(QuicVersion::Draft29, 1200)));
+        assert!(!filter_drops(&policy, 443, &initial_payload(QuicVersion::QuicPing, 1200)));
+    }
+
+    #[test]
+    fn long_header_bit_not_required() {
+        // The paper's fingerprint has 0xff in byte 0 — not a valid QUIC
+        // first byte — and still triggers.
+        let policy = quicfp_policy();
+        let mut payload = vec![0x00u8; 1200];
+        payload[1..5].copy_from_slice(&1u32.to_be_bytes());
+        assert!(filter_drops(&policy, 443, &payload));
+    }
+}

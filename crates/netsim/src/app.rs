@@ -1,0 +1,59 @@
+//! Endpoint applications: auto-responders attached to hosts.
+
+use crate::time::Time;
+use std::time::Duration;
+
+/// Something an application wants the host to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Transmit an IPv4 datagram after `delay` of virtual time.
+    Send { delay: Duration, packet: Vec<u8> },
+    /// Wake the application up with `on_timer` after `delay`.
+    Timer { delay: Duration },
+}
+
+impl Output {
+    /// Transmit immediately.
+    pub fn send(packet: Vec<u8>) -> Output {
+        Output::Send { delay: Duration::ZERO, packet }
+    }
+
+    /// Transmit after a delay.
+    pub fn send_after(delay: Duration, packet: Vec<u8>) -> Output {
+        Output::Send { delay, packet }
+    }
+}
+
+/// A host-side protocol endpoint driven by the simulator.
+///
+/// Implementations are the paper's cast of characters: echo servers
+/// (port 7, §7.2), TLS measurement servers, split-handshake servers (§8),
+/// and scripted probes. All state lives inside the implementation;
+/// the simulator only delivers packets and timer ticks.
+pub trait Application {
+    /// Called when a packet addressed to this host arrives. Outputs are
+    /// executed by the host.
+    fn on_packet(&mut self, now: Time, packet: &[u8]) -> Vec<Output>;
+
+    /// Called when a previously requested timer fires.
+    fn on_timer(&mut self, _now: Time) -> Vec<Output> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_constructors() {
+        assert_eq!(
+            Output::send(vec![1]),
+            Output::Send { delay: Duration::ZERO, packet: vec![1] }
+        );
+        assert_eq!(
+            Output::send_after(Duration::from_secs(1), vec![2]),
+            Output::Send { delay: Duration::from_secs(1), packet: vec![2] }
+        );
+    }
+}

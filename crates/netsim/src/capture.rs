@@ -1,0 +1,37 @@
+//! Packet capture: the simulator's equivalent of running tcpdump on both
+//! ends, which the paper's methodology does for every measurement (§3).
+
+use crate::network::HostId;
+use crate::time::Time;
+
+/// Where a captured packet was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePoint {
+    /// Leaving a host's network interface.
+    HostTx(HostId),
+    /// Arriving at a host's network interface.
+    HostRx(HostId),
+    /// Dropped in transit: TTL expiry or a middlebox drop, at the given
+    /// route step index.
+    Dropped { step: usize },
+}
+
+/// One captured packet.
+#[derive(Debug, Clone)]
+pub struct CaptureRecord {
+    pub time: Time,
+    pub point: TracePoint,
+    pub bytes: Vec<u8>,
+}
+
+impl CaptureRecord {
+    /// True if this record is a receive at `host`.
+    pub fn is_rx_at(&self, host: HostId) -> bool {
+        self.point == TracePoint::HostRx(host)
+    }
+
+    /// True if this record is a transmit from `host`.
+    pub fn is_tx_from(&self, host: HostId) -> bool {
+        self.point == TracePoint::HostTx(host)
+    }
+}

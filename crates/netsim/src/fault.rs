@@ -1,0 +1,139 @@
+//! Fault injection middleboxes, in the smoltcp tradition of testing stacks
+//! against adverse links: random loss and byte corruption with a seeded RNG
+//! so failures replay exactly.
+//!
+//! [`LossyLink`] also models the *device failure rate* half of Table 1:
+//! the paper measures small but non-zero percentages of connections that a
+//! TSPU fails to censor, which we reproduce by wrapping devices in a
+//! probabilistic bypass (see `tspu-core`'s failure knob) and links in loss.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::middlebox::{Direction, Middlebox};
+use crate::time::Time;
+
+/// A link that randomly drops packets with a fixed probability.
+pub struct LossyLink {
+    rng: SmallRng,
+    loss: f64,
+    dropped: u64,
+    forwarded: u64,
+}
+
+impl LossyLink {
+    /// Creates a lossy link with `loss` drop probability in `[0, 1]`.
+    pub fn new(loss: f64, seed: u64) -> LossyLink {
+        assert!((0.0..=1.0).contains(&loss));
+        LossyLink { rng: SmallRng::seed_from_u64(seed), loss, dropped: 0, forwarded: 0 }
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Middlebox for LossyLink {
+    fn process(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+        if self.rng.gen_bool(self.loss) {
+            self.dropped += 1;
+            Vec::new()
+        } else {
+            self.forwarded += 1;
+            vec![packet.to_vec()]
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("lossy({:.2}%)", self.loss * 100.0)
+    }
+}
+
+/// A link that flips one random byte of a packet with a fixed probability.
+/// Corruption happens *below* the IP checksum, so receivers (and DPIs)
+/// see packets that fail verification — useful for robustness tests.
+pub struct CorruptingLink {
+    rng: SmallRng,
+    chance: f64,
+}
+
+impl CorruptingLink {
+    /// Creates a corrupting link with `chance` probability in `[0, 1]`.
+    pub fn new(chance: f64, seed: u64) -> CorruptingLink {
+        assert!((0.0..=1.0).contains(&chance));
+        CorruptingLink { rng: SmallRng::seed_from_u64(seed), chance }
+    }
+}
+
+impl Middlebox for CorruptingLink {
+    fn process(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+        let mut packet = packet.to_vec();
+        if !packet.is_empty() && self.rng.gen_bool(self.chance) {
+            let pos = self.rng.gen_range(0..packet.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            packet[pos] ^= bit;
+        }
+        vec![packet]
+    }
+
+    fn label(&self) -> String {
+        format!("corrupting({:.2}%)", self.chance * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let mut link = LossyLink::new(0.25, 7);
+        let packet = vec![0u8; 32];
+        let mut delivered = 0;
+        for _ in 0..10_000 {
+            delivered += link.process(Time::ZERO, Direction::LocalToRemote, &packet).len();
+        }
+        assert!((7_300..=7_700).contains(&delivered), "delivered {delivered}");
+        assert_eq!(link.dropped() + link.forwarded(), 10_000);
+    }
+
+    #[test]
+    fn zero_loss_forwards_everything() {
+        let mut link = LossyLink::new(0.0, 1);
+        for _ in 0..100 {
+            assert_eq!(link.process(Time::ZERO, Direction::RemoteToLocal, &[1, 2, 3]).len(), 1);
+        }
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_bit() {
+        let mut link = CorruptingLink::new(1.0, 3);
+        let original = vec![0u8; 64];
+        let out = link.process(Time::ZERO, Direction::LocalToRemote, &original);
+        let corrupted = &out[0];
+        let flipped: u32 = original
+            .iter()
+            .zip(corrupted.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut link = LossyLink::new(0.5, seed);
+            (0..64)
+                .map(|_| link.process(Time::ZERO, Direction::LocalToRemote, &[0]).len())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,68 @@
+//! The middlebox trait and traffic direction.
+
+use crate::time::Time;
+
+/// Index of a middlebox registered with a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MiddleboxId(pub usize);
+
+/// The direction of a packet *as seen by a particular middlebox placement*.
+///
+/// The TSPU cares which side of it is "inside Russia": triggers are only
+/// honored when sent from the local side (paper §5.3.2). A device placed on
+/// a directed route is told, per placement, whether packets on that route
+/// flow local→remote or remote→local. An upstream-only device simply has no
+/// placement on any remote→local route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From the device's local (client-network) side toward the remote
+    /// side — "upstream" in the paper's wording.
+    LocalToRemote,
+    /// From the remote side toward the device's local side — "downstream".
+    RemoteToLocal,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::LocalToRemote => Direction::RemoteToLocal,
+            Direction::RemoteToLocal => Direction::LocalToRemote,
+        }
+    }
+}
+
+/// An in-path packet processor.
+///
+/// `process` maps one input packet to zero or more output packets that
+/// continue along the same route from the device's position:
+///
+/// * `vec![]` — the packet is dropped;
+/// * `vec![packet]` — forwarded, possibly rewritten in place (the TSPU's
+///   RST/ACK rewrite keeps the original IP header);
+/// * `vec![a, b, …]` — multiple packets continue (the TSPU's fragment
+///   cache flushing a buffered queue when the last fragment arrives).
+///
+/// State expiry is lazy: implementations compare `now` against their own
+/// deadlines on each call. The simulator never calls middleboxes when no
+/// packet crosses them, exactly like real in-path hardware.
+pub trait Middlebox {
+    /// Processes one packet traveling in `direction`.
+    fn process(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>>;
+
+    /// A short name for captures and debugging.
+    fn label(&self) -> String {
+        "middlebox".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::LocalToRemote.flip(), Direction::RemoteToLocal);
+        assert_eq!(Direction::RemoteToLocal.flip(), Direction::LocalToRemote);
+    }
+}

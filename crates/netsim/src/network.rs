@@ -1,0 +1,698 @@
+//! The discrete-event engine: hosts, routes, and the event loop.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+use tspu_wire::icmpv4::Icmpv4Repr;
+use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+
+use crate::app::{Application, Output};
+use crate::capture::{CaptureRecord, TracePoint};
+use crate::middlebox::{Direction, Middlebox, MiddleboxId};
+use crate::time::Time;
+
+/// Index of a host registered with a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// One step of a directed route: a router hop followed by the middleboxes
+/// sitting on the link *after* that hop.
+///
+/// TTL semantics follow traceroute: a packet sent with TTL `k` expires at
+/// the `k`-th router, so it reaches the devices after router `k` only with
+/// TTL ≥ `k + 1`. This matches the paper's "TSPU device exists between hop
+/// N and N+1" reporting (§7.1).
+#[derive(Clone)]
+pub struct RouteStep {
+    /// The router's address, used as the source of ICMP time-exceeded.
+    pub hop_addr: Ipv4Addr,
+    /// Middleboxes on the link after this router, each with the traffic
+    /// direction this route represents from the device's point of view.
+    pub devices: Vec<(MiddleboxId, Direction)>,
+}
+
+impl RouteStep {
+    /// A plain router hop with no devices.
+    pub fn router(hop_addr: Ipv4Addr) -> RouteStep {
+        RouteStep { hop_addr, devices: Vec::new() }
+    }
+
+    /// A router hop with one device on its outgoing link.
+    pub fn with_device(hop_addr: Ipv4Addr, device: MiddleboxId, direction: Direction) -> RouteStep {
+        RouteStep { hop_addr, devices: vec![(device, direction)] }
+    }
+}
+
+/// A directed path between two hosts.
+#[derive(Clone, Default)]
+pub struct Route {
+    pub steps: Vec<RouteStep>,
+}
+
+impl Route {
+    /// A direct path with no intermediate routers.
+    pub fn direct() -> Route {
+        Route { steps: Vec::new() }
+    }
+
+    /// A path through the given plain router hops.
+    pub fn through(hops: &[Ipv4Addr]) -> Route {
+        Route { steps: hops.iter().map(|&a| RouteStep::router(a)).collect() }
+    }
+}
+
+struct HostState {
+    addr: Ipv4Addr,
+    inbox: Vec<(Time, Vec<u8>)>,
+    app: Option<Box<dyn Application>>,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A packet arriving at route step `step` of the (src, dst) route.
+    Hop { src: HostId, dst: HostId, step: usize, packet: Vec<u8> },
+    /// Final delivery to a host interface.
+    Deliver { dst: HostId, packet: Vec<u8> },
+    /// A host transmission (possibly delayed by an application).
+    SendFrom { host: HostId, packet: Vec<u8> },
+    /// An application timer.
+    Timer { host: HostId },
+}
+
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The deterministic simulator. See the crate docs for the model.
+pub struct Network {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    hosts: Vec<HostState>,
+    addr_map: HashMap<Ipv4Addr, HostId>,
+    routes: HashMap<(HostId, HostId), Rc<Route>>,
+    middleboxes: Vec<Box<dyn Middlebox>>,
+    hop_latency: Duration,
+    capture_enabled: bool,
+    captures: Vec<CaptureRecord>,
+    events_processed: u64,
+}
+
+impl Network {
+    /// Creates a network with the given per-hop latency.
+    pub fn new(hop_latency: Duration) -> Network {
+        Network {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            hosts: Vec::new(),
+            addr_map: HashMap::new(),
+            routes: HashMap::new(),
+            middleboxes: Vec::new(),
+            hop_latency,
+            capture_enabled: true,
+            captures: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Creates a network with a 1 ms per-hop latency.
+    pub fn with_default_latency() -> Network {
+        Network::new(Duration::from_millis(1))
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events processed so far (for throughput benches).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Enables or disables packet capture. Large scans disable it to bound
+    /// memory; inboxes still record deliveries.
+    pub fn set_capture(&mut self, enabled: bool) {
+        self.capture_enabled = enabled;
+    }
+
+    /// Registers a host with the given address.
+    ///
+    /// # Panics
+    /// Panics if the address is already registered.
+    pub fn add_host(&mut self, addr: Ipv4Addr) -> HostId {
+        let id = HostId(self.hosts.len());
+        let prev = self.addr_map.insert(addr, id);
+        assert!(prev.is_none(), "duplicate host address {addr}");
+        self.hosts.push(HostState { addr, inbox: Vec::new(), app: None });
+        id
+    }
+
+    /// Registers a host with an application attached.
+    pub fn add_host_with_app(&mut self, addr: Ipv4Addr, app: Box<dyn Application>) -> HostId {
+        let id = self.add_host(addr);
+        self.hosts[id.0].app = Some(app);
+        id
+    }
+
+    /// Attaches (or replaces) the application on a host.
+    pub fn set_app(&mut self, host: HostId, app: Box<dyn Application>) {
+        self.hosts[host.0].app = Some(app);
+    }
+
+    /// The address of a host.
+    pub fn host_addr(&self, host: HostId) -> Ipv4Addr {
+        self.hosts[host.0].addr
+    }
+
+    /// Looks a host up by address.
+    pub fn host_by_addr(&self, addr: Ipv4Addr) -> Option<HostId> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// Registers a middlebox, returning its id for route attachments.
+    pub fn add_middlebox(&mut self, mb: Box<dyn Middlebox>) -> MiddleboxId {
+        let id = MiddleboxId(self.middleboxes.len());
+        self.middleboxes.push(mb);
+        id
+    }
+
+    /// Installs the directed route from `src` to `dst`.
+    pub fn set_route(&mut self, src: HostId, dst: HostId, route: Route) {
+        self.routes.insert((src, dst), Rc::new(route));
+    }
+
+    /// Installs the same (mirrored) route in both directions: the reverse
+    /// direction visits hops in reverse order with flipped device
+    /// directions. Use [`Network::set_route`] twice for asymmetric paths.
+    pub fn set_route_symmetric(&mut self, a: HostId, b: HostId, route: Route) {
+        let mut reverse = Route { steps: route.steps.clone() };
+        reverse.steps.reverse();
+        for step in &mut reverse.steps {
+            for (_, dir) in &mut step.devices {
+                *dir = dir.flip();
+            }
+        }
+        self.routes.insert((a, b), Rc::new(route));
+        self.routes.insert((b, a), Rc::new(reverse));
+    }
+
+    /// The route from `src` to `dst`, if installed.
+    pub fn route(&self, src: HostId, dst: HostId) -> Option<&Route> {
+        self.routes.get(&(src, dst)).map(|r| r.as_ref())
+    }
+
+    /// Removes the route between two hosts (both directions).
+    pub fn clear_routes(&mut self, a: HostId, b: HostId) {
+        self.routes.remove(&(a, b));
+        self.routes.remove(&(b, a));
+    }
+
+    /// Queues a packet for transmission from `host` at the current time.
+    /// The destination is taken from the packet's IPv4 destination field.
+    pub fn send_from(&mut self, host: HostId, packet: Vec<u8>) {
+        self.push_event(self.now, EventKind::SendFrom { host, packet });
+    }
+
+    /// Drains the packets delivered to `host` so far.
+    pub fn take_inbox(&mut self, host: HostId) -> Vec<(Time, Vec<u8>)> {
+        std::mem::take(&mut self.hosts[host.0].inbox)
+    }
+
+    /// The capture log accumulated so far.
+    pub fn captures(&self) -> &[CaptureRecord] {
+        &self.captures
+    }
+
+    /// Drains the capture log.
+    pub fn take_captures(&mut self) -> Vec<CaptureRecord> {
+        std::mem::take(&mut self.captures)
+    }
+
+    /// Runs until no events remain. Panics after an absurd number of
+    /// events (a ping-pong loop between applications).
+    pub fn run_until_idle(&mut self) {
+        let mut budget: u64 = 100_000_000;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            self.now = event.time;
+            self.dispatch(event.kind);
+            budget -= 1;
+            assert!(budget > 0, "event budget exhausted: likely an application loop");
+        }
+    }
+
+    /// Runs all events scheduled within the next `duration` of virtual
+    /// time, then advances the clock to exactly `now + duration`.
+    ///
+    /// This is the time warp the timeout-inference experiments (§5.3.3)
+    /// rely on: "SLEEP 480" costs nothing.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = self.now + duration;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked event");
+            self.now = event.time;
+            self.dispatch(event.kind);
+        }
+        self.now = deadline;
+    }
+
+    fn push_event(&mut self, time: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn capture(&mut self, point: TracePoint, bytes: &[u8]) {
+        if self.capture_enabled {
+            self.captures.push(CaptureRecord { time: self.now, point, bytes: bytes.to_vec() });
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        self.events_processed += 1;
+        match kind {
+            EventKind::SendFrom { host, packet } => self.do_send(host, packet),
+            EventKind::Hop { src, dst, step, packet } => self.do_hop(src, dst, step, packet),
+            EventKind::Deliver { dst, packet } => self.do_deliver(dst, packet),
+            EventKind::Timer { host } => self.do_timer(host),
+        }
+    }
+
+    fn do_send(&mut self, host: HostId, packet: Vec<u8>) {
+        self.capture(TracePoint::HostTx(host), &packet);
+        let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else {
+            return; // unroutable garbage: dropped at the NIC
+        };
+        let dst_addr = view.dst_addr();
+        let Some(dst) = self.addr_map.get(&dst_addr).copied() else {
+            self.capture(TracePoint::Dropped { step: 0 }, &packet);
+            return;
+        };
+        let time = self.now + self.hop_latency;
+        self.push_event(time, EventKind::Hop { src: host, dst, step: 0, packet });
+    }
+
+    fn do_hop(&mut self, src: HostId, dst: HostId, step: usize, packet: Vec<u8>) {
+        let route = match self.routes.get(&(src, dst)) {
+            Some(route) => Rc::clone(route),
+            None => Rc::new(Route::direct()),
+        };
+        if step >= route.steps.len() {
+            self.push_event(self.now, EventKind::Deliver { dst, packet });
+            return;
+        }
+        let route_step = &route.steps[step];
+
+        // Router: decrement TTL; expire with ICMP time-exceeded.
+        let mut packet = packet;
+        {
+            let Ok(mut view) = Ipv4Packet::new_checked(&mut packet[..]) else {
+                self.capture(TracePoint::Dropped { step }, &packet);
+                return;
+            };
+            let ttl = view.ttl();
+            if ttl <= 1 {
+                let hop_addr = route_step.hop_addr;
+                let orig_src = view.src_addr();
+                self.capture(TracePoint::Dropped { step }, &packet);
+                self.emit_time_exceeded(hop_addr, orig_src, step);
+                return;
+            }
+            view.set_ttl(ttl - 1);
+            view.fill_checksum();
+        }
+
+        // Middleboxes on this link, chained in order.
+        let mut in_flight = vec![packet];
+        for &(mb_id, direction) in &route_step.devices {
+            let mut next = Vec::new();
+            for pkt in in_flight.drain(..) {
+                let outputs = self.middleboxes[mb_id.0].process(self.now, direction, &pkt);
+                if outputs.is_empty() {
+                    self.capture(TracePoint::Dropped { step }, &pkt);
+                }
+                next.extend(outputs);
+            }
+            in_flight = next;
+            if in_flight.is_empty() {
+                return;
+            }
+        }
+
+        let time = self.now + self.hop_latency;
+        for pkt in in_flight {
+            self.push_event(time, EventKind::Hop { src, dst, step: step + 1, packet: pkt });
+        }
+    }
+
+    /// Sends an ICMP time-exceeded from a router back to the probe source.
+    /// The reply is delivered directly (after a latency proportional to the
+    /// distance) rather than routed hop-by-hop: the reverse path of an ICMP
+    /// error is irrelevant to every experiment modeled here, and routers
+    /// are not hosts.
+    fn emit_time_exceeded(&mut self, hop_addr: Ipv4Addr, orig_src: Ipv4Addr, steps_back: usize) {
+        let Some(&src_host) = self.addr_map.get(&orig_src) else {
+            return;
+        };
+        let icmp = Icmpv4Repr::TimeExceeded.build();
+        let repr = Ipv4Repr::new(hop_addr, orig_src, Protocol::Icmp, icmp.len());
+        let packet = repr.build(&icmp);
+        let delay = Duration::from_micros(self.hop_latency.as_micros() as u64 * (steps_back as u64 + 1));
+        let time = self.now + delay;
+        self.push_event(time, EventKind::Deliver { dst: src_host, packet });
+    }
+
+    fn do_deliver(&mut self, dst: HostId, packet: Vec<u8>) {
+        self.capture(TracePoint::HostRx(dst), &packet);
+        self.hosts[dst.0].inbox.push((self.now, packet.clone()));
+        if let Some(mut app) = self.hosts[dst.0].app.take() {
+            let outputs = app.on_packet(self.now, &packet);
+            self.hosts[dst.0].app = Some(app);
+            self.apply_outputs(dst, outputs);
+        }
+    }
+
+    fn do_timer(&mut self, host: HostId) {
+        if let Some(mut app) = self.hosts[host.0].app.take() {
+            let outputs = app.on_timer(self.now);
+            self.hosts[host.0].app = Some(app);
+            self.apply_outputs(host, outputs);
+        }
+    }
+
+    fn apply_outputs(&mut self, host: HostId, outputs: Vec<Output>) {
+        for output in outputs {
+            match output {
+                Output::Send { delay, packet } => {
+                    let time = self.now + delay;
+                    self.push_event(time, EventKind::SendFrom { host, packet });
+                }
+                Output::Timer { delay } => {
+                    let time = self.now + delay;
+                    self.push_event(time, EventKind::Timer { host });
+                }
+            }
+        }
+    }
+}
+
+/// A middlebox handle shared between the network and the experiment driver.
+///
+/// Experiments must reconfigure devices mid-run (the March 4 policy switch
+/// from throttling to RST, §5.2) and inspect device state; the network owns
+/// middleboxes as trait objects, so concrete access goes through this
+/// `Rc<RefCell<…>>` wrapper. The simulation is single-threaded by design.
+pub struct Shared<M> {
+    inner: Rc<RefCell<M>>,
+}
+
+impl<M> Shared<M> {
+    /// Wraps a middlebox for shared access.
+    pub fn new(inner: M) -> Shared<M> {
+        Shared { inner: Rc::new(RefCell::new(inner)) }
+    }
+
+    /// A second handle to the same middlebox.
+    pub fn handle(&self) -> Shared<M> {
+        Shared { inner: Rc::clone(&self.inner) }
+    }
+
+    /// Borrows the middlebox immutably.
+    pub fn borrow(&self) -> std::cell::Ref<'_, M> {
+        self.inner.borrow()
+    }
+
+    /// Borrows the middlebox mutably.
+    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, M> {
+        self.inner.borrow_mut()
+    }
+}
+
+impl<M: Middlebox> Middlebox for Shared<M> {
+    fn process(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+        self.inner.borrow_mut().process(now, direction, packet)
+    }
+
+    fn label(&self) -> String {
+        self.inner.borrow().label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_wire::ipv4::{Ipv4Repr, Protocol};
+
+    fn packet(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, payload: &[u8]) -> Vec<u8> {
+        let mut repr = Ipv4Repr::new(src, dst, Protocol::Other(0xfd), payload.len());
+        repr.ttl = ttl;
+        repr.build(payload)
+    }
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+    const R1: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 1);
+    const R2: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 2);
+
+    #[test]
+    fn direct_delivery() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        net.set_route_symmetric(a, b, Route::direct());
+        net.send_from(a, packet(A, B, 64, b"hi"));
+        net.run_until_idle();
+        let inbox = net.take_inbox(b);
+        assert_eq!(inbox.len(), 1);
+        let view = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        assert_eq!(view.payload(), b"hi");
+    }
+
+    #[test]
+    fn ttl_decrements_per_router() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        net.set_route_symmetric(a, b, Route::through(&[R1, R2]));
+        net.send_from(a, packet(A, B, 64, b"x"));
+        net.run_until_idle();
+        let inbox = net.take_inbox(b);
+        let view = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        assert_eq!(view.ttl(), 62);
+        assert!(view.verify_checksum());
+    }
+
+    #[test]
+    fn ttl_expiry_returns_time_exceeded_from_hop() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        net.set_route_symmetric(a, b, Route::through(&[R1, R2]));
+        // TTL 2 expires at the second router.
+        net.send_from(a, packet(A, B, 2, b"probe"));
+        net.run_until_idle();
+        assert!(net.take_inbox(b).is_empty());
+        let inbox = net.take_inbox(a);
+        assert_eq!(inbox.len(), 1);
+        let view = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        assert_eq!(view.src_addr(), R2);
+        assert_eq!(view.protocol(), Protocol::Icmp);
+    }
+
+    #[test]
+    fn unroutable_packet_is_dropped() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        net.send_from(a, packet(A, Ipv4Addr::new(8, 8, 8, 8), 64, b"x"));
+        net.run_until_idle();
+        assert!(net
+            .captures()
+            .iter()
+            .any(|c| matches!(c.point, TracePoint::Dropped { .. })));
+    }
+
+    struct DropAll;
+    impl Middlebox for DropAll {
+        fn process(&mut self, _now: Time, _dir: Direction, _packet: &[u8]) -> Vec<Vec<u8>> {
+            Vec::new()
+        }
+    }
+
+    #[derive(Default)]
+    struct CountDirections {
+        local_to_remote: usize,
+        remote_to_local: usize,
+    }
+    impl Middlebox for CountDirections {
+        fn process(&mut self, _now: Time, dir: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+            match dir {
+                Direction::LocalToRemote => self.local_to_remote += 1,
+                Direction::RemoteToLocal => self.remote_to_local += 1,
+            }
+            vec![packet.to_vec()]
+        }
+    }
+
+    #[test]
+    fn middlebox_can_drop() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let mb = net.add_middlebox(Box::new(DropAll));
+        let route = Route {
+            steps: vec![RouteStep::with_device(R1, mb, Direction::LocalToRemote)],
+        };
+        net.set_route_symmetric(a, b, route);
+        net.send_from(a, packet(A, B, 64, b"x"));
+        net.run_until_idle();
+        assert!(net.take_inbox(b).is_empty());
+    }
+
+    #[test]
+    fn symmetric_route_flips_direction() {
+        let counter = Shared::new(CountDirections::default());
+        let handle = counter.handle();
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let mb = net.add_middlebox(Box::new(counter));
+        let route = Route {
+            steps: vec![RouteStep::with_device(R1, mb, Direction::LocalToRemote)],
+        };
+        net.set_route_symmetric(a, b, route);
+        net.send_from(a, packet(A, B, 64, b"up"));
+        net.send_from(b, packet(B, A, 64, b"down"));
+        net.run_until_idle();
+        assert_eq!(handle.borrow().local_to_remote, 1);
+        assert_eq!(handle.borrow().remote_to_local, 1);
+    }
+
+    #[test]
+    fn asymmetric_route_gives_partial_visibility() {
+        let counter = Shared::new(CountDirections::default());
+        let handle = counter.handle();
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let mb = net.add_middlebox(Box::new(counter));
+        // Device only on the upstream (a -> b) path: paper §7.1.1.
+        net.set_route(a, b, Route {
+            steps: vec![RouteStep::with_device(R1, mb, Direction::LocalToRemote)],
+        });
+        net.set_route(b, a, Route::through(&[R2]));
+        net.send_from(a, packet(A, B, 64, b"up"));
+        net.send_from(b, packet(B, A, 64, b"down"));
+        net.run_until_idle();
+        assert_eq!(handle.borrow().local_to_remote, 1);
+        assert_eq!(handle.borrow().remote_to_local, 0);
+        assert_eq!(net.take_inbox(a).len(), 1);
+        assert_eq!(net.take_inbox(b).len(), 1);
+    }
+
+    struct Echo {
+        own: Ipv4Addr,
+    }
+    impl Application for Echo {
+        fn on_packet(&mut self, _now: Time, packet: &[u8]) -> Vec<Output> {
+            let view = Ipv4Packet::new_checked(packet).unwrap();
+            let repr = Ipv4Repr::new(self.own, view.src_addr(), view.protocol(), view.payload().len());
+            vec![Output::send(repr.build(view.payload()))]
+        }
+    }
+
+    #[test]
+    fn application_replies() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host_with_app(B, Box::new(Echo { own: B }));
+        net.set_route_symmetric(a, b, Route::through(&[R1]));
+        net.send_from(a, packet(A, B, 64, b"ping"));
+        net.run_until_idle();
+        let inbox = net.take_inbox(a);
+        assert_eq!(inbox.len(), 1);
+        let view = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        assert_eq!(view.payload(), b"ping");
+    }
+
+    struct TimerApp {
+        fired: Rc<RefCell<Vec<Time>>>,
+    }
+    impl Application for TimerApp {
+        fn on_packet(&mut self, _now: Time, _packet: &[u8]) -> Vec<Output> {
+            vec![Output::Timer { delay: Duration::from_secs(5) }]
+        }
+        fn on_timer(&mut self, now: Time) -> Vec<Output> {
+            self.fired.borrow_mut().push(now);
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_virtual_time() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host_with_app(B, Box::new(TimerApp { fired: Rc::clone(&fired) }));
+        net.set_route_symmetric(a, b, Route::direct());
+        net.send_from(a, packet(A, B, 64, b"go"));
+        net.run_until_idle();
+        let fired = fired.borrow();
+        assert_eq!(fired.len(), 1);
+        // 1 hop latency (1 ms) + 5 s timer.
+        assert_eq!(fired[0], Time::from_micros(5_001_000));
+    }
+
+    #[test]
+    fn run_for_advances_clock_exactly() {
+        let mut net = Network::with_default_latency();
+        net.run_for(Duration::from_secs(480));
+        assert_eq!(net.now(), Time::from_secs(480));
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        // Two identical runs produce identical capture logs.
+        let run = || {
+            let mut net = Network::with_default_latency();
+            let a = net.add_host(A);
+            let b = net.add_host_with_app(B, Box::new(Echo { own: B }));
+            net.set_route_symmetric(a, b, Route::through(&[R1, R2]));
+            for i in 0..10u8 {
+                net.send_from(a, packet(A, B, 64, &[i]));
+            }
+            net.run_until_idle();
+            net.take_captures()
+                .into_iter()
+                .map(|c| (c.time, c.bytes))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,97 @@
+//! libpcap-format export of capture logs, so simulator traces open in
+//! Wireshark/tcpdump — the paper's workflow ("capturing traffic from both
+//! ends for analysis", §3) applied to the reproduction.
+//!
+//! The format is the classic libpcap file: a 24-byte global header
+//! followed by 16-byte-headed records. Packets are raw IPv4
+//! (`LINKTYPE_RAW` = 101), exactly what the simulator carries.
+
+use std::io::{self, Write};
+
+use crate::capture::CaptureRecord;
+
+/// libpcap magic (microsecond timestamps, little-endian).
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_RAW: packets begin with the IPv4/IPv6 header.
+const LINKTYPE_RAW: u32 = 101;
+
+/// Serializes capture records into libpcap bytes.
+pub fn to_pcap_bytes(records: &[CaptureRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + records.iter().map(|r| 16 + r.bytes.len()).sum::<usize>());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+    for record in records {
+        let micros = record.time.as_micros();
+        out.extend_from_slice(&((micros / 1_000_000) as u32).to_le_bytes());
+        out.extend_from_slice(&((micros % 1_000_000) as u32).to_le_bytes());
+        out.extend_from_slice(&(record.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(record.bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&record.bytes);
+    }
+    out
+}
+
+/// Writes capture records to `writer` in libpcap format.
+pub fn write_pcap<W: Write>(mut writer: W, records: &[CaptureRecord]) -> io::Result<()> {
+    writer.write_all(&to_pcap_bytes(records))
+}
+
+/// Writes capture records to a file at `path`.
+pub fn save_pcap(path: &std::path::Path, records: &[CaptureRecord]) -> io::Result<()> {
+    write_pcap(std::fs::File::create(path)?, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::TracePoint;
+    use crate::network::HostId;
+    use crate::time::Time;
+
+    fn record(micros: u64, bytes: Vec<u8>) -> CaptureRecord {
+        CaptureRecord { time: Time::from_micros(micros), point: TracePoint::HostTx(HostId(0)), bytes }
+    }
+
+    #[test]
+    fn header_layout() {
+        let bytes = to_pcap_bytes(&[]);
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 0xa1b2_c3d4);
+        assert_eq!(u16::from_le_bytes(bytes[4..6].try_into().unwrap()), 2);
+        assert_eq!(u16::from_le_bytes(bytes[6..8].try_into().unwrap()), 4);
+        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), 101);
+    }
+
+    #[test]
+    fn record_layout_and_timestamps() {
+        let bytes = to_pcap_bytes(&[record(2_500_123, vec![0x45, 0, 0, 20])]);
+        let rec = &bytes[24..];
+        assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 2); // sec
+        assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 500_123); // usec
+        assert_eq!(u32::from_le_bytes(rec[8..12].try_into().unwrap()), 4); // incl
+        assert_eq!(u32::from_le_bytes(rec[12..16].try_into().unwrap()), 4); // orig
+        assert_eq!(&rec[16..], &[0x45, 0, 0, 20]);
+    }
+
+    #[test]
+    fn multiple_records_concatenate() {
+        let bytes = to_pcap_bytes(&[record(1, vec![1; 10]), record(2, vec![2; 20])]);
+        assert_eq!(bytes.len(), 24 + (16 + 10) + (16 + 20));
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let dir = std::env::temp_dir().join("tspu-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.pcap");
+        save_pcap(&path, &[record(77, vec![9; 40])]).unwrap();
+        let read = std::fs::read(&path).unwrap();
+        assert_eq!(read, to_pcap_bytes(&[record(77, vec![9; 40])]));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,84 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the simulation's virtual clock, in microseconds since the
+/// simulation started. Durations are ordinary [`std::time::Duration`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Builds an instant from microseconds since simulation start.
+    pub fn from_micros(micros: u64) -> Time {
+        Time(micros)
+    }
+
+    /// Builds an instant from whole seconds since simulation start.
+    pub fn from_secs(secs: u64) -> Time {
+        Time(secs * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.as_micros() as u64)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_micros() as u64;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(2);
+        assert_eq!(t + Duration::from_millis(500), Time::from_micros(2_500_000));
+        assert_eq!(Time::from_secs(3) - Time::from_secs(1), Duration::from_secs(2));
+        assert_eq!(Time::from_secs(1).since(Time::from_secs(3)), Duration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Time::from_micros(1_500_000)), "1.500000s");
+    }
+}

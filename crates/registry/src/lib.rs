@@ -1,0 +1,28 @@
+//! # tspu-registry
+//!
+//! The domain universe of the reproduction: synthetic stand-ins for the
+//! Tranco top list + Citizen Lab list (11,325 domains, §6.1), a 10,000
+//! domain sample of Roskomnadzor's blocking registry, the out-registry
+//! resources only the TSPU blocks, per-ISP (stale) blocklists, and the
+//! policy timeline of February–March 2022.
+//!
+//! ## Substitution note (per DESIGN.md)
+//!
+//! The paper uses the real Tranco list, a leaked registry copy, and LDA
+//! topic modeling over fetched HTML. None of those travel: we generate a
+//! deterministic universe whose *measured statistics match the paper's*
+//! (counts of blocked domains per list and per ISP, category mix), attach
+//! a latent category to every domain, synthesize keyword-bag "HTML" from
+//! it, and recover categories with a naive-Bayes-flavored keyword
+//! classifier standing in for LDA. Every constant that comes from the
+//! paper is named in [`stats`].
+
+pub mod classifier;
+pub mod export;
+pub mod stats;
+pub mod timeline;
+pub mod universe;
+
+pub use classifier::{classify_html, synthesize_html, FetchOutcome};
+pub use timeline::{day, PolicyTimeline};
+pub use universe::{Category, Domain, ListKind, Universe};

@@ -1,0 +1,96 @@
+//! The censorship policy timeline of early 2022 (§2, §5.2): a sequence of
+//! centrally coordinated policy states, keyed by days since 2022-01-01.
+
+use crate::universe::Universe;
+
+/// Day-number helpers (days since 2022-01-01, day 0 = Jan 1).
+pub mod day {
+    /// February 24, 2022 — the invasion; blocking escalation begins.
+    pub const FEB_24: u32 = 54;
+    /// February 26 — hard throttling of Twitter/Facebook domains starts
+    /// (SNI-III at ~650 B/s).
+    pub const FEB_26: u32 = 56;
+    /// March 4 — throttling replaced by RST blocking; QUIC filter
+    /// deployed; western news agencies blocked.
+    pub const MAR_4: u32 = 62;
+    /// March 14 — Instagram fully blocked.
+    pub const MAR_14: u32 = 72;
+}
+
+/// A day-indexed view of what the central policy looked like.
+pub struct PolicyTimeline<'a> {
+    universe: &'a Universe,
+}
+
+/// A snapshot of policy toggles for a given day. The domain lists
+/// themselves live in the universe's block sets; the snapshot says which
+/// mechanisms are active and which list variant applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyEpoch {
+    /// SNI-I RST blocking includes the escalation domains (social media,
+    /// news) — true from Feb 24 on; before that only registry content.
+    pub escalation_blocks: bool,
+    /// SNI-III throttling in force (Feb 26 – Mar 4 only).
+    pub throttle_active: bool,
+    /// QUIC filter deployed (Mar 4 on).
+    pub quic_filter: bool,
+}
+
+impl<'a> PolicyTimeline<'a> {
+    /// Builds the timeline over a universe.
+    pub fn new(universe: &'a Universe) -> PolicyTimeline<'a> {
+        PolicyTimeline { universe }
+    }
+
+    /// The backing universe.
+    pub fn universe(&self) -> &Universe {
+        self.universe
+    }
+
+    /// The policy toggles in force on `day` (days since 2022-01-01).
+    pub fn epoch(&self, day_number: u32) -> PolicyEpoch {
+        PolicyEpoch {
+            escalation_blocks: day_number >= day::FEB_24,
+            throttle_active: (day::FEB_26..day::MAR_4).contains(&day_number),
+            quic_filter: day_number >= day::MAR_4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn epochs_follow_the_reported_dates() {
+        let universe = Universe::generate(1);
+        let timeline = PolicyTimeline::new(&universe);
+
+        // January: registry blocking only.
+        let jan = timeline.epoch(10);
+        assert!(!jan.escalation_blocks && !jan.throttle_active && !jan.quic_filter);
+
+        // Feb 25: escalation but no throttling yet.
+        let feb25 = timeline.epoch(day::FEB_24 + 1);
+        assert!(feb25.escalation_blocks && !feb25.throttle_active);
+
+        // Feb 28: throttling (the SNI-III window).
+        let feb28 = timeline.epoch(58);
+        assert!(feb28.throttle_active && !feb28.quic_filter);
+
+        // Mar 3: last full day of throttling.
+        assert!(timeline.epoch(day::MAR_4 - 1).throttle_active);
+
+        // Mar 4: throttling replaced by RST, QUIC filter on.
+        let mar4 = timeline.epoch(day::MAR_4);
+        assert!(!mar4.throttle_active && mar4.quic_filter && mar4.escalation_blocks);
+    }
+
+    #[test]
+    fn day_constants_are_ordered() {
+        assert!(day::FEB_24 < day::FEB_26);
+        assert!(day::FEB_26 < day::MAR_4);
+        assert!(day::MAR_4 < day::MAR_14);
+    }
+}

@@ -1,0 +1,407 @@
+//! A sans-IO TCP connection state machine.
+//!
+//! Handles every handshake shape from the paper: normal three-way, split
+//! handshake (§8: server answers a SYN with a bare SYN; an *unmodified*
+//! client then SYN/ACKs), and simultaneous open. Data transfer respects
+//! the peer's advertised window and the MSS — which is how the server-side
+//! "small window" strategy (§8) forces an unmodified client to segment its
+//! ClientHello.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use tspu_wire::tcp::{TcpFlags, TcpRepr, TcpSegment};
+
+/// Connection states (endpoint view, not the TSPU's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    Closed,
+    Listen,
+    /// We sent a SYN, waiting for the peer.
+    SynSent,
+    /// We received a SYN and answered (with SYN/ACK, or with a bare SYN in
+    /// split-handshake mode), waiting for the final confirmation.
+    SynReceived,
+    Established,
+    /// The peer reset the connection.
+    Reset,
+}
+
+/// How this endpoint behaves during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeMode {
+    /// RFC 793 behavior.
+    Normal,
+    /// Server-side split handshake (§8): answer a SYN with a bare SYN.
+    SplitHandshake,
+}
+
+/// Events surfaced to the application layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnEvent {
+    Established,
+    DataReceived(Vec<u8>),
+    ResetReceived,
+}
+
+/// The connection. Feed it segments with [`TcpConnection::on_segment`],
+/// queue app data with [`TcpConnection::send`], and drain outgoing
+/// segments with [`TcpConnection::poll_output`].
+#[derive(Debug)]
+pub struct TcpConnection {
+    pub local_addr: Ipv4Addr,
+    pub local_port: u16,
+    pub peer_addr: Ipv4Addr,
+    pub peer_port: u16,
+    state: TcpState,
+    mode: HandshakeMode,
+    /// Next sequence number we will send.
+    snd_nxt: u32,
+    /// Next sequence number we expect from the peer.
+    rcv_nxt: u32,
+    /// The peer's last advertised window.
+    peer_window: u16,
+    /// Our advertised window.
+    local_window: u16,
+    mss: usize,
+    send_queue: VecDeque<u8>,
+    outgoing: Vec<TcpRepr>,
+    events: Vec<ConnEvent>,
+}
+
+/// Default MSS used by endpoints.
+pub const DEFAULT_MSS: usize = 1460;
+
+impl TcpConnection {
+    /// Creates a closed connection between the given endpoints.
+    pub fn new(
+        local_addr: Ipv4Addr,
+        local_port: u16,
+        peer_addr: Ipv4Addr,
+        peer_port: u16,
+    ) -> TcpConnection {
+        TcpConnection {
+            local_addr,
+            local_port,
+            peer_addr,
+            peer_port,
+            state: TcpState::Closed,
+            mode: HandshakeMode::Normal,
+            snd_nxt: 0x1000_0000u32.wrapping_add(u32::from(local_port) << 8),
+            rcv_nxt: 0,
+            peer_window: 64240,
+            local_window: 64240,
+            mss: DEFAULT_MSS,
+            send_queue: VecDeque::new(),
+            outgoing: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Sets the handshake mode (server-side strategies).
+    pub fn set_mode(&mut self, mode: HandshakeMode) {
+        self.mode = mode;
+    }
+
+    /// Sets the window this endpoint advertises (server-side small-window
+    /// strategy).
+    pub fn set_local_window(&mut self, window: u16) {
+        self.local_window = window;
+    }
+
+    /// Overrides the MSS.
+    pub fn set_mss(&mut self, mss: usize) {
+        self.mss = mss.max(1);
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Starts listening (server role).
+    pub fn listen(&mut self) {
+        self.state = TcpState::Listen;
+    }
+
+    /// Actively opens the connection (client role), emitting a SYN.
+    pub fn connect(&mut self) {
+        self.state = TcpState::SynSent;
+        let mut syn = self.segment(TcpFlags::SYN);
+        syn.ack_number = 0;
+        self.snd_nxt = self.snd_nxt.wrapping_add(1); // SYN occupies one seq
+        self.outgoing.push(syn);
+    }
+
+    /// Queues application data for transmission once established.
+    pub fn send(&mut self, data: &[u8]) {
+        self.send_queue.extend(data);
+    }
+
+    /// Drains pending events for the application.
+    pub fn take_events(&mut self) -> Vec<ConnEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains outgoing segments (already sequenced) to be wrapped in IP.
+    pub fn poll_output(&mut self) -> Vec<TcpRepr> {
+        self.flush_data();
+        std::mem::take(&mut self.outgoing)
+    }
+
+    fn segment(&self, flags: TcpFlags) -> TcpRepr {
+        let mut repr = TcpRepr::new(self.local_port, self.peer_port, flags);
+        repr.seq_number = self.snd_nxt;
+        repr.ack_number = self.rcv_nxt;
+        repr.window = self.local_window;
+        repr
+    }
+
+    /// Moves queued data into outgoing segments, respecting MSS and the
+    /// peer's advertised window (clamped per flight, not tracked in
+    /// flight: the simulator acks every round trip).
+    fn flush_data(&mut self) {
+        if self.state != TcpState::Established {
+            return;
+        }
+        let chunk_limit = self.mss.min(self.peer_window.max(1) as usize);
+        while !self.send_queue.is_empty() {
+            let take = chunk_limit.min(self.send_queue.len());
+            let chunk: Vec<u8> = self.send_queue.drain(..take).collect();
+            let mut seg = self.segment(TcpFlags::PSH_ACK);
+            seg.payload = chunk;
+            self.snd_nxt = self.snd_nxt.wrapping_add(take as u32);
+            self.outgoing.push(seg);
+        }
+    }
+
+    /// Processes one incoming segment; replies (if any) are queued on the
+    /// outgoing list.
+    pub fn on_segment<T: AsRef<[u8]>>(&mut self, segment: &TcpSegment<T>) {
+        let flags = segment.flags();
+        self.peer_window = segment.window();
+
+        if flags.rst() {
+            self.state = TcpState::Reset;
+            self.events.push(ConnEvent::ResetReceived);
+            return;
+        }
+
+        match self.state {
+            TcpState::Listen => {
+                if flags.is_pure_syn() {
+                    self.rcv_nxt = segment.seq_number().wrapping_add(1);
+                    match self.mode {
+                        HandshakeMode::Normal => {
+                            let synack = self.segment(TcpFlags::SYN_ACK);
+                            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                            self.outgoing.push(synack);
+                            self.state = TcpState::SynReceived;
+                        }
+                        HandshakeMode::SplitHandshake => {
+                            // §8: strip the ACK flag — send a bare SYN.
+                            let mut syn = self.segment(TcpFlags::SYN);
+                            syn.ack_number = 0;
+                            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                            self.outgoing.push(syn);
+                            self.state = TcpState::SynReceived;
+                        }
+                    }
+                }
+            }
+            TcpState::SynSent => {
+                if flags.is_syn_ack() {
+                    // Normal step 2: ACK and establish.
+                    self.rcv_nxt = segment.seq_number().wrapping_add(1);
+                    let ack = self.segment(TcpFlags::ACK);
+                    self.outgoing.push(ack);
+                    self.establish();
+                } else if flags.is_pure_syn() {
+                    // Split handshake or simultaneous open: an unmodified
+                    // client answers the bare SYN with a SYN/ACK
+                    // (re-using its initial sequence number).
+                    self.rcv_nxt = segment.seq_number().wrapping_add(1);
+                    let mut synack = self.segment(TcpFlags::SYN_ACK);
+                    synack.seq_number = self.snd_nxt.wrapping_sub(1);
+                    self.outgoing.push(synack);
+                    self.state = TcpState::SynReceived;
+                }
+            }
+            TcpState::SynReceived => {
+                if flags.is_syn_ack() {
+                    // Split handshake server receiving the client's
+                    // SYN/ACK: confirm with an ACK and establish.
+                    self.rcv_nxt = segment.seq_number().wrapping_add(1);
+                    let ack = self.segment(TcpFlags::ACK);
+                    self.outgoing.push(ack);
+                    self.establish();
+                } else if flags.ack() {
+                    self.establish();
+                    self.deliver_payload(segment);
+                }
+            }
+            TcpState::Established => {
+                self.deliver_payload(segment);
+            }
+            TcpState::Closed | TcpState::Reset => {}
+        }
+    }
+
+    fn establish(&mut self) {
+        if self.state != TcpState::Established {
+            self.state = TcpState::Established;
+            self.events.push(ConnEvent::Established);
+        }
+    }
+
+    fn deliver_payload<T: AsRef<[u8]>>(&mut self, segment: &TcpSegment<T>) {
+        let payload = segment.payload();
+        if payload.is_empty() {
+            return;
+        }
+        self.rcv_nxt = segment.seq_number().wrapping_add(payload.len() as u32);
+        self.events.push(ConnEvent::DataReceived(payload.to_vec()));
+        // Acknowledge data promptly (no delayed ACK).
+        let ack = self.segment(TcpFlags::ACK);
+        self.outgoing.push(ack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+    /// Shuttles segments between two connections until both go quiet.
+    fn pump(a: &mut TcpConnection, b: &mut TcpConnection) {
+        for _ in 0..64 {
+            let from_a = a.poll_output();
+            let from_b = b.poll_output();
+            if from_a.is_empty() && from_b.is_empty() {
+                return;
+            }
+            for repr in from_a {
+                let bytes = repr.build(a.local_addr, a.peer_addr);
+                b.on_segment(&TcpSegment::new_checked(&bytes[..]).unwrap());
+            }
+            for repr in from_b {
+                let bytes = repr.build(b.local_addr, b.peer_addr);
+                a.on_segment(&TcpSegment::new_checked(&bytes[..]).unwrap());
+            }
+        }
+        panic!("connections did not quiesce");
+    }
+
+    fn pair() -> (TcpConnection, TcpConnection) {
+        let mut client = TcpConnection::new(C, 40000, S, 443);
+        let mut server = TcpConnection::new(S, 443, C, 40000);
+        server.listen();
+        client.connect();
+        (client, server)
+    }
+
+    #[test]
+    fn normal_handshake_and_data() {
+        let (mut client, mut server) = pair();
+        pump(&mut client, &mut server);
+        assert_eq!(client.state(), TcpState::Established);
+        assert_eq!(server.state(), TcpState::Established);
+
+        client.send(b"hello over tcp");
+        pump(&mut client, &mut server);
+        let events = server.take_events();
+        assert!(events.contains(&ConnEvent::DataReceived(b"hello over tcp".to_vec())));
+    }
+
+    #[test]
+    fn split_handshake_with_unmodified_client() {
+        let mut client = TcpConnection::new(C, 40001, S, 443);
+        let mut server = TcpConnection::new(S, 443, C, 40001);
+        server.set_mode(HandshakeMode::SplitHandshake);
+        server.listen();
+        client.connect();
+        pump(&mut client, &mut server);
+        assert_eq!(client.state(), TcpState::Established);
+        assert_eq!(server.state(), TcpState::Established);
+
+        // Data flows both ways afterwards.
+        client.send(b"request");
+        server.send(b"response");
+        pump(&mut client, &mut server);
+        assert!(client
+            .take_events()
+            .contains(&ConnEvent::DataReceived(b"response".to_vec())));
+        assert!(server
+            .take_events()
+            .contains(&ConnEvent::DataReceived(b"request".to_vec())));
+    }
+
+    #[test]
+    fn simultaneous_open() {
+        let mut a = TcpConnection::new(C, 40002, S, 443);
+        let mut b = TcpConnection::new(S, 443, C, 40002);
+        a.connect();
+        b.connect();
+        pump(&mut a, &mut b);
+        assert_eq!(a.state(), TcpState::Established);
+        assert_eq!(b.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn small_window_forces_segmentation() {
+        let mut client = TcpConnection::new(C, 40003, S, 443);
+        let mut server = TcpConnection::new(S, 443, C, 40003);
+        server.set_local_window(64); // brdgrd-style (§8)
+        server.listen();
+        client.connect();
+        pump(&mut client, &mut server);
+
+        client.send(&[0xab; 300]);
+        let segments = client.poll_output();
+        let data_segments: Vec<_> = segments.iter().filter(|s| !s.payload.is_empty()).collect();
+        assert!(data_segments.len() >= 5, "expected ≥5 segments, got {}", data_segments.len());
+        assert!(data_segments.iter().all(|s| s.payload.len() <= 64));
+    }
+
+    #[test]
+    fn rst_resets_connection() {
+        let (mut client, mut server) = pair();
+        pump(&mut client, &mut server);
+        let mut rst = TcpRepr::new(443, 40000, TcpFlags::RST_ACK);
+        rst.seq_number = 1;
+        let bytes = rst.build(S, C);
+        client.on_segment(&TcpSegment::new_checked(&bytes[..]).unwrap());
+        assert_eq!(client.state(), TcpState::Reset);
+        assert!(client.take_events().contains(&ConnEvent::ResetReceived));
+        let _ = server;
+    }
+
+    #[test]
+    fn sequence_numbers_advance_with_data() {
+        let (mut client, mut server) = pair();
+        pump(&mut client, &mut server);
+        client.send(b"abcd");
+        let seg1 = client.poll_output().pop().unwrap();
+        {
+            let repr = &seg1;
+            let bytes = repr.build(C, S);
+            server.on_segment(&TcpSegment::new_checked(&bytes[..]).unwrap());
+        }
+        client.send(b"efgh");
+        let seg2 = client.poll_output().pop().unwrap();
+        assert_eq!(seg2.seq_number, seg1.seq_number.wrapping_add(4));
+    }
+
+    #[test]
+    fn data_before_establishment_is_not_sent() {
+        let mut client = TcpConnection::new(C, 40004, S, 443);
+        client.connect();
+        client.send(b"early");
+        let out = client.poll_output();
+        // Only the SYN; the data waits for establishment.
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.is_pure_syn());
+    }
+}

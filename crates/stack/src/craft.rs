@@ -1,0 +1,160 @@
+//! Raw packet construction helpers, shared by the host stacks and by every
+//! measurement probe in `tspu-measure`.
+
+use std::net::Ipv4Addr;
+
+use tspu_wire::icmpv4::Icmpv4Repr;
+use tspu_wire::ipv4::{Ipv4Repr, Protocol};
+use tspu_wire::tcp::{TcpFlags, TcpRepr};
+use tspu_wire::udp::UdpRepr;
+
+/// Everything needed to emit one TCP segment inside an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct TcpPacketSpec {
+    pub src: Ipv4Addr,
+    pub src_port: u16,
+    pub dst: Ipv4Addr,
+    pub dst_port: u16,
+    pub flags: TcpFlags,
+    pub seq: u32,
+    pub ack: u32,
+    pub window: u16,
+    pub ttl: u8,
+    pub ident: u16,
+    pub payload: Vec<u8>,
+}
+
+impl TcpPacketSpec {
+    /// A sensible default: TTL 64, window 64240, seq/ack 0, empty payload.
+    pub fn new(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16, flags: TcpFlags) -> Self {
+        TcpPacketSpec {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            flags,
+            seq: 0,
+            ack: 0,
+            window: 64240,
+            ttl: 64,
+            ident: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Sets seq and ack numbers.
+    pub fn seq_ack(mut self, seq: u32, ack: u32) -> Self {
+        self.seq = seq;
+        self.ack = ack;
+        self
+    }
+
+    /// Sets the IP TTL (TTL-limited probing, §7.1).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the IP identification (fragmentation probes key on it).
+    pub fn ident(mut self, ident: u16) -> Self {
+        self.ident = ident;
+        self
+    }
+
+    /// Sets the advertised window.
+    pub fn window(mut self, window: u16) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builds the full IPv4 packet bytes.
+    pub fn build(&self) -> Vec<u8> {
+        let mut tcp = TcpRepr::new(self.src_port, self.dst_port, self.flags);
+        tcp.seq_number = self.seq;
+        tcp.ack_number = self.ack;
+        tcp.window = self.window;
+        tcp.payload = self.payload.clone();
+        let segment = tcp.build(self.src, self.dst);
+        let mut ip = Ipv4Repr::new(self.src, self.dst, Protocol::Tcp, segment.len());
+        ip.ttl = self.ttl;
+        ip.ident = self.ident;
+        ip.build(&segment)
+    }
+}
+
+/// Builds a UDP datagram inside an IPv4 packet.
+pub fn udp_packet(
+    src: Ipv4Addr,
+    src_port: u16,
+    dst: Ipv4Addr,
+    dst_port: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let datagram = UdpRepr::new(src_port, dst_port, payload.to_vec()).build(src, dst);
+    Ipv4Repr::new(src, dst, Protocol::Udp, datagram.len()).build(&datagram)
+}
+
+/// Builds an ICMP echo request inside an IPv4 packet.
+pub fn icmp_echo_request(src: Ipv4Addr, dst: Ipv4Addr, ident: u16, seq_no: u16) -> Vec<u8> {
+    let icmp = Icmpv4Repr::EchoRequest { ident, seq_no }.build();
+    Ipv4Repr::new(src, dst, Protocol::Icmp, icmp.len()).build(&icmp)
+}
+
+/// Builds an ICMP echo reply inside an IPv4 packet.
+pub fn icmp_echo_reply(src: Ipv4Addr, dst: Ipv4Addr, ident: u16, seq_no: u16) -> Vec<u8> {
+    let icmp = Icmpv4Repr::EchoReply { ident, seq_no }.build();
+    Ipv4Repr::new(src, dst, Protocol::Icmp, icmp.len()).build(&icmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_wire::ipv4::Ipv4Packet;
+    use tspu_wire::tcp::TcpSegment;
+    use tspu_wire::udp::UdpDatagram;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn tcp_spec_builds_valid_packet() {
+        let bytes = TcpPacketSpec::new(A, 1234, B, 443, TcpFlags::SYN)
+            .seq_ack(100, 0)
+            .ttl(3)
+            .window(512)
+            .payload(b"x".to_vec())
+            .build();
+        let ip = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.ttl(), 3);
+        let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(tcp.verify_checksum(A, B));
+        assert_eq!(tcp.src_port(), 1234);
+        assert_eq!(tcp.window(), 512);
+        assert_eq!(tcp.payload(), b"x");
+    }
+
+    #[test]
+    fn udp_builds_valid_packet() {
+        let bytes = udp_packet(A, 5000, B, 443, &[0xaa; 1200]);
+        let ip = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert!(udp.verify_checksum(A, B));
+        assert_eq!(udp.payload().len(), 1200);
+    }
+
+    #[test]
+    fn icmp_builders() {
+        for bytes in [icmp_echo_request(A, B, 7, 1), icmp_echo_reply(B, A, 7, 1)] {
+            let ip = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+            assert!(ip.verify_checksum());
+            assert_eq!(u8::from(ip.protocol()), 1);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # tspu-stack
+//!
+//! Minimal endpoint host stacks for the TSPU reproduction: enough TCP to
+//! perform every handshake shape the paper exercises (normal three-way,
+//! split handshake, simultaneous open, small advertised windows), plus the
+//! application roles its experiments need — TLS clients and servers, echo
+//! servers (Quack, §7.2), generic TCP responders, QUIC initiators, and
+//! ICMP echo.
+//!
+//! The stack is deliberately small: in-order delivery is guaranteed by the
+//! simulator unless fault injection is configured, so there is no
+//! retransmission or reordering machinery — but sequence/ack numbers,
+//! windows, and segmentation are real, because the TSPU reacts to packet
+//! *shapes* (flags, sizes, order), and circumvention strategies manipulate
+//! exactly those.
+//!
+//! Layers:
+//! * [`craft`] — raw packet construction helpers shared by all probes.
+//! * [`conn`] — a sans-IO TCP connection state machine.
+//! * [`server`] — a host [`tspu_netsim::Application`] serving TCP ports
+//!   (echo / canned response / TLS / sink), UDP ports, and ICMP echo, with
+//!   configurable handshake behavior per port (the server-side
+//!   circumvention strategies of §8).
+//! * [`client`] — scripted TCP/TLS and QUIC clients that record outcomes
+//!   through shared handles for the experiment driver to inspect.
+
+pub mod client;
+pub mod conn;
+pub mod craft;
+pub mod server;
+
+pub use client::{ClientOutcome, ClientReport, QuicClient, TcpClient, TcpClientConfig};
+pub use conn::{ConnEvent, HandshakeMode, TcpConnection, TcpState};
+pub use server::{PortBehavior, ServerApp, ServerPort};

@@ -1,0 +1,480 @@
+//! A host application serving TCP ports, UDP ports, and ICMP echo — the
+//! remote endpoints of every experiment: measurement machines, echo
+//! servers (port 7, §7.2), TR-069 endpoints (port 7547, §7.3), and the
+//! sites being censored.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use tspu_netsim::{Application, Output, Time};
+use tspu_wire::icmpv4::{Icmpv4Packet, Icmpv4Repr};
+use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+use tspu_wire::tcp::TcpSegment;
+use tspu_wire::tls;
+
+use crate::conn::{ConnEvent, HandshakeMode, TcpConnection};
+
+/// What a TCP port does with established connections.
+#[derive(Debug, Clone)]
+pub enum PortBehavior {
+    /// Echo every received byte back (TCP port 7).
+    Echo,
+    /// Reply once with canned bytes upon the first data received.
+    Respond(Vec<u8>),
+    /// Behave like a TLS server: answer a ClientHello with a ServerHello
+    /// (and a little application data), anything else with nothing.
+    TlsServer,
+    /// A TLS server that follows the ServerHello with `usize` bytes of
+    /// application data — a "page" big enough that delayed-drop (SNI-II)
+    /// and throttling (SNI-III) visibly truncate or slow the transfer.
+    TlsServerPage(usize),
+    /// Accept and ACK, never send data.
+    Sink,
+}
+
+/// Configuration of one listening TCP port.
+#[derive(Debug, Clone)]
+pub struct ServerPort {
+    pub port: u16,
+    pub behavior: PortBehavior,
+    pub handshake: HandshakeMode,
+    /// Advertised receive window (small values are the §8 strategy).
+    pub window: u16,
+    /// Delay before the handshake reply — the "wait out the TSPU's
+    /// SYN-SENT timeout" strategy (§8).
+    pub response_delay: Duration,
+}
+
+impl ServerPort {
+    /// A standard port with the given behavior.
+    pub fn new(port: u16, behavior: PortBehavior) -> ServerPort {
+        ServerPort {
+            port,
+            behavior,
+            handshake: HandshakeMode::Normal,
+            window: 64240,
+            response_delay: Duration::ZERO,
+        }
+    }
+
+    /// Uses the split-handshake strategy on this port.
+    pub fn split_handshake(mut self) -> ServerPort {
+        self.handshake = HandshakeMode::SplitHandshake;
+        self
+    }
+
+    /// Advertises a small window on this port.
+    pub fn small_window(mut self, window: u16) -> ServerPort {
+        self.window = window;
+        self
+    }
+
+    /// Delays handshake replies by `delay`.
+    pub fn delayed(mut self, delay: Duration) -> ServerPort {
+        self.response_delay = delay;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PeerKey {
+    addr: Ipv4Addr,
+    port: u16,
+    local_port: u16,
+}
+
+struct ConnSlot {
+    conn: TcpConnection,
+    behavior: PortBehavior,
+    responded: bool,
+    /// Accumulated stream bytes: real servers reassemble TCP, unlike the
+    /// TSPU — that asymmetry is what makes segmentation a viable evasion.
+    rx_buffer: Vec<u8>,
+}
+
+/// The server application. Attach to a host with
+/// [`tspu_netsim::Network::set_app`].
+pub struct ServerApp {
+    addr: Ipv4Addr,
+    ports: HashMap<u16, ServerPort>,
+    /// UDP ports that echo datagrams back (UDP echo / QUIC reachability).
+    udp_echo_ports: Vec<u16>,
+    conns: HashMap<PeerKey, ConnSlot>,
+    /// Received UDP payloads per port, for inspection.
+    udp_received: Vec<(u16, Vec<u8>)>,
+}
+
+impl ServerApp {
+    /// Creates a server for the host with address `addr`.
+    pub fn new(addr: Ipv4Addr) -> ServerApp {
+        ServerApp {
+            addr,
+            ports: HashMap::new(),
+            udp_echo_ports: Vec::new(),
+            conns: HashMap::new(),
+            udp_received: Vec::new(),
+        }
+    }
+
+    /// Adds a listening TCP port.
+    pub fn with_port(mut self, port: ServerPort) -> ServerApp {
+        self.ports.insert(port.port, port);
+        self
+    }
+
+    /// Adds a UDP echo port.
+    pub fn with_udp_echo(mut self, port: u16) -> ServerApp {
+        self.udp_echo_ports.push(port);
+        self
+    }
+
+    /// A typical censored HTTPS site: TLS server on 443.
+    pub fn https_site(addr: Ipv4Addr) -> ServerApp {
+        ServerApp::new(addr).with_port(ServerPort::new(443, PortBehavior::TlsServer))
+    }
+
+    /// A Quack-style echo server on TCP port 7.
+    pub fn echo_server(addr: Ipv4Addr) -> ServerApp {
+        ServerApp::new(addr).with_port(ServerPort::new(7, PortBehavior::Echo))
+    }
+
+    fn handle_tcp(&mut self, packet: &Ipv4Packet<&[u8]>, delay: Duration) -> Vec<Output> {
+        let Ok(segment) = TcpSegment::new_checked(packet.payload()) else {
+            return Vec::new();
+        };
+        let local_port = segment.dst_port();
+        let Some(config) = self.ports.get(&local_port).cloned() else {
+            return Vec::new(); // closed port: silently ignore (no RST model)
+        };
+        let key = PeerKey { addr: packet.src_addr(), port: segment.src_port(), local_port };
+        // A fresh SYN on a known 4-tuple is a new connection attempt (the
+        // peer reused the port); recycle the slot like a real listener
+        // whose old socket timed out.
+        if segment.flags().is_pure_syn() {
+            if let Some(slot) = self.conns.get(&key) {
+                if slot.conn.state() != crate::conn::TcpState::Listen {
+                    self.conns.remove(&key);
+                }
+            }
+        }
+        let slot = self.conns.entry(key).or_insert_with(|| {
+            let mut conn = TcpConnection::new(self.addr, local_port, key.addr, key.port);
+            conn.set_mode(config.handshake);
+            conn.set_local_window(config.window);
+            conn.listen();
+            ConnSlot {
+                conn,
+                behavior: config.behavior.clone(),
+                responded: false,
+                rx_buffer: Vec::new(),
+            }
+        });
+
+        slot.conn.on_segment(&segment);
+        for event in slot.conn.take_events() {
+            match (&slot.behavior, event) {
+                (PortBehavior::Echo, ConnEvent::DataReceived(data)) => {
+                    slot.conn.send(&data);
+                }
+                (PortBehavior::Respond(bytes), ConnEvent::DataReceived(_))
+                    if !slot.responded => {
+                        slot.responded = true;
+                        let bytes = bytes.clone();
+                        slot.conn.send(&bytes);
+                    }
+                (PortBehavior::TlsServer | PortBehavior::TlsServerPage(_), ConnEvent::DataReceived(data)) => {
+                    // Real servers reassemble the byte stream before
+                    // parsing — segmentation evasions rely on this.
+                    slot.rx_buffer.extend_from_slice(&data);
+                    // Skip any non-handshake records prepended by the
+                    // record-injection strategy.
+                    let mut offset = 0;
+                    while slot.rx_buffer.len() >= offset + 5 && slot.rx_buffer[offset] != 0x16 {
+                        let len = u16::from_be_bytes([
+                            slot.rx_buffer[offset + 3],
+                            slot.rx_buffer[offset + 4],
+                        ]) as usize;
+                        offset += 5 + len;
+                    }
+                    if !slot.responded
+                        && tls::ClientHello::parse(&slot.rx_buffer[offset.min(slot.rx_buffer.len())..])
+                            .is_ok()
+                    {
+                        slot.responded = true;
+                        let page = match slot.behavior {
+                            PortBehavior::TlsServerPage(n) => n,
+                            _ => 0x40,
+                        };
+                        let mut response = tls::server_hello_record();
+                        // Application data so throttling and delayed
+                        // drops have something to act on.
+                        response.extend_from_slice(&[0x17, 0x03, 0x03]);
+                        response.extend_from_slice(&(page.min(0xffff) as u16).to_be_bytes());
+                        response.resize(response.len() + page, 0xda);
+                        slot.conn.send(&response);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let src = self.addr;
+        slot.conn
+            .poll_output()
+            .into_iter()
+            .map(|repr| {
+                let seg = repr.build(src, key.addr);
+                let ip = Ipv4Repr::new(src, key.addr, Protocol::Tcp, seg.len()).build(&seg);
+                Output::send_after(delay, ip)
+            })
+            .collect()
+    }
+
+    fn handle_udp(&mut self, packet: &Ipv4Packet<&[u8]>) -> Vec<Output> {
+        let Ok(datagram) = tspu_wire::udp::UdpDatagram::new_checked(packet.payload()) else {
+            return Vec::new();
+        };
+        let port = datagram.dst_port();
+        self.udp_received.push((port, datagram.payload().to_vec()));
+        if !self.udp_echo_ports.contains(&port) {
+            return Vec::new();
+        }
+        let reply = crate::craft::udp_packet(
+            self.addr,
+            port,
+            packet.src_addr(),
+            datagram.src_port(),
+            datagram.payload(),
+        );
+        vec![Output::send(reply)]
+    }
+
+    fn handle_icmp(&mut self, packet: &Ipv4Packet<&[u8]>) -> Vec<Output> {
+        let Ok(icmp) = Icmpv4Packet::new_checked(packet.payload()) else {
+            return Vec::new();
+        };
+        match Icmpv4Repr::parse(&icmp) {
+            Ok(Icmpv4Repr::EchoRequest { ident, seq_no }) => {
+                vec![Output::send(crate::craft::icmp_echo_reply(
+                    self.addr,
+                    packet.src_addr(),
+                    ident,
+                    seq_no,
+                ))]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Application for ServerApp {
+    fn on_packet(&mut self, _now: Time, packet: &[u8]) -> Vec<Output> {
+        let Ok(view) = Ipv4Packet::new_checked(packet) else {
+            return Vec::new();
+        };
+        if view.is_fragment() {
+            // Endpoint reassembly is the caller's concern in experiments;
+            // the server only answers complete packets. Fragmented probes
+            // are answered by the driver-level reassembling wrapper below.
+            return Vec::new();
+        }
+        match view.protocol() {
+            Protocol::Tcp => {
+                let per_port_delay = TcpSegment::new_checked(view.payload())
+                    .ok()
+                    .and_then(|s| self.ports.get(&s.dst_port()))
+                    .map(|p| p.response_delay)
+                    .unwrap_or(Duration::ZERO);
+                self.handle_tcp(&view, per_port_delay)
+            }
+            Protocol::Udp => self.handle_udp(&view),
+            Protocol::Icmp => self.handle_icmp(&view),
+            Protocol::Other(_) => Vec::new(),
+        }
+    }
+}
+
+/// A wrapper that reassembles incoming IP fragments before handing packets
+/// to an inner application — a normal OS network stack's behavior, needed
+/// by the fragmentation-scan targets (§7.2: endpoints must respond to
+/// fragmented SYNs for the fingerprint to be observable).
+pub struct ReassemblingApp<A> {
+    inner: A,
+    pending: HashMap<(Ipv4Addr, Ipv4Addr, u16), Vec<Vec<u8>>>,
+    /// Maximum fragments per datagram this *endpoint* accepts (Linux
+    /// default: 64). The fingerprint compares this against the TSPU's 45.
+    pub frag_limit: usize,
+}
+
+impl<A> ReassemblingApp<A> {
+    /// Wraps `inner` with Linux-like reassembly (limit 64).
+    pub fn new(inner: A) -> ReassemblingApp<A> {
+        ReassemblingApp { inner, pending: HashMap::new(), frag_limit: 64 }
+    }
+}
+
+impl<A: Application> Application for ReassemblingApp<A> {
+    fn on_packet(&mut self, now: Time, packet: &[u8]) -> Vec<Output> {
+        let Ok(view) = Ipv4Packet::new_checked(packet) else {
+            return Vec::new();
+        };
+        if !view.is_fragment() {
+            return self.inner.on_packet(now, packet);
+        }
+        let key = (view.src_addr(), view.dst_addr(), view.ident());
+        let train = self.pending.entry(key).or_default();
+        train.push(packet.to_vec());
+        if train.len() > self.frag_limit {
+            self.pending.remove(&key);
+            return Vec::new();
+        }
+        // Attempt reassembly whenever the last fragment is present.
+        let have_last = train
+            .iter()
+            .any(|p| !Ipv4Packet::new_unchecked(&p[..]).more_fragments());
+        if !have_last {
+            return Vec::new();
+        }
+        let train = self.pending.remove(&key).expect("train exists");
+        match tspu_wire::frag::reassemble(&train) {
+            Ok(whole) => self.inner.on_packet(now, &whole),
+            Err(_) => Vec::new(), // holes/overlaps: strict receiver drops
+        }
+    }
+
+    fn on_timer(&mut self, now: Time) -> Vec<Output> {
+        self.inner.on_timer(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::craft::TcpPacketSpec;
+    use tspu_wire::tcp::TcpFlags;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 80);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+
+    fn unwrap_sends(outputs: Vec<Output>) -> Vec<Vec<u8>> {
+        outputs
+            .into_iter()
+            .map(|o| match o {
+                Output::Send { packet, .. } => packet,
+                Output::Timer { .. } => panic!("unexpected timer"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn echo_server_full_cycle() {
+        let mut app = ServerApp::echo_server(SERVER);
+        let syn = TcpPacketSpec::new(CLIENT, 4000, SERVER, 7, TcpFlags::SYN).seq_ack(100, 0).build();
+        let replies = unwrap_sends(app.on_packet(Time::ZERO, &syn));
+        assert_eq!(replies.len(), 1);
+        let synack_view = Ipv4Packet::new_checked(&replies[0][..]).unwrap();
+        let synack = TcpSegment::new_checked(synack_view.payload()).unwrap();
+        assert_eq!(synack.flags(), TcpFlags::SYN_ACK);
+
+        let ack = TcpPacketSpec::new(CLIENT, 4000, SERVER, 7, TcpFlags::ACK)
+            .seq_ack(101, synack.seq_number().wrapping_add(1))
+            .build();
+        assert!(app.on_packet(Time::ZERO, &ack).is_empty());
+
+        let data = TcpPacketSpec::new(CLIENT, 4000, SERVER, 7, TcpFlags::PSH_ACK)
+            .seq_ack(101, synack.seq_number().wrapping_add(1))
+            .payload(b"echo me".to_vec())
+            .build();
+        let replies = unwrap_sends(app.on_packet(Time::ZERO, &data));
+        // An ACK plus the echoed payload.
+        let echoed: Vec<&Vec<u8>> = replies
+            .iter()
+            .filter(|p| {
+                let ip = Ipv4Packet::new_unchecked(&p[..]);
+                !TcpSegment::new_unchecked(ip.payload()).payload().is_empty()
+            })
+            .collect();
+        assert_eq!(echoed.len(), 1);
+        let ip = Ipv4Packet::new_unchecked(&echoed[0][..]);
+        assert_eq!(TcpSegment::new_unchecked(ip.payload()).payload(), b"echo me");
+    }
+
+    #[test]
+    fn closed_port_is_silent() {
+        let mut app = ServerApp::echo_server(SERVER);
+        let syn = TcpPacketSpec::new(CLIENT, 4000, SERVER, 9999, TcpFlags::SYN).build();
+        assert!(app.on_packet(Time::ZERO, &syn).is_empty());
+    }
+
+    #[test]
+    fn split_handshake_port_answers_syn_with_syn() {
+        let mut app = ServerApp::new(SERVER)
+            .with_port(ServerPort::new(443, PortBehavior::TlsServer).split_handshake());
+        let syn = TcpPacketSpec::new(CLIENT, 4001, SERVER, 443, TcpFlags::SYN).build();
+        let replies = unwrap_sends(app.on_packet(Time::ZERO, &syn));
+        let ip = Ipv4Packet::new_unchecked(&replies[0][..]);
+        let seg = TcpSegment::new_unchecked(ip.payload());
+        assert!(seg.flags().is_pure_syn());
+    }
+
+    #[test]
+    fn delayed_port_postpones_replies() {
+        let mut app = ServerApp::new(SERVER).with_port(
+            ServerPort::new(443, PortBehavior::TlsServer).delayed(Duration::from_secs(61)),
+        );
+        let syn = TcpPacketSpec::new(CLIENT, 4002, SERVER, 443, TcpFlags::SYN).build();
+        let outputs = app.on_packet(Time::ZERO, &syn);
+        assert!(matches!(
+            outputs[0],
+            Output::Send { delay, .. } if delay == Duration::from_secs(61)
+        ));
+    }
+
+    #[test]
+    fn udp_echo_and_icmp() {
+        let mut app = ServerApp::new(SERVER).with_udp_echo(7);
+        let probe = crate::craft::udp_packet(CLIENT, 5000, SERVER, 7, b"udp-probe");
+        let replies = unwrap_sends(app.on_packet(Time::ZERO, &probe));
+        assert_eq!(replies.len(), 1);
+
+        let ping = crate::craft::icmp_echo_request(CLIENT, SERVER, 9, 1);
+        let replies = unwrap_sends(app.on_packet(Time::ZERO, &ping));
+        assert_eq!(replies.len(), 1);
+        let ip = Ipv4Packet::new_checked(&replies[0][..]).unwrap();
+        let icmp = Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        assert!(matches!(Icmpv4Repr::parse(&icmp).unwrap(), Icmpv4Repr::EchoReply { .. }));
+    }
+
+    #[test]
+    fn reassembling_app_answers_fragmented_syn() {
+        let inner = ServerApp::echo_server(SERVER);
+        let mut app = ReassemblingApp::new(inner);
+        let syn = TcpPacketSpec::new(CLIENT, 4003, SERVER, 7, TcpFlags::SYN)
+            .payload(vec![0xaa; 512]) // SYN with payload, as in §7.2 scans
+            .ident(77)
+            .build();
+        let fragments = tspu_wire::frag::fragment(&syn, 64).unwrap();
+        let mut replies = Vec::new();
+        for fragment in &fragments {
+            replies = app.on_packet(Time::ZERO, fragment);
+        }
+        assert_eq!(replies.len(), 1, "reassembled SYN gets a SYN/ACK");
+    }
+
+    #[test]
+    fn reassembling_app_enforces_endpoint_limit() {
+        let inner = ServerApp::echo_server(SERVER);
+        let mut app = ReassemblingApp::new(inner);
+        app.frag_limit = 10;
+        let syn = TcpPacketSpec::new(CLIENT, 4004, SERVER, 7, TcpFlags::SYN)
+            .payload(vec![0xaa; 512])
+            .build();
+        let fragments = tspu_wire::frag::fragment_into(&syn, 12).unwrap();
+        let mut replies = Vec::new();
+        for fragment in &fragments {
+            replies = app.on_packet(Time::ZERO, fragment);
+        }
+        assert!(replies.is_empty());
+    }
+}

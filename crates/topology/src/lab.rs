@@ -1,0 +1,432 @@
+//! The paper's measurement setup (Fig. 1), reproduced as a simulator
+//! topology: three residential vantage points inside Rostelecom,
+//! ER-Telecom, and OBIT; two US measurement machines in one network; a
+//! Paris measurement machine sharing a data center with a (no longer
+//! operating, still IP-blocked) Tor entry node.
+//!
+//! TSPU placement follows §5.2.1 and §7.1:
+//!
+//! * every vantage has a *symmetric* device within its first three hops;
+//! * Rostelecom additionally has an *upstream-only* device one hop behind
+//!   the symmetric one (same AS);
+//! * OBIT's paths cross an *upstream-only* device at the first link of
+//!   the transit ISP — Rostelecom transit toward the US, RasCom transit
+//!   toward France (destination-dependent, thanks to asymmetric routing);
+//! * ER-Telecom has a single symmetric device (which is why Table 1 shows
+//!   it failing more often).
+
+use std::net::Ipv4Addr;
+
+use tspu_core::{FailureProfile, PolicyHandle, TspuDevice};
+use tspu_ispdpi::IspResolver;
+use tspu_netsim::{Direction, MiddleboxId, Network, Route, RouteStep};
+use tspu_netsim::{HostId, Shared};
+use tspu_registry::{stats, Universe};
+
+use crate::policy_build::{policy_from_universe, TOR_ENTRY_NODE};
+
+/// One in-country vantage point.
+pub struct Vantage {
+    pub name: &'static str,
+    pub city: &'static str,
+    pub host: HostId,
+    pub addr: Ipv4Addr,
+    /// The symmetric device on this vantage's paths.
+    pub sym_device: Shared<TspuDevice>,
+    /// Upstream-only devices on this vantage's paths (0–2).
+    pub upstream_devices: Vec<Shared<TspuDevice>>,
+    /// Hop index (1-based, from the vantage) of the symmetric device:
+    /// the device sits between hop `sym_hop` and `sym_hop + 1`.
+    pub sym_hop: usize,
+}
+
+/// The full Fig. 1 lab.
+pub struct VantageLab {
+    pub net: Network,
+    pub policy: PolicyHandle,
+    pub vantages: Vec<Vantage>,
+    /// Primary US measurement machine.
+    pub us_main: HostId,
+    pub us_main_addr: Ipv4Addr,
+    /// Second US machine, same network.
+    pub us_second: HostId,
+    pub us_second_addr: Ipv4Addr,
+    /// Paris measurement machine (same data center as the Tor node).
+    pub paris: HostId,
+    pub paris_addr: Ipv4Addr,
+    /// The Tor entry node whose IP is out-registry blocked.
+    pub tor: HostId,
+    pub tor_addr: Ipv4Addr,
+    /// The per-ISP censoring resolvers (the decentralized baseline).
+    pub resolvers: Vec<IspResolver>,
+}
+
+/// Addresses of the fixed endpoints.
+pub const ROSTELECOM_VANTAGE: Ipv4Addr = Ipv4Addr::new(10, 10, 0, 2);
+pub const ERTELECOM_VANTAGE: Ipv4Addr = Ipv4Addr::new(10, 20, 0, 2);
+pub const OBIT_VANTAGE: Ipv4Addr = Ipv4Addr::new(10, 30, 0, 2);
+pub const US_MAIN: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 10);
+pub const US_SECOND: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 11);
+pub const PARIS_MACHINE: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 8);
+
+fn profile(rates: &[f64; 5]) -> FailureProfile {
+    FailureProfile {
+        sni1: rates[0].max(0.0),
+        sni2: rates[1],
+        sni3: rates[0].max(0.0), // throttling shares SNI-I's trigger path
+        sni4: rates[2],
+        quic: rates[3],
+        ip: rates[4],
+    }
+}
+
+impl VantageLab {
+    /// Builds the lab over a fresh universe with the given policy toggles.
+    pub fn build(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
+        let policy = policy_from_universe(universe, throttle_active, quic_filter);
+        Self::build_with_policy(universe, policy)
+    }
+
+    /// Builds the lab with an explicit policy handle (e.g. perfectly
+    /// reliable devices for state-machine experiments).
+    pub fn build_with_policy(universe: &Universe, policy: PolicyHandle) -> VantageLab {
+        let mut net = Network::with_default_latency();
+
+        let us_main = net.add_host(US_MAIN);
+        let us_second = net.add_host(US_SECOND);
+        let paris = net.add_host(PARIS_MACHINE);
+        let tor = net.add_host(TOR_ENTRY_NODE);
+
+        let mut vantages = Vec::new();
+
+        // Helper: register a device and return (shared handle, id).
+        let make_dev = |net: &mut Network, name: &str, fp: FailureProfile, seed: u64| {
+            let dev = Shared::new(TspuDevice::new(name, policy.clone(), fp, seed));
+            let handle = dev.handle();
+            let id = net.add_middlebox(Box::new(dev));
+            (handle, id)
+        };
+
+        let rates = |isp: &str| {
+            stats::table1::PER_DEVICE
+                .iter()
+                .find(|(name, _)| *name == isp)
+                .map(|(_, r)| profile(r))
+                .expect("known ISP")
+        };
+
+        // --- Rostelecom (St. Petersburg): symmetric at hop 2, upstream-
+        //     only at hop 3 (one hop behind, same AS). ---
+        {
+            let host = net.add_host(ROSTELECOM_VANTAGE);
+            let fp = rates("Rostelecom");
+            let (sym, sym_id) = make_dev(&mut net, "rostelecom-sym", fp, 101);
+            let (up, up_id) = make_dev(&mut net, "rostelecom-up", fp, 102);
+            let hops = [
+                Ipv4Addr::new(10, 10, 255, 1),
+                Ipv4Addr::new(10, 10, 255, 2),
+                Ipv4Addr::new(10, 10, 255, 3),
+                Ipv4Addr::new(10, 10, 255, 4),
+                Ipv4Addr::new(188, 128, 10, 1), // AS12389 border
+            ];
+            install_vantage_routes(&mut net, host, &[us_main, us_second, paris, tor], &hops, sym_id, 2, Some((up_id, 3)));
+            vantages.push(Vantage {
+                name: "Rostelecom",
+                city: "St. Petersburg",
+                host,
+                addr: ROSTELECOM_VANTAGE,
+                sym_device: sym,
+                upstream_devices: vec![up],
+                sym_hop: 2,
+            });
+        }
+
+        // --- ER-Telecom (Krasnoyarsk): one symmetric device at hop 2. ---
+        {
+            let host = net.add_host(ERTELECOM_VANTAGE);
+            let fp = rates("ER-Telecom");
+            let (sym, sym_id) = make_dev(&mut net, "ertelecom-sym", fp, 201);
+            let hops = [
+                Ipv4Addr::new(10, 20, 255, 1),
+                Ipv4Addr::new(10, 20, 255, 2),
+                Ipv4Addr::new(10, 20, 255, 3),
+                Ipv4Addr::new(10, 20, 255, 4),
+                Ipv4Addr::new(212, 33, 20, 1),
+            ];
+            install_vantage_routes(&mut net, host, &[us_main, us_second, paris, tor], &hops, sym_id, 2, None);
+            vantages.push(Vantage {
+                name: "ER-Telecom",
+                city: "Krasnoyarsk",
+                host,
+                addr: ERTELECOM_VANTAGE,
+                sym_device: sym,
+                upstream_devices: Vec::new(),
+                sym_hop: 2,
+            });
+        }
+
+        // --- OBIT (Moscow): symmetric at hop 2; upstream-only devices in
+        //     the transit ISPs, destination-dependent (§7.1.1). ---
+        {
+            let host = net.add_host(OBIT_VANTAGE);
+            let fp = rates("OBIT");
+            let (sym, sym_id) = make_dev(&mut net, "obit-sym", fp, 301);
+            let (up_us, up_us_id) = make_dev(&mut net, "transit-rostelecom-up", fp, 302);
+            let (up_fr, up_fr_id) = make_dev(&mut net, "transit-rascom-up", fp, 303);
+            let obit_hops = [
+                Ipv4Addr::new(10, 30, 255, 1),
+                Ipv4Addr::new(10, 30, 255, 2), // symmetric device after this hop
+            ];
+            // Toward the US: transit via "Rostelecom" (upstream-only at
+            // the transit's first link).
+            let us_transit = [
+                Ipv4Addr::new(188, 128, 30, 1), // transit ingress, UP after
+                Ipv4Addr::new(188, 128, 30, 2),
+                Ipv4Addr::new(188, 128, 30, 3),
+            ];
+            // Toward France: transit via "RasCom".
+            let fr_transit = [
+                Ipv4Addr::new(80, 64, 30, 1), // transit ingress, UP after
+                Ipv4Addr::new(80, 64, 30, 2),
+                Ipv4Addr::new(80, 64, 30, 3),
+            ];
+            for (&dst, transit, up_id) in [
+                (&us_main, &us_transit, up_us_id),
+                (&us_second, &us_transit, up_us_id),
+                (&paris, &fr_transit, up_fr_id),
+                (&tor, &fr_transit, up_fr_id),
+            ] {
+                let mut forward = Vec::new();
+                forward.push(RouteStep::router(obit_hops[0]));
+                forward.push(RouteStep::with_device(obit_hops[1], sym_id, Direction::LocalToRemote));
+                forward.push(RouteStep::with_device(transit[0], up_id, Direction::LocalToRemote));
+                forward.push(RouteStep::router(transit[1]));
+                forward.push(RouteStep::router(transit[2]));
+                net.set_route(host, dst, Route { steps: forward });
+                // Reverse path: different transit hops (asymmetric
+                // routing), no upstream-only device, symmetric device on.
+                let reverse = Route {
+                    steps: vec![
+                        RouteStep::router(Ipv4Addr::new(185, 140, 30, 9)),
+                        RouteStep::router(Ipv4Addr::new(185, 140, 30, 8)),
+                        RouteStep::with_device(obit_hops[1], sym_id, Direction::RemoteToLocal),
+                        RouteStep::router(obit_hops[0]),
+                    ],
+                };
+                net.set_route(dst, host, reverse);
+            }
+            vantages.push(Vantage {
+                name: "OBIT",
+                city: "Moscow",
+                host,
+                addr: OBIT_VANTAGE,
+                sym_device: sym,
+                upstream_devices: vec![up_us, up_fr],
+                sym_hop: 2,
+            });
+        }
+
+        // US machines and the Paris pair can reach each other directly.
+        for (a, b) in [
+            (us_main, us_second),
+            (us_main, paris),
+            (us_main, tor),
+            (us_second, paris),
+            (us_second, tor),
+            (paris, tor),
+        ] {
+            net.set_route_symmetric(a, b, Route::through(&[Ipv4Addr::new(192, 0, 2, 254)]));
+        }
+
+        let resolvers = tspu_ispdpi::vantage_resolvers(universe);
+
+        VantageLab {
+            net,
+            policy,
+            vantages,
+            us_main,
+            us_main_addr: US_MAIN,
+            us_second,
+            us_second_addr: US_SECOND,
+            paris,
+            paris_addr: PARIS_MACHINE,
+            tor,
+            tor_addr: TOR_ENTRY_NODE,
+            resolvers,
+        }
+    }
+
+    /// The vantage by ISP name.
+    pub fn vantage(&self, name: &str) -> &Vantage {
+        self.vantages.iter().find(|v| v.name == name).expect("known vantage")
+    }
+}
+
+/// Installs forward and reverse routes from a vantage through its ISP
+/// hops to each destination: symmetric device after hop `sym_hop`
+/// (1-based), optional upstream-only device after hop `up_hop` on the
+/// forward path only.
+fn install_vantage_routes(
+    net: &mut Network,
+    vantage: HostId,
+    dsts: &[HostId],
+    hops: &[Ipv4Addr],
+    sym_id: MiddleboxId,
+    sym_hop: usize,
+    upstream: Option<(MiddleboxId, usize)>,
+) {
+    for &dst in dsts {
+        let mut forward = Vec::new();
+        for (i, &hop) in hops.iter().enumerate() {
+            let hop_no = i + 1;
+            let mut step = RouteStep::router(hop);
+            if hop_no == sym_hop {
+                step.devices.push((sym_id, Direction::LocalToRemote));
+            }
+            if let Some((up_id, up_hop)) = upstream {
+                if hop_no == up_hop {
+                    step.devices.push((up_id, Direction::LocalToRemote));
+                }
+            }
+            forward.push(step);
+        }
+        net.set_route(vantage, dst, Route { steps: forward });
+
+        // Reverse: same router hops in reverse, symmetric device only.
+        let mut reverse = Vec::new();
+        for (i, &hop) in hops.iter().enumerate().rev() {
+            let hop_no = i + 1;
+            let mut step = RouteStep::router(hop);
+            if hop_no == sym_hop {
+                step.devices.push((sym_id, Direction::RemoteToLocal));
+            }
+            reverse.push(step);
+        }
+        net.set_route(dst, vantage, Route { steps: reverse });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tspu_stack::craft::TcpPacketSpec;
+    use tspu_stack::{ServerApp, TcpClient, TcpClientConfig};
+    use tspu_wire::ipv4::Ipv4Packet;
+    use tspu_wire::tcp::{TcpFlags, TcpSegment};
+    use tspu_wire::tls::ClientHelloBuilder;
+
+    fn lab() -> (Universe, VantageLab) {
+        let universe = Universe::generate(11);
+        let policy = policy_from_universe(&universe, false, true);
+        // Make devices perfectly reliable for the structural tests.
+        let lab = {
+            let mut p = tspu_core::Policy::default();
+            p.quic_filter = true;
+            let _ = p;
+            VantageLab::build_with_policy(&universe, policy)
+        };
+        (universe, lab)
+    }
+
+    #[test]
+    fn blocked_domain_reset_from_every_vantage() {
+        let (_u, mut lab) = lab();
+        lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(US_MAIN)));
+        for (i, vantage) in lab.vantages.iter().enumerate() {
+            let ch = ClientHelloBuilder::new("twitter.com").build();
+            let config = TcpClientConfig::new(vantage.addr, 46000 + i as u16, US_MAIN, 443, ch);
+            let (app, report, syn) = TcpClient::start(config);
+            lab.net.set_app(vantage.host, Box::new(app));
+            lab.net.send_from(vantage.host, syn);
+            lab.net.run_until_idle();
+            assert_eq!(
+                report.outcome(),
+                tspu_stack::ClientOutcome::Reset,
+                "uniform blocking at {}",
+                vantage.name
+            );
+        }
+    }
+
+    #[test]
+    fn innocuous_domain_loads_from_every_vantage() {
+        let (_u, mut lab) = lab();
+        lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(US_MAIN)));
+        for (i, vantage) in lab.vantages.iter().enumerate() {
+            let ch = ClientHelloBuilder::new("rust-lang.org").build();
+            let config = TcpClientConfig::new(vantage.addr, 47000 + i as u16, US_MAIN, 443, ch);
+            let (app, report, syn) = TcpClient::start(config);
+            lab.net.set_app(vantage.host, Box::new(app));
+            lab.net.send_from(vantage.host, syn);
+            lab.net.run_until_idle();
+            assert_eq!(report.outcome(), tspu_stack::ClientOutcome::GotData, "{}", vantage.name);
+        }
+    }
+
+    #[test]
+    fn tor_node_syn_answered_with_rewritten_rst() {
+        // The §5.2 IP-blocking check: SYN from the Tor node reaches the
+        // vantage, the SYN/ACK back is rewritten to RST/ACK.
+        let (_u, mut lab) = lab();
+        let vantage = lab.vantage("ER-Telecom").host;
+        let vantage_addr = lab.vantage("ER-Telecom").addr;
+        lab.net.set_app(vantage, Box::new(ServerApp::echo_server(vantage_addr)));
+        let syn = TcpPacketSpec::new(TOR_ENTRY_NODE, 33000, vantage_addr, 7, TcpFlags::SYN).build();
+        lab.net.send_from(lab.tor, syn);
+        lab.net.run_until_idle();
+        let inbox = lab.net.take_inbox(lab.tor);
+        assert_eq!(inbox.len(), 1);
+        let ip = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        let seg = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert_eq!(seg.flags(), TcpFlags::RST_ACK);
+    }
+
+    #[test]
+    fn paris_machine_unaffected_control() {
+        // The control pair: same data center, not IP-blocked.
+        let (_u, mut lab) = lab();
+        let vantage = lab.vantage("ER-Telecom").host;
+        let vantage_addr = lab.vantage("ER-Telecom").addr;
+        lab.net.set_app(vantage, Box::new(ServerApp::echo_server(vantage_addr)));
+        let syn = TcpPacketSpec::new(PARIS_MACHINE, 33001, vantage_addr, 7, TcpFlags::SYN).build();
+        lab.net.send_from(lab.paris, syn);
+        lab.net.run_until_idle();
+        let inbox = lab.net.take_inbox(lab.paris);
+        assert_eq!(inbox.len(), 1);
+        let ip = Ipv4Packet::new_checked(&inbox[0].1[..]).unwrap();
+        let seg = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert_eq!(seg.flags(), TcpFlags::SYN_ACK);
+    }
+
+    #[test]
+    fn upstream_only_devices_see_no_downstream() {
+        let (_u, mut lab) = lab();
+        // Run one blocked exchange from Rostelecom.
+        lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(US_MAIN)));
+        let v = lab.vantage("Rostelecom");
+        let host = v.host;
+        let addr = v.addr;
+        let ch = ClientHelloBuilder::new("twitter.com").build();
+        let (app, _report, syn) = TcpClient::start(TcpClientConfig::new(addr, 48000, US_MAIN, 443, ch));
+        lab.net.set_app(host, Box::new(app));
+        lab.net.send_from(host, syn);
+        lab.net.run_until_idle();
+        let v = lab.vantage("Rostelecom");
+        let sym = v.sym_device.borrow();
+        let up = v.upstream_devices[0].borrow();
+        assert!(sym.stats().packets_seen > up.stats().packets_seen);
+        assert!(up.stats().packets_seen > 0);
+    }
+
+    #[test]
+    fn vantage_count_and_devices_match_paper() {
+        let (_u, lab) = lab();
+        assert_eq!(lab.vantages.len(), 3);
+        assert_eq!(lab.vantage("Rostelecom").upstream_devices.len(), 1);
+        assert_eq!(lab.vantage("ER-Telecom").upstream_devices.len(), 0);
+        assert_eq!(lab.vantage("OBIT").upstream_devices.len(), 2);
+        // Symmetric devices within the first three hops (§7.1).
+        assert!(lab.vantages.iter().all(|v| v.sym_hop <= 3));
+        assert_eq!(lab.resolvers.len(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Builds the central TSPU policy from a generated domain universe.
+
+use std::net::Ipv4Addr;
+
+use tspu_core::{Policy, PolicyHandle, ThrottleConfig};
+use tspu_registry::Universe;
+
+/// The Tor entry node's address (Fig. 1's Paris data-center pair). Its IP
+/// is "out-registry" blocked by the TSPU since December 2021 (§3).
+pub const TOR_ENTRY_NODE: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
+
+/// Additional out-registry blocked IPs the paper mentions (§5.2: "six
+/// additional IPs … including IPs from VPN providers and Google services").
+pub const EXTRA_BLOCKED_IPS: [Ipv4Addr; 6] = [
+    Ipv4Addr::new(198, 51, 100, 21),
+    Ipv4Addr::new(198, 51, 100, 22),
+    Ipv4Addr::new(198, 51, 100, 23),
+    Ipv4Addr::new(203, 0, 113, 188),
+    Ipv4Addr::new(203, 0, 113, 189),
+    Ipv4Addr::new(203, 0, 113, 190),
+];
+
+/// Builds the centrally distributed policy for a universe, with the given
+/// epoch toggles (see `tspu_registry::PolicyTimeline`).
+pub fn policy_from_universe(universe: &Universe, throttle_active: bool, quic_filter: bool) -> PolicyHandle {
+    let mut policy = Policy::default();
+    for name in &universe.blocks.sni_rst {
+        policy.sni_rst.insert(name.clone());
+    }
+    for name in &universe.blocks.sni_slow {
+        policy.sni_slow.insert(name.clone());
+    }
+    for name in &universe.blocks.sni_throttle {
+        policy.sni_throttle.insert(name.clone());
+    }
+    for name in &universe.blocks.sni_backup {
+        policy.sni_backup.insert(name.clone());
+    }
+    policy.blocked_ips.insert(TOR_ENTRY_NODE);
+    for addr in EXTRA_BLOCKED_IPS {
+        policy.blocked_ips.insert(addr);
+    }
+    policy.quic_filter = quic_filter;
+    policy.throttle_active = throttle_active;
+    policy.throttle = ThrottleConfig::hard_2022();
+    PolicyHandle::new(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_mirrors_universe() {
+        let universe = Universe::generate(1);
+        let handle = policy_from_universe(&universe, false, true);
+        let policy = handle.read();
+        assert!(policy.sni_rst.matches("twitter.com"));
+        assert!(policy.sni_slow.matches("play.google.com"));
+        assert!(policy.blocked_ips.contains(&TOR_ENTRY_NODE));
+        assert_eq!(policy.blocked_ips.len(), 7);
+        assert!(policy.quic_filter);
+        assert!(!policy.throttle_active);
+        assert!(policy.sni_rst.len() >= 9_899);
+    }
+}

@@ -1,0 +1,33 @@
+use std::fmt;
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is too short to contain the protocol's header, or a length
+    /// field points past the end of the buffer.
+    Truncated,
+    /// A field holds a value the parser cannot interpret (bad version, bad
+    /// header length, unknown mandatory field).
+    Malformed,
+    /// A checksum did not verify.
+    Checksum,
+    /// The payload does not carry the expected protocol (e.g. asking for a
+    /// TLS ClientHello from a record that is not a handshake record).
+    WrongProtocol,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "buffer truncated"),
+            Error::Malformed => write!(f, "malformed field"),
+            Error::Checksum => write!(f, "checksum mismatch"),
+            Error::WrongProtocol => write!(f, "unexpected protocol"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for wire-format operations.
+pub type Result<T> = std::result::Result<T, Error>;

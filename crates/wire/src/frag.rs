@@ -1,0 +1,232 @@
+//! IPv4 fragmentation and reassembly helpers.
+//!
+//! Endpoints and measurement probes need to *produce* fragment trains —
+//! including deliberately pathological ones (overlaps, duplicates, > 45
+//! pieces) that exercise the TSPU fragment cache (§5.3.1) — and receivers
+//! need standards-compliant reassembly to verify delivery.
+
+use crate::ipv4::{Ipv4Packet, Ipv4Repr};
+use crate::{Error, Result};
+
+/// Splits an IPv4 datagram (`bytes` must be a complete, non-fragmented
+/// packet) into fragments whose payloads are at most `mtu_payload` bytes.
+/// `mtu_payload` is rounded down to a multiple of 8 as the offset field
+/// requires. Each fragment gets a fresh header with the same
+/// (src, dst, ident, protocol) and the original TTL.
+pub fn fragment(bytes: &[u8], mtu_payload: usize) -> Result<Vec<Vec<u8>>> {
+    let packet = Ipv4Packet::new_checked(bytes)?;
+    if packet.is_fragment() {
+        return Err(Error::Malformed);
+    }
+    let repr = Ipv4Repr::parse(&packet)?;
+    let payload = packet.payload();
+    let chunk = (mtu_payload / 8).max(1) * 8;
+    let mut fragments = Vec::new();
+    let mut offset = 0;
+    while offset < payload.len() {
+        let end = (offset + chunk).min(payload.len());
+        let piece = &payload[offset..end];
+        let mut frag_repr = repr;
+        frag_repr.frag_offset = offset;
+        frag_repr.more_fragments = end < payload.len();
+        frag_repr.dont_fragment = false;
+        frag_repr.payload_len = piece.len();
+        fragments.push(frag_repr.build(piece));
+        offset = end;
+    }
+    if fragments.is_empty() {
+        // Zero-payload datagram: one "fragment" that is the packet itself.
+        fragments.push(bytes.to_vec());
+    }
+    Ok(fragments)
+}
+
+/// Splits a datagram into exactly `n` fragments of roughly equal size.
+/// Used by the fragment-queue-limit fingerprint probe (45 vs 46 pieces,
+/// §7.2). Fails if the payload cannot be cut into `n` non-empty 8-byte
+/// aligned pieces.
+pub fn fragment_into(bytes: &[u8], n: usize) -> Result<Vec<Vec<u8>>> {
+    if n == 0 {
+        return Err(Error::Malformed);
+    }
+    let packet = Ipv4Packet::new_checked(bytes)?;
+    if packet.is_fragment() {
+        return Err(Error::Malformed);
+    }
+    let repr = Ipv4Repr::parse(&packet)?;
+    let payload = packet.payload();
+    if n == 1 {
+        return Ok(vec![bytes.to_vec()]);
+    }
+    // All fragments except the last must carry a multiple of 8 bytes.
+    // Use a balanced base size for the first n-1 pieces; the last piece
+    // absorbs the remainder.
+    let mut base = ((payload.len() / n) / 8 * 8).max(8);
+    while base > 8 && base * (n - 1) >= payload.len() {
+        base -= 8;
+    }
+    if base * (n - 1) >= payload.len() {
+        return Err(Error::Malformed);
+    }
+    let mut fragments = Vec::with_capacity(n);
+    for i in 0..n {
+        let offset = i * base;
+        let end = if i == n - 1 { payload.len() } else { offset + base };
+        let piece = &payload[offset..end];
+        let mut frag_repr = repr;
+        frag_repr.frag_offset = offset;
+        frag_repr.more_fragments = i != n - 1;
+        frag_repr.dont_fragment = false;
+        frag_repr.payload_len = piece.len();
+        fragments.push(frag_repr.build(piece));
+    }
+    Ok(fragments)
+}
+
+/// Reassembles fragments of one datagram into the original packet bytes.
+/// Fragments may arrive in any order; overlaps/duplicates are rejected
+/// (strict receiver, per RFC 5722's spirit). All fragments must share
+/// (src, dst, ident).
+pub fn reassemble(fragments: &[Vec<u8>]) -> Result<Vec<u8>> {
+    if fragments.is_empty() {
+        return Err(Error::Truncated);
+    }
+    let first = Ipv4Packet::new_checked(&fragments[0][..])?;
+    let key = (first.src_addr(), first.dst_addr(), first.ident());
+
+    let mut pieces: Vec<(usize, bool, Vec<u8>)> = Vec::with_capacity(fragments.len());
+    for buf in fragments {
+        let packet = Ipv4Packet::new_checked(&buf[..])?;
+        if (packet.src_addr(), packet.dst_addr(), packet.ident()) != key {
+            return Err(Error::Malformed);
+        }
+        pieces.push((packet.frag_offset(), packet.more_fragments(), packet.payload().to_vec()));
+    }
+    pieces.sort_by_key(|(off, _, _)| *off);
+
+    // Validate contiguity: each fragment must start exactly where the
+    // previous one ended, the first at 0, the last with MF clear.
+    let mut expected = 0usize;
+    for (i, (off, more, payload)) in pieces.iter().enumerate() {
+        if *off != expected {
+            return Err(Error::Malformed);
+        }
+        expected += payload.len();
+        let is_last = i == pieces.len() - 1;
+        if is_last == *more {
+            return Err(Error::Malformed);
+        }
+    }
+
+    let mut payload = Vec::with_capacity(expected);
+    for (_, _, piece) in &pieces {
+        payload.extend_from_slice(piece);
+    }
+    let mut repr = Ipv4Repr::parse(&first)?;
+    repr.more_fragments = false;
+    repr.frag_offset = 0;
+    repr.payload_len = payload.len();
+    Ok(repr.build(&payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Protocol;
+    use std::net::Ipv4Addr;
+
+    fn datagram(payload_len: usize) -> Vec<u8> {
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        let mut repr = Ipv4Repr::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Protocol::Tcp,
+            payload.len(),
+        );
+        repr.ident = 0x4242;
+        repr.build(&payload)
+    }
+
+    #[test]
+    fn fragment_reassemble_roundtrip() {
+        let original = datagram(1000);
+        let fragments = fragment(&original, 256).unwrap();
+        assert_eq!(fragments.len(), 4);
+        assert!(Ipv4Packet::new_unchecked(&fragments[0][..]).more_fragments());
+        assert!(!Ipv4Packet::new_unchecked(&fragments[3][..]).more_fragments());
+        let rebuilt = reassemble(&fragments).unwrap();
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn reassemble_out_of_order() {
+        let original = datagram(600);
+        let mut fragments = fragment(&original, 128).unwrap();
+        fragments.reverse();
+        assert_eq!(reassemble(&fragments).unwrap(), original);
+    }
+
+    #[test]
+    fn fragment_into_exact_counts() {
+        let original = datagram(1480);
+        for n in [2usize, 10, 45, 46] {
+            let fragments = fragment_into(&original, n).unwrap();
+            assert_eq!(fragments.len(), n, "n={n}");
+            assert_eq!(reassemble(&fragments).unwrap(), original);
+        }
+    }
+
+    #[test]
+    fn fragment_into_too_many_pieces_fails() {
+        // 24-byte payload cannot make 5 nonempty 8-byte-aligned pieces.
+        let original = datagram(24);
+        assert!(fragment_into(&original, 5).is_err());
+    }
+
+    #[test]
+    fn reassemble_rejects_gap() {
+        let original = datagram(1000);
+        let mut fragments = fragment(&original, 256).unwrap();
+        fragments.remove(1);
+        assert!(reassemble(&fragments).is_err());
+    }
+
+    #[test]
+    fn reassemble_rejects_duplicate() {
+        let original = datagram(1000);
+        let mut fragments = fragment(&original, 256).unwrap();
+        let dup = fragments[1].clone();
+        fragments.push(dup);
+        assert!(reassemble(&fragments).is_err());
+    }
+
+    #[test]
+    fn reassemble_rejects_mixed_idents() {
+        let a = fragment(&datagram(512), 128).unwrap();
+        let mut b_src = datagram(512);
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut b_src[..]);
+            p.set_ident(0x9999);
+            p.fill_checksum();
+        }
+        let b = fragment(&b_src, 128).unwrap();
+        let mixed = vec![a[0].clone(), b[1].clone(), a[2].clone(), a[3].clone()];
+        assert!(reassemble(&mixed).is_err());
+    }
+
+    #[test]
+    fn fragmenting_a_fragment_fails() {
+        let original = datagram(1000);
+        let fragments = fragment(&original, 256).unwrap();
+        assert!(fragment(&fragments[0], 64).is_err());
+    }
+
+    #[test]
+    fn small_payload_single_fragment() {
+        let original = datagram(40);
+        let fragments = fragment(&original, 1400).unwrap();
+        assert_eq!(fragments.len(), 1);
+        assert!(!Ipv4Packet::new_unchecked(&fragments[0][..]).is_fragment());
+        assert_eq!(reassemble(&fragments).unwrap(), original);
+    }
+}

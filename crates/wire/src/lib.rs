@@ -1,0 +1,56 @@
+//! # tspu-wire
+//!
+//! Typed wire formats for the TSPU reproduction.
+//!
+//! This crate follows the smoltcp idiom: every protocol has a *packet view*
+//! type (`Ipv4Packet`, `TcpSegment`, …) that wraps a byte buffer and exposes
+//! typed accessors over explicit field offsets, plus an owned *representation*
+//! type (`Ipv4Repr`, `TcpRepr`, …) that can be parsed from and emitted into a
+//! view. Views are generic over `AsRef<[u8]>` (read) and `AsMut<[u8]>`
+//! (write), so the same accessors work over `&[u8]`, `Vec<u8>`, and mutable
+//! slices without copies.
+//!
+//! The formats implemented are exactly those the TSPU inspects or rewrites:
+//!
+//! * [`ipv4`] — IPv4 headers including the fragmentation fields (identification,
+//!   MF/DF flags, fragment offset) that drive the TSPU fragment cache.
+//! * [`tcp`] — TCP segments including the flag combinations the TSPU's
+//!   connection tracker keys on, and the RST/ACK rewrite it performs.
+//! * [`udp`] — UDP datagrams (QUIC transport).
+//! * [`icmpv4`] — ICMP echo, used for IP-based blocking of pings.
+//! * [`tls`] — TLS ClientHello parsing and construction, including the SNI
+//!   extension the TSPU extracts (paper Fig. 13).
+//! * [`quic`] — the QUIC long-header prefix carrying the version field the
+//!   TSPU fingerprints (paper Fig. 14).
+//! * [`dns`] — A-record queries/responses for the ISP blockpage resolvers
+//!   (paper §6.2).
+//! * [`http`] — minimal HTTP/1.1 for blockpages and legacy keyword DPIs
+//!   (paper §2's pre-TSPU mechanisms).
+//! * [`frag`] — helpers to split an IPv4 datagram into fragments and to
+//!   reassemble them, used by endpoints and measurement probes.
+//! * [`checksum`] — the internet checksum and TCP/UDP pseudo-header sums.
+//!
+//! All multi-byte fields are big-endian as on the wire. Buffers shorter than
+//! a protocol's minimum header fail `check_len` rather than panic.
+
+pub mod checksum;
+pub mod dns;
+pub mod frag;
+pub mod http;
+pub mod icmpv4;
+pub mod ipv4;
+pub mod quic;
+pub mod tcp;
+pub mod tls;
+pub mod udp;
+
+mod error;
+
+pub use dns::{DnsQuery, DnsResponse};
+pub use error::{Error, Result};
+pub use icmpv4::{Icmpv4Packet, Icmpv4Repr};
+pub use ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+pub use quic::{QuicHeader, QuicVersion};
+pub use tcp::{TcpFlags, TcpRepr, TcpSegment};
+pub use tls::{ClientHello, ClientHelloBuilder, Extension, SniOutcome};
+pub use udp::{UdpDatagram, UdpRepr};

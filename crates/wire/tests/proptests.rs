@@ -1,0 +1,119 @@
+//! Property-based tests over the wire formats: roundtrips, fragmentation
+//! invariants, and parser robustness on arbitrary bytes.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use tspu_wire::frag;
+use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+use tspu_wire::tcp::{TcpFlags, TcpRepr, TcpSegment};
+use tspu_wire::tls::{extract_sni, ClientHelloBuilder, SniOutcome};
+use tspu_wire::udp::{UdpDatagram, UdpRepr};
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn ipv4_roundtrip(src in arb_addr(), dst in arb_addr(), ttl in 1u8..=255,
+                      ident in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut repr = Ipv4Repr::new(src, dst, Protocol::Tcp, payload.len());
+        repr.ttl = ttl;
+        repr.ident = ident;
+        let bytes = repr.build(&payload);
+        let packet = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        prop_assert!(packet.verify_checksum());
+        prop_assert_eq!(Ipv4Repr::parse(&packet).unwrap(), repr);
+        prop_assert_eq!(packet.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Ipv4Packet::new_checked(&bytes[..]);
+    }
+
+    #[test]
+    fn tcp_roundtrip(sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(),
+                     ack in any::<u32>(), flags in 0u8..=0x3f, window in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let repr = TcpRepr {
+            src_port: sp, dst_port: dp, seq_number: seq, ack_number: ack,
+            flags: TcpFlags(flags), window, payload,
+        };
+        let bytes = repr.build(src, dst);
+        let segment = TcpSegment::new_checked(&bytes[..]).unwrap();
+        prop_assert!(segment.verify_checksum(src, dst));
+        prop_assert_eq!(TcpRepr::parse(&segment).unwrap(), repr);
+    }
+
+    #[test]
+    fn udp_roundtrip(sp in any::<u16>(), dp in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..1200)) {
+        let src = Ipv4Addr::new(192, 0, 2, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 2);
+        let repr = UdpRepr::new(sp, dp, payload);
+        let bytes = repr.build(src, dst);
+        let datagram = UdpDatagram::new_checked(&bytes[..]).unwrap();
+        prop_assert!(datagram.verify_checksum(src, dst));
+        prop_assert_eq!(UdpRepr::parse(&datagram).unwrap(), repr);
+    }
+
+    #[test]
+    fn fragment_reassemble_identity(payload_len in 64usize..2048, mtu in 16usize..512) {
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i * 7 % 256) as u8).collect();
+        let mut repr = Ipv4Repr::new(
+            Ipv4Addr::new(10, 1, 1, 1), Ipv4Addr::new(10, 2, 2, 2),
+            Protocol::Udp, payload.len());
+        repr.ident = 0x1234;
+        let original = repr.build(&payload);
+        let fragments = frag::fragment(&original, mtu).unwrap();
+        // Every fragment is individually a valid IPv4 packet.
+        for f in &fragments {
+            prop_assert!(Ipv4Packet::new_checked(&f[..]).is_ok());
+        }
+        prop_assert_eq!(frag::reassemble(&fragments).unwrap(), original);
+    }
+
+    #[test]
+    fn fragment_into_exact(payload_len in 512usize..4096, n in 2usize..48) {
+        let payload: Vec<u8> = vec![0xaa; payload_len];
+        let mut repr = Ipv4Repr::new(
+            Ipv4Addr::new(10, 1, 1, 1), Ipv4Addr::new(10, 2, 2, 2),
+            Protocol::Tcp, payload.len());
+        repr.ident = 1;
+        let original = repr.build(&payload);
+        match frag::fragment_into(&original, n) {
+            Ok(fragments) => {
+                prop_assert_eq!(fragments.len(), n);
+                prop_assert_eq!(frag::reassemble(&fragments).unwrap(), original);
+            }
+            Err(_) => {
+                // Only legal when the payload genuinely cannot be split into
+                // n nonempty 8-byte-aligned pieces.
+                prop_assert!(8 * (n - 1) >= payload_len);
+            }
+        }
+    }
+
+    #[test]
+    fn extract_sni_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = extract_sni(&bytes);
+    }
+
+    #[test]
+    fn sni_roundtrip_any_hostname(name in "[a-z0-9.-]{1,60}") {
+        let record = ClientHelloBuilder::new(&name).build();
+        prop_assert_eq!(extract_sni(&record), SniOutcome::Sni(name));
+    }
+
+    #[test]
+    fn single_byte_mutation_never_panics(seed in any::<u8>(), pos_frac in 0.0f64..1.0) {
+        let record = ClientHelloBuilder::new("example.com").build();
+        let mut mutated = record.clone();
+        let pos = ((record.len() - 1) as f64 * pos_frac) as usize;
+        mutated[pos] ^= seed | 1;
+        let _ = extract_sni(&mutated);
+    }
+}

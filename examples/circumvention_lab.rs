@@ -1,0 +1,40 @@
+//! Evaluates every §8 circumvention strategy against every blocking
+//! mechanism, on a symmetric-only path and on a path with an extra
+//! upstream-only device.
+//!
+//! ```sh
+//! cargo run --release --example circumvention_lab
+//! ```
+
+use tspu_registry::Universe;
+
+fn main() {
+    let universe = Universe::generate(2022);
+    println!("evaluating {} strategies — this replays full TLS fetches per cell\n", tspu_circumvent::all_strategies().len());
+    let rows = tspu_circumvent::evaluate_matrix(&universe);
+
+    println!(
+        "{:<38} {:<7} {:<8} {:<10} +upstream-only",
+        "strategy", "side", "target", "sym-only"
+    );
+    println!("{}", "-".repeat(80));
+    for row in rows {
+        for (label, sym, upstream) in &row.outcomes {
+            println!(
+                "{:<38} {:<7} {:<8} {:<10} {}",
+                row.strategy,
+                if row.server_side { "server" } else { "client" },
+                label,
+                if *sym { "EVADES" } else { "blocked" },
+                if *upstream { "EVADES" } else { "blocked" },
+            );
+        }
+    }
+    println!("\nreadings (paper §8):");
+    println!(" * the split handshake frees SNI-I sites but not SNI-IV's backup filter;");
+    println!(" * window/segmentation/fragmentation strategies defeat SNI inspection");
+    println!("   everywhere, because the TSPU does not reassemble TCP or IP;");
+    println!(" * TTL-limited decoys are mitigated — the inspection window covers");
+    println!("   packets later in the session;");
+    println!(" * QUIC blocking keys on version 1 only.");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build the paper's measurement lab, make two HTTPS requests
+//! from a Russian vantage point, and watch the TSPU interfere with one.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tspu_registry::Universe;
+use tspu_stack::{ClientOutcome, ServerApp, TcpClient, TcpClientConfig};
+use tspu_topology::VantageLab;
+use tspu_wire::tls::ClientHelloBuilder;
+
+fn main() {
+    // A deterministic domain universe (blocklists, registry, categories)
+    // and the Fig. 1 topology: three residential vantage points with TSPU
+    // devices on their paths, measurement machines outside Russia.
+    let universe = Universe::generate(2022);
+    let mut lab = VantageLab::build(&universe, false, true);
+
+    // The US measurement machine serves HTTPS for any SNI.
+    lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
+
+    for (domain, port) in [("twitter.com", 40_001u16), ("wikipedia.org", 40_002)] {
+        let (host, addr, v_name, v_city) = {
+            let vantage = lab.vantage("ER-Telecom");
+            (vantage.host, vantage.addr, vantage.name, vantage.city)
+        };
+        let hello = ClientHelloBuilder::new(domain).build();
+        let (app, report, syn) =
+            TcpClient::start(TcpClientConfig::new(addr, port, lab.us_main_addr, 443, hello));
+        lab.net.set_app(host, Box::new(app));
+        lab.net.send_from(host, syn);
+        lab.net.run_until_idle();
+
+        let outcome = report.outcome();
+        println!(
+            "https://{domain}/ from {v_name} ({v_city}): {}",
+            match outcome {
+                ClientOutcome::GotData => "page loaded".to_string(),
+                ClientOutcome::Reset =>
+                    "connection RESET — the TSPU rewrote the server's response to RST/ACK (SNI-I)".to_string(),
+                ClientOutcome::Silent => "silence — packets are being dropped".to_string(),
+                ClientOutcome::NoHandshake => "no handshake".to_string(),
+            }
+        );
+    }
+
+    // Device-side view: the symmetric TSPU on this vantage's path.
+    let stats = lab.vantage("ER-Telecom").sym_device.borrow().stats();
+    println!(
+        "\nTSPU device counters: {} packets seen, {} SNI-I triggers, {} rewritten",
+        stats.packets_seen, stats.triggers_sni1, stats.packets_rewritten
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: full censorship scenarios through the Fig. 1
+//! lab, exercising wire + netsim + core + stack + registry + topology
+//! together.
+
+use std::time::Duration;
+
+use tspu::registry::Universe;
+use tspu::stack::{ClientOutcome, PortBehavior, ServerApp, ServerPort, TcpClient, TcpClientConfig};
+use tspu::topology::VantageLab;
+use tspu::wire::tls::ClientHelloBuilder;
+
+fn fetch(lab: &mut VantageLab, vantage: &str, port: u16, domain: &str) -> ClientOutcome {
+    let (host, addr) = {
+        let v = lab.vantage(vantage);
+        (v.host, v.addr)
+    };
+    let (app, report, syn) = TcpClient::start(TcpClientConfig::new(
+        addr,
+        port,
+        lab.us_main_addr,
+        443,
+        ClientHelloBuilder::new(domain).build(),
+    ));
+    lab.net.set_app(host, Box::new(app));
+    lab.net.send_from(host, syn);
+    lab.net.run_until_idle();
+    report.outcome()
+}
+
+#[test]
+fn blocking_is_uniform_across_isps() {
+    // §5.1's attribution criterion: the TSPU blocks the same list, the
+    // same way, at every ISP — unlike ISP resolvers.
+    let universe = Universe::generate(77);
+    let mut lab = VantageLab::build(&universe, false, true);
+    lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
+
+    for (i, vantage) in ["Rostelecom", "ER-Telecom", "OBIT"].iter().enumerate() {
+        let port = 30_000 + i as u16 * 10;
+        assert_eq!(fetch(&mut lab, vantage, port, "twitter.com"), ClientOutcome::Reset, "{vantage}");
+        assert_eq!(fetch(&mut lab, vantage, port + 1, "bbc.com"), ClientOutcome::Reset, "{vantage}");
+        assert_eq!(
+            fetch(&mut lab, vantage, port + 2, "rust-lang.org"),
+            ClientOutcome::GotData,
+            "{vantage}"
+        );
+    }
+
+    // The resolvers, by contrast, disagree with each other on recent
+    // registry entries.
+    let recent: Vec<&str> = universe
+        .registry_sample
+        .iter()
+        .take(300)
+        .map(|d| d.name.as_str())
+        .collect();
+    let counts: Vec<usize> = lab
+        .resolvers
+        .iter()
+        .map(|r| recent.iter().filter(|d| r.lists(d)).count())
+        .collect();
+    assert!(counts.iter().collect::<std::collections::HashSet<_>>().len() > 1, "{counts:?}");
+}
+
+#[test]
+fn central_policy_update_applies_everywhere_at_once() {
+    // The March 2022 pattern: Roskomnadzor adds a domain and every device
+    // in the country enforces it immediately.
+    let universe = Universe::generate(78);
+    let mut lab = VantageLab::build(&universe, false, true);
+    lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
+
+    assert_eq!(fetch(&mut lab, "OBIT", 31_000, "newsite.example"), ClientOutcome::GotData);
+    lab.policy.update(|p| p.sni_rst.insert("newsite.example"));
+    assert_eq!(fetch(&mut lab, "OBIT", 31_001, "newsite.example"), ClientOutcome::Reset);
+    assert_eq!(fetch(&mut lab, "Rostelecom", 31_002, "newsite.example"), ClientOutcome::Reset);
+    assert_eq!(fetch(&mut lab, "ER-Telecom", 31_003, "newsite.example"), ClientOutcome::Reset);
+}
+
+#[test]
+fn residual_censorship_and_fresh_ports() {
+    // §3: tests reuse fresh source ports because verdicts stick to the
+    // 5-tuple for their residual duration.
+    let universe = Universe::generate(79);
+    let mut lab = VantageLab::build(&universe, false, true);
+    lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
+
+    assert_eq!(fetch(&mut lab, "ER-Telecom", 32_000, "meduza.io"), ClientOutcome::Reset);
+    // Same port, innocuous SNI, within the 75 s residual: still reset.
+    assert_eq!(fetch(&mut lab, "ER-Telecom", 32_000, "rust-lang.org"), ClientOutcome::Reset);
+    // Fresh port: clean.
+    assert_eq!(fetch(&mut lab, "ER-Telecom", 32_001, "rust-lang.org"), ClientOutcome::GotData);
+    // Same port after the residual expires: clean again.
+    lab.net.run_for(Duration::from_secs(481));
+    assert_eq!(fetch(&mut lab, "ER-Telecom", 32_000, "rust-lang.org"), ClientOutcome::GotData);
+}
+
+#[test]
+fn datacenter_style_path_sees_no_censorship() {
+    // §3: "all data center VPSes we rent show little to no signs of
+    // censorship" — the Paris machine (no TSPU on its path to the US)
+    // fetches blocked domains freely.
+    let universe = Universe::generate(80);
+    let mut lab = VantageLab::build(&universe, false, true);
+    lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
+    let (app, report, syn) = TcpClient::start(TcpClientConfig::new(
+        lab.paris_addr,
+        33_000,
+        lab.us_main_addr,
+        443,
+        ClientHelloBuilder::new("twitter.com").build(),
+    ));
+    lab.net.set_app(lab.paris, Box::new(app));
+    lab.net.send_from(lab.paris, syn);
+    lab.net.run_until_idle();
+    assert_eq!(report.outcome(), ClientOutcome::GotData);
+}
+
+#[test]
+fn server_side_strategies_help_unmodified_clients() {
+    // §8 deployed at the site: an unmodified client reaches an SNI-I
+    // blocked site when the server uses the split handshake or a small
+    // window.
+    let universe = Universe::generate(81);
+    let mut lab = VantageLab::build(&universe, false, true);
+    for (port_cfg, client_port) in [
+        (ServerPort::new(443, PortBehavior::TlsServer).split_handshake(), 34_000u16),
+        (ServerPort::new(443, PortBehavior::TlsServer).small_window(64), 34_001),
+    ] {
+        lab.net.set_app(
+            lab.us_main,
+            Box::new(ServerApp::new(lab.us_main_addr).with_port(port_cfg)),
+        );
+        let outcome = fetch(&mut lab, "ER-Telecom", client_port, "meduza.io");
+        assert_eq!(outcome, ClientOutcome::GotData);
+        lab.net.run_for(Duration::from_secs(481));
+    }
+}
+
+#[test]
+fn two_devices_on_path_compound_reliability() {
+    // Table 1's explanation: Rostelecom's path crosses two devices, so a
+    // mechanism both can enforce (SNI-II upstream drops) fails only when
+    // both roll a failure.
+    let universe = Universe::generate(82);
+    let mut lab = VantageLab::build(&universe, false, true);
+    let er = tspu::measure::reliability::run_cell(
+        &mut lab,
+        "ER-Telecom",
+        tspu::measure::reliability::Mechanism::Sni2,
+        800,
+    );
+    let ro = tspu::measure::reliability::run_cell(
+        &mut lab,
+        "Rostelecom",
+        tspu::measure::reliability::Mechanism::Sni2,
+        800,
+    );
+    assert!(er.failures >= ro.failures, "ER {} vs RO {}", er.failures, ro.failures);
+}

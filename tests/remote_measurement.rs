@@ -1,0 +1,140 @@
+//! Cross-crate integration: the remote measurement pipeline scored
+//! against topology ground truth — the reproduction's answer to "do the
+//! paper's techniques actually find what is there?"
+
+use tspu::measure::{echo, fragscan, traceroute};
+use tspu::registry::Universe;
+use tspu::topology::{Runet, RunetConfig};
+
+fn runet(seed: u64) -> Runet {
+    let universe = Universe::generate(5);
+    Runet::generate(&universe, RunetConfig::tiny(seed))
+}
+
+#[test]
+fn fragmentation_fingerprint_has_high_precision_and_recall() {
+    let mut net = runet(41);
+    let targets: Vec<_> = net.endpoints.iter().filter(|e| !e.behind_nat).take(220).cloned().collect();
+    let (mut tp, mut fp, mut fn_, mut tn) = (0u32, 0u32, 0u32, 0u32);
+    for (i, e) in targets.iter().enumerate() {
+        let verdict = fragscan::fingerprint(&mut net, e.addr, e.port, 3000 + i as u16 * 4);
+        if !verdict.responsive() {
+            continue;
+        }
+        match (e.behind_symmetric, verdict.tspu_positive()) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    assert!(tp > 10, "need positives in the sample (tp={tp})");
+    assert!(tn > 10, "need negatives in the sample (tn={tn})");
+    // With reliable devices the fingerprint is essentially exact.
+    assert_eq!(fp, 0, "false positives");
+    assert_eq!(fn_, 0, "false negatives");
+}
+
+#[test]
+fn localization_recovers_ground_truth_hops() {
+    let mut net = runet(42);
+    let covered: Vec<_> = net
+        .endpoints
+        .iter()
+        .filter(|e| e.behind_symmetric && e.tspu_link.is_some() && !e.behind_nat)
+        .take(12)
+        .cloned()
+        .collect();
+    assert!(!covered.is_empty());
+    for (i, e) in covered.iter().enumerate() {
+        let sport = 9000 + i as u16 * 7;
+        let flip = fragscan::localize_device_ttl(&mut net, e.addr, e.port, sport, 30)
+            .expect("localization flip");
+        let path_len = net.net.route(net.scanner, e.host).unwrap().steps.len();
+        let measured = path_len + 2 - flip as usize;
+        assert_eq!(measured, e.device_hops.unwrap(), "endpoint {:?}", e.addr);
+
+        // And the traceroute + flip name the exact ground-truth link.
+        let trace = traceroute::traceroute(&mut net, e.addr, e.port, sport.wrapping_add(3), 30);
+        let link = traceroute::identify_link(&trace, flip).expect("link");
+        assert_eq!(link.before, e.tspu_link.unwrap().0);
+    }
+}
+
+#[test]
+fn echo_technique_finds_only_upstream_visible_devices() {
+    let mut net = runet(43);
+    let servers: Vec<_> = net.echo_servers().take(24).cloned().collect();
+    assert!(!servers.is_empty());
+    for e in servers {
+        let result = echo::echo_measurement(&mut net, e.addr, 443);
+        let expected = e.behind_upstream_only || e.behind_symmetric;
+        // Echo positivity requires a device that (a) sees the server's
+        // outbound and (b) infers the server as client. Upstream-only
+        // devices qualify; symmetric devices saw the inbound SYN and do
+        // not. So positives must be exactly the upstream-only population.
+        let expect_positive = e.behind_upstream_only && !e.behind_symmetric;
+        assert_eq!(
+            result.tspu_positive(),
+            expect_positive,
+            "{:?} (sym={}, upstream={}, expected-any={expected})",
+            e.addr,
+            e.behind_symmetric,
+            e.behind_upstream_only
+        );
+    }
+}
+
+#[test]
+fn table5_correlation_shape_holds() {
+    // IP blocking is enforceable by both visibilities; the fragmentation
+    // fingerprint only by downstream visibility → IP(B) ⊇ Frag(B) modulo
+    // none.
+    let mut net = runet(44);
+    let targets: Vec<_> = net
+        .endpoints
+        .iter()
+        .filter(|e| e.port == 7547)
+        .take(120)
+        .cloned()
+        .collect();
+    let mut frag_b_ip_n = 0u32;
+    let mut agreements = 0u32;
+    let mut total = 0u32;
+    for (i, e) in targets.iter().enumerate() {
+        let sport = 21_000 + i as u16 * 6;
+        let verdict = fragscan::fingerprint(&mut net, e.addr, e.port, sport);
+        if !verdict.responsive() {
+            continue;
+        }
+        let ip = fragscan::ip_block_probe(&mut net, e.addr, e.port, sport.wrapping_add(4));
+        let frag = verdict.tspu_positive();
+        total += 1;
+        if frag == ip {
+            agreements += 1;
+        }
+        if frag && !ip {
+            frag_b_ip_n += 1;
+        }
+    }
+    assert!(total > 40, "sample too small: {total}");
+    assert_eq!(frag_b_ip_n, 0, "fragment-positive implies IP-positive");
+    assert!(
+        f64::from(agreements) / f64::from(total) > 0.9,
+        "correlation too weak: {agreements}/{total}"
+    );
+}
+
+#[test]
+fn port_scan_shape_matches_fig9() {
+    let mut net = runet(45);
+    let (rows, _seen, _positive) = fragscan::run_port_scan(&mut net, 2);
+    let rate = |p: u16| rows.iter().find(|r| r.port == p).map(|r| r.percent()).unwrap_or(0.0);
+    // TR-069 endpoints are far more likely to sit behind a TSPU than
+    // server ports (paper: "over 300% more likely").
+    assert!(rate(7547) > 2.0 * rate(22).max(1.0), "7547 {} vs 22 {}", rate(7547), rate(22));
+    let total: usize = rows.iter().map(|r| r.endpoints).sum();
+    let positive: usize = rows.iter().map(|r| r.positive).sum();
+    let overall = positive as f64 / total.max(1) as f64;
+    assert!((0.10..=0.45).contains(&overall), "overall positivity {overall}");
+}
