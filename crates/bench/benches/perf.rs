@@ -6,10 +6,10 @@
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use tspu_core::frag_cache::{FragCache, FragConfig};
-use tspu_core::{Hardening, Policy, PolicyHandle, TokenBucket, TspuDevice};
+use tspu_core::{DomainSet, Hardening, Policy, PolicyHandle, TokenBucket, TspuDevice};
 use tspu_netsim::{Direction, Middlebox, Network, Route, Time};
 use tspu_stack::craft::TcpPacketSpec;
 use tspu_wire::frag;
@@ -35,9 +35,10 @@ fn conntrack_throughput(c: &mut Criterion) {
     group.bench_function("conntrack_data_packet", |b| {
         let mut dev = device();
         let mut t = 0u64;
+        let mut buf = data.clone();
         b.iter(|| {
             t += 1;
-            dev.process(Time::from_micros(t), Direction::LocalToRemote, &data)
+            dev.process(Time::from_micros(t), Direction::LocalToRemote, &mut buf)
         });
     });
 
@@ -48,12 +49,89 @@ fn conntrack_throughput(c: &mut Criterion) {
     group.bench_function("sni_trigger_evaluation", |b| {
         let mut dev = device();
         let mut t = 0u64;
+        let mut buf = ch.clone();
         b.iter(|| {
             t += 1;
-            dev.process(Time::from_micros(t), Direction::LocalToRemote, &ch)
+            dev.process(Time::from_micros(t), Direction::LocalToRemote, &mut buf)
         });
     });
     group.finish();
+}
+
+/// Policy blocklist matching at registry-representative list sizes: the
+/// per-ClientHello lookup the SNI engine performs against every list.
+fn policy_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    group.throughput(Throughput::Elements(1));
+    for n in [1_000usize, 100_000] {
+        let mut set = DomainSet::new();
+        for i in 0..n {
+            set.insert(format!("domain-{i}.example{}.ru", i % 7));
+        }
+        // A subdomain of a listed name: walks suffixes until the hit.
+        let hit = format!("Www.CDN.domain-{}.example3.ru", (n / 2) | 3);
+        group.bench_function(format!("match_hit_{n}"), |b| {
+            b.iter(|| set.matches(black_box(&hit)));
+        });
+        // A deep unlisted host: the worst case walks every suffix level.
+        let miss = "edge-17.pop.msk.cdn.static.unlisted-video-host.example.com";
+        group.bench_function(format!("match_miss_{n}"), |b| {
+            b.iter(|| set.matches(black_box(miss)));
+        });
+    }
+    group.finish();
+}
+
+/// Connection-table churn: every packet opens a distinct flow, so the
+/// table only grows and the garbage collector is exercised on the packet
+/// path. Reports the amortized cost plus the per-packet tail (the
+/// full-table sweep shows up as a latency spike; a bounded incremental
+/// sweep must not).
+fn conntrack_gc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conntrack");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("gc_churn_distinct_flows", |b| {
+        let mut dev = device();
+        let mut n: u64 = 0;
+        b.iter(|| {
+            n += 1;
+            // Distinct src addr+port per packet: up to ~2^30 unique flows.
+            let src = Ipv4Addr::from(0x0a00_0000 | (n as u32 >> 14));
+            let port = 1024 + (n % 50_000) as u16;
+            let mut syn = TcpPacketSpec::new(src, port, SERVER, 443, TcpFlags::SYN).build();
+            dev.process(Time::from_micros(n * 3), Direction::LocalToRemote, &mut syn)
+        });
+    });
+    group.finish();
+
+    // Tail latency of the same churn workload, measured per packet: the
+    // statistic the median-reporting harness cannot show. Run twice —
+    // from an empty table (tails include hash-table growth rehashes) and
+    // from a provisioned one (the remaining tail is the GC bound itself).
+    let total: u64 = if std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        80_000
+    } else {
+        300_000
+    };
+    for (suffix, mut dev) in [
+        ("", device()),
+        ("_provisioned", device().with_flow_capacity(total as usize + 1)),
+    ] {
+        let mut samples_ns = Vec::with_capacity(total as usize);
+        for n in 1..=total {
+            let src = Ipv4Addr::from(0x0a00_0000 | (n as u32 >> 14));
+            let port = 1024 + (n % 50_000) as u16;
+            let mut syn = TcpPacketSpec::new(src, port, SERVER, 443, TcpFlags::SYN).build();
+            let start = std::time::Instant::now();
+            criterion::black_box(dev.process(Time::from_micros(n * 3), Direction::LocalToRemote, &mut syn));
+            samples_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pick = |q: f64| samples_ns[((samples_ns.len() - 1) as f64 * q) as usize];
+        criterion::report_custom(&format!("conntrack/gc_churn{suffix}_p99"), pick(0.99), total);
+        criterion::report_custom(&format!("conntrack/gc_churn{suffix}_p999"), pick(0.999), total);
+        criterion::report_custom(&format!("conntrack/gc_churn{suffix}_max"), samples_ns[samples_ns.len() - 1], total);
+    }
 }
 
 /// Ablation: the resource bill of the §8 counter-circumvention patches —
@@ -79,7 +157,7 @@ fn hardening_cost(c: &mut Criterion) {
                 },
                 |mut dev| {
                     for segment in &segments {
-                        dev.process(Time::ZERO, Direction::LocalToRemote, segment);
+                        dev.process_owned(Time::ZERO, Direction::LocalToRemote, segment.clone());
                     }
                     dev.stats().triggers_sni1
                 },
@@ -207,12 +285,36 @@ fn netsim_scale(c: &mut Criterion) {
             net.take_inbox(s).len()
         });
     });
+
+    // Pure forwarding cost of a large data packet across the same path:
+    // no middlebox mutates it, so this measures the per-hop copy bill.
+    group.bench_function("10hop_data_forwarding_1400B", |b| {
+        let mut net = Network::new(Duration::from_micros(100));
+        let a = net.add_host(CLIENT);
+        let s = net.add_host(SERVER);
+        let policy = PolicyHandle::new(Policy::example());
+        let dev = net.add_middlebox(Box::new(TspuDevice::reliable("bench-fwd", policy)));
+        let hops: Vec<Ipv4Addr> = (0..10u32).map(|i| Ipv4Addr::from(0x0a90_0000 + i)).collect();
+        let mut route = Route::through(&hops);
+        route.steps[8].devices.push((dev, Direction::LocalToRemote));
+        net.set_route_symmetric(a, s, route);
+        let data = TcpPacketSpec::new(CLIENT, 41000, SERVER, 9090, TcpFlags::PSH_ACK)
+            .payload(vec![0x5a; 1400])
+            .build();
+        b.iter(|| {
+            net.send_from(a, data.clone());
+            net.run_until_idle();
+            net.take_inbox(s).len()
+        });
+    });
     group.finish();
 }
 
 criterion_group!(
     benches,
     conntrack_throughput,
+    policy_matching,
+    conntrack_gc,
     hardening_cost,
     sni_parse_vs_scan,
     frag_cache,

@@ -106,7 +106,8 @@ pub fn run_all() -> Vec<ExperimentReport> {
         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
     let wanted = |id: &str| only.as_ref().map(|o| o.iter().any(|x| x == id)).unwrap_or(true);
 
-    let all: Vec<(&'static str, fn() -> ExperimentReport)> = vec![
+    type NamedExperiment = (&'static str, fn() -> ExperimentReport);
+    let all: Vec<NamedExperiment> = vec![
         ("fig2", fig2),
         ("fig3", fig3),
         ("fig4", fig4),

@@ -28,7 +28,7 @@
 //! Timeouts are idle timeouts, refreshed by any packet of the flow, with
 //! the per-state values from [`crate::constants`].
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -38,6 +38,7 @@ use tspu_netsim::Time;
 
 use crate::behaviors::BlockState;
 use crate::constants;
+use crate::fasthash::FxHashMap;
 
 /// Which side of the device a packet came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,6 +168,9 @@ pub struct FlowEntry {
     /// Accumulated local→remote stream bytes, kept only when the device
     /// runs with TCP-reassembly hardening (see `crate::hardening`).
     pub rx_stream: Vec<u8>,
+    /// Incarnation tag assigned by the tracker at insertion; see
+    /// [`ConnTracker`]'s GC ring.
+    gen: u64,
 }
 
 impl FlowEntry {
@@ -183,6 +187,7 @@ impl FlowEntry {
             exempt: false,
             exemption_decided: false,
             rx_stream: Vec::new(),
+            gen: 0,
         }
     }
 
@@ -216,19 +221,59 @@ impl FlowEntry {
     }
 }
 
+/// One queued GC probe: a flow key plus the generation of the entry it was
+/// queued for. A slot whose generation no longer matches the live entry is
+/// stale (the flow was removed or replaced) and is simply dropped.
+#[derive(Debug, Clone, Copy)]
+struct RingSlot {
+    key: FlowKey,
+    gen: u64,
+}
+
+/// How many ring slots each observation probes. Reclamation keeps pace
+/// with creation as long as this is > 1 (each packet creates at most one
+/// entry and pushes at most one slot).
+const GC_PROBE_BUDGET: usize = 4;
+
 /// The flow table.
+///
+/// ## Garbage collection
+///
+/// Expiry is *semantically* lazy — [`ConnTracker::get`]/[`get_mut`] and the
+/// observe paths check [`FlowEntry::expired`] at access time — so GC exists
+/// purely to reclaim memory for flows that are never touched again. It runs
+/// as a CLOCK-style sweep over a ring of slots, one per live entry: every
+/// observation pops at most [`GC_PROBE_BUDGET`] slots, drops the entries
+/// that have expired, and re-queues the live ones. Worst-case work per
+/// packet is O([`GC_PROBE_BUDGET`]) regardless of table size — there is no
+/// full-table scan anywhere on the packet path — and every expired entry is
+/// reclaimed within one ring revolution of its expiry.
 #[derive(Default)]
 pub struct ConnTracker {
-    flows: HashMap<FlowKey, FlowEntry>,
-    /// GC threshold: when the table grows past this, expired entries are
-    /// swept on the next observation.
-    gc_watermark: usize,
+    flows: FxHashMap<FlowKey, FlowEntry>,
+    /// GC ring: exactly one non-stale slot per live entry.
+    ring: VecDeque<RingSlot>,
+    /// Generation counter; tags each inserted entry and its ring slot.
+    next_gen: u64,
 }
 
 impl ConnTracker {
     /// Creates an empty tracker.
     pub fn new() -> ConnTracker {
-        ConnTracker { flows: HashMap::new(), gc_watermark: 65_536 }
+        ConnTracker::default()
+    }
+
+    /// Creates a tracker with table and ring space pre-reserved — the
+    /// `nf_conntrack` hashsize analogue. A provisioned table never grows
+    /// on the packet path, so flow insertion latency stays flat (growth
+    /// rehashes are the one remaining O(table) event; see the
+    /// `conntrack/gc_churn_*` tail-latency benches).
+    pub fn with_capacity(capacity: usize) -> ConnTracker {
+        ConnTracker {
+            flows: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            ring: VecDeque::with_capacity(capacity),
+            next_gen: 0,
+        }
     }
 
     /// Number of live entries (including expired-but-unswept).
@@ -266,16 +311,15 @@ impl ConnTracker {
         flags: TcpFlags,
         payload_len: usize,
     ) -> &mut FlowEntry {
-        self.maybe_gc(now);
-        // Replace expired entries with fresh flows.
-        if self.flows.get(&key).is_some_and(|e| e.expired(now)) {
-            self.flows.remove(&key);
-        }
-        let is_new = !self.flows.contains_key(&key);
-        let entry = self
-            .flows
-            .entry(key)
-            .or_insert_with(|| FlowEntry::new(now, side, initial_state(flags, payload_len)));
+        self.gc_step(now);
+        let (entry, is_new) = Self::lookup_or_insert(
+            &mut self.flows,
+            &mut self.ring,
+            &mut self.next_gen,
+            now,
+            key,
+            || FlowEntry::new(now, side, initial_state(flags, payload_len)),
+        );
         // Clear a lapsed block so residual censorship genuinely ends.
         if entry.block.as_ref().is_some_and(|b| !b.active(now)) {
             entry.block = None;
@@ -295,14 +339,15 @@ impl ConnTracker {
     /// Observes a UDP packet; UDP flows exist mainly to carry QUIC block
     /// state and use the loose timeout.
     pub fn observe_udp(&mut self, now: Time, key: FlowKey, side: Side) -> &mut FlowEntry {
-        self.maybe_gc(now);
-        if self.flows.get(&key).is_some_and(|e| e.expired(now)) {
-            self.flows.remove(&key);
-        }
-        let entry = self
-            .flows
-            .entry(key)
-            .or_insert_with(|| FlowEntry::new(now, side, ConnState::Udp));
+        self.gc_step(now);
+        let (entry, _is_new) = Self::lookup_or_insert(
+            &mut self.flows,
+            &mut self.ring,
+            &mut self.next_gen,
+            now,
+            key,
+            || FlowEntry::new(now, side, ConnState::Udp),
+        );
         if entry.block.as_ref().is_some_and(|b| !b.active(now)) {
             entry.block = None;
         }
@@ -312,13 +357,68 @@ impl ConnTracker {
         entry
     }
 
-    fn maybe_gc(&mut self, now: Time) {
-        if self.flows.len() > self.gc_watermark {
-            self.flows.retain(|_, e| !e.expired(now));
-            if self.flows.len() > self.gc_watermark {
-                self.gc_watermark *= 2;
+    /// Finds the live entry for `key`, replacing an expired incarnation or
+    /// inserting `make()` when none exists; returns the entry and whether
+    /// it is brand new. One hash lookup covers the expiry check, the
+    /// existence check, and the access — this runs on every packet.
+    fn lookup_or_insert<'a>(
+        flows: &'a mut FxHashMap<FlowKey, FlowEntry>,
+        ring: &mut VecDeque<RingSlot>,
+        next_gen: &mut u64,
+        now: Time,
+        key: FlowKey,
+        make: impl FnOnce() -> FlowEntry,
+    ) -> (&'a mut FlowEntry, bool) {
+        use std::collections::hash_map::Entry;
+        let mut tag_fresh = |entry: &mut FlowEntry| {
+            // The new generation invalidates any ring slot still queued
+            // for a replaced incarnation under the same key.
+            entry.gen = *next_gen;
+            *next_gen += 1;
+            ring.push_back(RingSlot { key, gen: entry.gen });
+        };
+        match flows.entry(key) {
+            Entry::Occupied(occ) if occ.get().expired(now) => {
+                let entry = occ.into_mut();
+                *entry = make();
+                tag_fresh(entry);
+                (entry, true)
+            }
+            Entry::Occupied(occ) => (occ.into_mut(), false),
+            Entry::Vacant(vacant) => {
+                let entry = vacant.insert(make());
+                tag_fresh(entry);
+                (entry, true)
             }
         }
+    }
+
+    /// One bounded GC step: probe up to [`GC_PROBE_BUDGET`] ring slots.
+    /// Stale slots (entry gone or replaced under the same key) are dropped;
+    /// expired entries are reclaimed; live entries are re-queued. Probing
+    /// more slots than the ring holds would only re-inspect entries this
+    /// same call just re-queued, so the budget is capped at the ring
+    /// length — a one-flow tracker pays for one probe, not four.
+    fn gc_step(&mut self, now: Time) {
+        for _ in 0..GC_PROBE_BUDGET.min(self.ring.len()) {
+            let Some(slot) = self.ring.pop_front() else { return };
+            match self.flows.get(&slot.key) {
+                Some(e) if e.gen == slot.gen => {
+                    if e.expired(now) {
+                        self.flows.remove(&slot.key);
+                    } else {
+                        self.ring.push_back(slot);
+                    }
+                }
+                _ => {} // stale slot; its entry was removed or replaced
+            }
+        }
+    }
+
+    /// Number of queued GC probes (tests only).
+    #[cfg(test)]
+    fn ring_len(&self) -> usize {
+        self.ring.len()
     }
 }
 
@@ -609,16 +709,46 @@ mod tests {
     #[test]
     fn gc_sweeps_expired_flows() {
         let mut t = ConnTracker::new();
-        t.gc_watermark = 8;
         for port in 0..32u16 {
             let k = FlowKey { local_port: 1000 + port, ..key() };
             t.observe_tcp(Time::ZERO, k, L, TcpFlags::PSH_ACK, 10);
         }
         assert_eq!(t.len(), 32);
-        // The watermark self-raised while everything was live; reset it so
-        // the next observation sweeps the now-expired entries.
-        t.gc_watermark = 8;
-        t.observe_tcp(Time::from_secs(300), key(), L, S, 0);
-        assert!(t.len() <= 2);
+        // All 32 Loose flows expire by t = 300 s (timeout 180 s). Each
+        // observation probes a bounded number of ring slots, so a handful
+        // of packets on an unrelated flow reclaims the whole table without
+        // any single packet paying for a full-table scan.
+        for i in 0..16u64 {
+            t.observe_tcp(Time::from_secs(300 + i), key(), L, S, 0);
+        }
+        assert_eq!(t.len(), 1); // only the probing flow survives
+    }
+
+    #[test]
+    fn gc_ring_holds_one_slot_per_live_entry() {
+        let mut t = ConnTracker::new();
+        // Churn the same key through repeated expiry + re-creation: stale
+        // slots must not accumulate past the probe horizon.
+        for i in 0..1000u64 {
+            let now = Time::from_secs(i * 200); // Loose timeout is 180 s
+            t.observe_tcp(now, key(), L, TcpFlags::PSH_ACK, 10);
+        }
+        assert_eq!(t.len(), 1);
+        assert!(t.ring_len() <= 8, "ring grew unboundedly: {}", t.ring_len());
+    }
+
+    #[test]
+    fn gc_never_drops_live_entries() {
+        let mut t = ConnTracker::new();
+        for port in 0..64u16 {
+            let k = FlowKey { local_port: 1000 + port, ..key() };
+            t.observe_tcp(Time::ZERO, k, L, S, 0);
+        }
+        // Many observations well within the SynSent timeout: the sweep
+        // cycles every slot several times but must reclaim nothing.
+        for i in 0..256u64 {
+            t.observe_tcp(Time::from_micros(i * 1000), key(), L, S, 0);
+        }
+        assert_eq!(t.len(), 65);
     }
 }

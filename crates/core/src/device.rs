@@ -16,7 +16,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use tspu_netsim::{Direction, Middlebox, Time};
+use tspu_netsim::{Direction, Middlebox, Time, Verdict};
 use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::{TcpFlags, TcpSegment};
 use tspu_wire::tls::{extract_sni, SniOutcome};
@@ -27,7 +27,7 @@ use crate::conntrack::{ConnTracker, FlowKey, Side};
 use crate::constants;
 use crate::frag_cache::{FragCache, FragConfig};
 use crate::hardening::{Hardening, REASSEMBLY_CAP};
-use crate::policy::PolicyHandle;
+use crate::policy::{NormalizedHost, PolicyHandle};
 
 /// Per-mechanism probabilities that this device fails to act on a flow —
 /// the quantity Table 1 measures. Real deployments showed 0 %–2.2 %
@@ -136,6 +136,15 @@ impl TspuDevice {
         self
     }
 
+    /// Pre-provisions the flow table for `flows` concurrent connections
+    /// (the `nf_conntrack` hashsize analogue). A provisioned device never
+    /// grows its table on the packet path, removing the one remaining
+    /// O(table) latency event (hash-table growth rehashes).
+    pub fn with_flow_capacity(mut self, flows: usize) -> TspuDevice {
+        self.conntrack = ConnTracker::with_capacity(flows);
+        self
+    }
+
     /// The active hardening configuration.
     pub fn hardening(&self) -> Hardening {
         self.hardening
@@ -191,16 +200,16 @@ impl TspuDevice {
         entry.exempt
     }
 
-    fn drop_packet(&mut self) -> Vec<Vec<u8>> {
+    fn drop_packet(&mut self) -> Verdict {
         self.stats.packets_dropped += 1;
-        Vec::new()
+        Verdict::Drop
     }
 
-    fn process_tcp(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process_tcp(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Verdict {
         let view = Ipv4Packet::new_unchecked(packet);
         let (src_addr, dst_addr) = (view.src_addr(), view.dst_addr());
         let Ok(segment) = TcpSegment::new_checked(view.payload()) else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         let side = Self::side_of(direction);
         let key = FlowKey::from_packet(side, src_addr, segment.src_port(), dst_addr, segment.dst_port(), 6);
@@ -263,19 +272,19 @@ impl TspuDevice {
                             .unwrap_or(false));
                 if is_response {
                     self.stats.packets_rewritten += 1;
-                    return vec![rst_ack_rewrite(packet)];
+                    return Verdict::Replace(rst_ack_rewrite(packet));
                 }
                 return self.drop_packet();
             }
         }
         if src_blocked && direction == Direction::RemoteToLocal {
             // Requests from the blocked IP pass through (§5.2).
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         }
 
         // --- Trigger evaluation, then active-verdict application ---
         match self.evaluate_sni_trigger(now, direction, &key, segment.dst_port(), segment.payload()) {
-            TriggerAction::PassNow => return vec![packet.to_vec()],
+            TriggerAction::PassNow => return Verdict::Pass,
             TriggerAction::DropNow => return self.drop_packet(),
             TriggerAction::None => {}
         }
@@ -319,13 +328,16 @@ impl TspuDevice {
         };
 
         // Policy lookups, copied out so the conntrack borrow below is free.
+        // The hostname is normalized once and the stack-resident result is
+        // shared by all four list checks.
+        let host = NormalizedHost::new(&hostname);
         let (in_rst, in_slow, in_throttle, in_backup, throttle_active, throttle_cfg) = {
             let policy = self.policy.read();
             (
-                policy.sni_rst.matches(&hostname),
-                policy.sni_slow.matches(&hostname),
-                policy.sni_throttle.matches(&hostname),
-                policy.sni_backup.matches(&hostname),
+                policy.sni_rst.matches_normalized(&host),
+                policy.sni_slow.matches_normalized(&host),
+                policy.sni_throttle.matches_normalized(&host),
+                policy.sni_backup.matches_normalized(&host),
                 policy.throttle_active,
                 policy.throttle,
             )
@@ -395,30 +407,30 @@ impl TspuDevice {
         key: &FlowKey,
         packet: &[u8],
         payload_len: usize,
-    ) -> Vec<Vec<u8>> {
+    ) -> Verdict {
         let Some(entry) = self.conntrack.get_mut(now, key) else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         let Some(block) = entry.block.as_mut() else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         if !block.active(now) {
             entry.block = None;
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         }
         match block.kind {
             BlockKind::RstRewrite => {
                 if direction == Direction::RemoteToLocal {
                     self.stats.packets_rewritten += 1;
-                    vec![rst_ack_rewrite(packet)]
+                    Verdict::Replace(rst_ack_rewrite(packet))
                 } else {
-                    vec![packet.to_vec()]
+                    Verdict::Pass
                 }
             }
             BlockKind::DelayedDrop => {
                 if block.allowance > 0 {
                     block.allowance -= 1;
-                    vec![packet.to_vec()]
+                    Verdict::Pass
                 } else {
                     self.drop_packet()
                 }
@@ -430,7 +442,7 @@ impl TspuDevice {
                     .map(|b| b.admit(now, payload_len))
                     .unwrap_or(true);
                 if admitted {
-                    vec![packet.to_vec()]
+                    Verdict::Pass
                 } else {
                     self.drop_packet()
                 }
@@ -439,11 +451,11 @@ impl TspuDevice {
         }
     }
 
-    fn process_udp(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process_udp(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Verdict {
         let view = Ipv4Packet::new_unchecked(packet);
         let (src_addr, dst_addr) = (view.src_addr(), view.dst_addr());
         let Ok(datagram) = UdpDatagram::new_checked(view.payload()) else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         let side = Self::side_of(direction);
         let key = FlowKey::from_packet(side, src_addr, datagram.src_port(), dst_addr, datagram.dst_port(), 17);
@@ -492,10 +504,10 @@ impl TspuDevice {
                 return self.drop_packet();
             }
         }
-        vec![packet.to_vec()]
+        Verdict::Pass
     }
 
-    fn process_icmp(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process_icmp(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Verdict {
         let view = Ipv4Packet::new_unchecked(packet);
         let blocked = {
             let policy = self.policy.read();
@@ -504,12 +516,12 @@ impl TspuDevice {
         if blocked {
             // "ICMP Pings to/from blocked IPs are also dropped" (§5.2).
             if self.failure.ip > 0.0 && self.rng.gen_bool(self.failure.ip) {
-                return vec![packet.to_vec()];
+                return Verdict::Pass;
             }
             self.stats.ip_blocked_packets += 1;
             return self.drop_packet();
         }
-        vec![packet.to_vec()]
+        Verdict::Pass
     }
 }
 
@@ -567,10 +579,10 @@ fn extract_sni_scanning(payload: &[u8], scan: bool) -> Option<String> {
 }
 
 impl Middlebox for TspuDevice {
-    fn process(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
         self.stats.packets_seen += 1;
-        let Ok(view) = Ipv4Packet::new_checked(packet) else {
-            return vec![packet.to_vec()]; // not IPv4: pass
+        let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else {
+            return Verdict::Pass; // not IPv4: pass
         };
 
         // Fragments interact only with the fragment cache and the IP
@@ -595,25 +607,27 @@ impl Middlebox for TspuDevice {
             // device). A verdict installed here acts on later packets;
             // a FullDrop/QUIC verdict eats this train too.
             if self.hardening.ip_reassembly && flushed.len() > 1 {
-                if let Ok(whole) = tspu_wire::frag::reassemble(&flushed) {
-                    let inspected = self.process(now, direction, &whole);
-                    if inspected.is_empty() {
+                if let Ok(mut whole) = tspu_wire::frag::reassemble(&flushed) {
+                    let inspected = self.process(now, direction, &mut whole);
+                    if inspected == Verdict::Drop {
                         self.stats.packets_dropped += 1;
-                        return Vec::new();
+                        return Verdict::Drop;
                     }
                     // If inspection rewrote/verdicted the packet, the
                     // fragments still go out unmodified — SNI-I acts on
                     // the *response* direction anyway.
                 }
             }
-            return flushed;
+            // An empty flush means the fragment was absorbed into the
+            // cache; otherwise the (possibly multi-packet) train goes out.
+            return if flushed.is_empty() { Verdict::Drop } else { Verdict::Fanout(flushed) };
         }
 
         match view.protocol() {
             Protocol::Tcp => self.process_tcp(now, direction, packet),
             Protocol::Udp => self.process_udp(now, direction, packet),
             Protocol::Icmp => self.process_icmp(now, direction, packet),
-            Protocol::Other(_) => vec![packet.to_vec()],
+            Protocol::Other(_) => Verdict::Pass,
         }
     }
 

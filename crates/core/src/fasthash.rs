@@ -1,0 +1,8 @@
+//! Fast deterministic hashing for the packet path.
+//!
+//! The implementation lives in `tspu_wire::fasthash` (the dependency-free
+//! base crate) so that `tspu_netsim` can use the same maps without a
+//! dependency cycle; this module re-exports it under the crate the
+//! hot-path consumers (conntrack, frag cache, policy) actually import.
+
+pub use tspu_wire::fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -15,7 +15,7 @@
 //!    Juniper: 250).
 //! 6. Trains missing fragments are discarded after **5 seconds**.
 
-use std::collections::HashMap;
+use crate::fasthash::FxHashMap;
 use std::net::Ipv4Addr;
 
 use tspu_netsim::Time;
@@ -65,7 +65,7 @@ impl Default for FragConfig {
 /// belong here (the device routes them past it).
 pub struct FragCache {
     config: FragConfig,
-    trains: HashMap<FragKey, Train>,
+    trains: FxHashMap<FragKey, Train>,
     /// Trains discarded so far (stats).
     discarded: u64,
     /// Full trains flushed so far (stats).
@@ -81,7 +81,7 @@ impl Default for FragCache {
 impl FragCache {
     /// Creates a cache with the given limits.
     pub fn new(config: FragConfig) -> FragCache {
-        FragCache { config, trains: HashMap::new(), discarded: 0, flushed: 0 }
+        FragCache { config, trains: FxHashMap::default(), discarded: 0, flushed: 0 }
     }
 
     /// Trains discarded so far.

@@ -31,6 +31,7 @@ pub mod behaviors;
 pub mod conntrack;
 pub mod constants;
 pub mod device;
+pub mod fasthash;
 pub mod frag_cache;
 pub mod hardening;
 pub mod policer;
@@ -42,4 +43,4 @@ pub use device::{DeviceStats, FailureProfile, TspuDevice};
 pub use frag_cache::FragCache;
 pub use hardening::Hardening;
 pub use policer::TokenBucket;
-pub use policy::{DomainSet, Policy, PolicyHandle, ThrottleConfig};
+pub use policy::{DomainSet, NormalizedHost, Policy, PolicyHandle, ThrottleConfig};

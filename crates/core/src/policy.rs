@@ -15,13 +15,110 @@ use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 use crate::constants;
+use crate::fasthash::FxHashMap;
+
+/// Base of the polynomial suffix hash. Chosen so the hash of any suffix
+/// of a hostname can be extended one byte leftward in O(1) — the property
+/// [`DomainSet::matches_normalized`] uses to hash every candidate suffix
+/// in a single backward pass.
+const SUFFIX_HASH_BASE: u64 = 0x0100_0000_01b3;
+
+/// Rolling-hash state while scanning a hostname right to left.
+#[derive(Clone, Copy)]
+struct SuffixHash {
+    hash: u64,
+    pow: u64,
+}
+
+impl SuffixHash {
+    fn new() -> SuffixHash {
+        SuffixHash { hash: 0, pow: 1 }
+    }
+
+    /// Extends the hashed suffix one byte to the left.
+    #[inline]
+    fn prepend(&mut self, byte: u8) {
+        // +1 so a byte value of zero still advances the polynomial.
+        self.hash = self.hash.wrapping_add(self.pow.wrapping_mul(u64::from(byte) + 1));
+        self.pow = self.pow.wrapping_mul(SUFFIX_HASH_BASE);
+    }
+}
+
+/// The suffix hash of a whole byte string (what [`SuffixHash`] yields
+/// after prepending every byte right-to-left).
+fn suffix_hash_of(bytes: &[u8]) -> u64 {
+    let mut state = SuffixHash::new();
+    for &b in bytes.iter().rev() {
+        state.prepend(b);
+    }
+    state.hash
+}
+
+/// A hostname normalized the way [`DomainSet`] stores entries: ASCII
+/// lowercase, one trailing dot stripped. Normalization happens once per
+/// packet into a fixed stack buffer (no heap allocation for hostnames up
+/// to 256 bytes — longer than any SNI the TSPU would see; a rare longer
+/// name spills to the heap), and the result is shared by every list the
+/// device consults via [`DomainSet::matches_normalized`].
+pub struct NormalizedHost {
+    stack: [u8; Self::STACK_CAPACITY],
+    /// Heap fallback for hostnames longer than the stack buffer.
+    spill: Option<Vec<u8>>,
+    len: usize,
+}
+
+impl NormalizedHost {
+    /// Longest hostname the stack buffer holds without heap fallback.
+    pub const STACK_CAPACITY: usize = 256;
+
+    /// Normalizes `hostname` (lowercase, one trailing dot stripped).
+    pub fn new(hostname: &str) -> NormalizedHost {
+        let src = hostname.as_bytes();
+        let src = match src.split_last() {
+            Some((b'.', head)) => head,
+            _ => src,
+        };
+        if src.len() <= Self::STACK_CAPACITY {
+            let mut stack = [0u8; Self::STACK_CAPACITY];
+            for (dst, &b) in stack.iter_mut().zip(src) {
+                *dst = b.to_ascii_lowercase();
+            }
+            NormalizedHost { stack, spill: None, len: src.len() }
+        } else {
+            let spill = src.iter().map(u8::to_ascii_lowercase).collect();
+            NormalizedHost { stack: [0u8; Self::STACK_CAPACITY], spill: Some(spill), len: src.len() }
+        }
+    }
+
+    /// The normalized bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.stack[..self.len],
+        }
+    }
+
+    /// The normalized hostname as a string slice.
+    pub fn as_str(&self) -> &str {
+        // ASCII-lowercasing touches only bytes < 0x80, so the bytes stay
+        // exactly as valid as the input `&str` they came from.
+        std::str::from_utf8(self.as_bytes()).expect("lowercased UTF-8 stays valid")
+    }
+}
 
 /// A set of domain names with suffix matching: `web.facebook.com` matches
 /// an entry for `facebook.com` (the paper's blocklists name registrable
 /// domains while SNIs carry full hostnames).
+///
+/// Entries are stored in buckets keyed by their [`suffix_hash_of`] value,
+/// so a lookup walks the hostname once, right to left, hashing each
+/// candidate suffix incrementally — no per-call allocation and no
+/// re-scanning of the tail for each label level.
 #[derive(Debug, Clone, Default)]
 pub struct DomainSet {
-    entries: HashSet<String>,
+    buckets: FxHashMap<u64, Vec<Box<str>>>,
+    len: usize,
 }
 
 impl DomainSet {
@@ -45,44 +142,92 @@ impl DomainSet {
         if d.ends_with('.') {
             d.pop();
         }
-        self.entries.insert(d);
+        let bucket = self.buckets.entry(suffix_hash_of(d.as_bytes())).or_default();
+        if !bucket.iter().any(|e| **e == *d) {
+            bucket.push(d.into_boxed_str());
+            self.len += 1;
+        }
     }
 
     /// Removes a domain.
     pub fn remove(&mut self, domain: &str) {
-        self.entries.remove(&domain.to_ascii_lowercase());
+        let d = domain.to_ascii_lowercase();
+        let hash = suffix_hash_of(d.as_bytes());
+        if let Some(bucket) = self.buckets.get_mut(&hash) {
+            if let Some(pos) = bucket.iter().position(|e| **e == *d) {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                if bucket.is_empty() {
+                    self.buckets.remove(&hash);
+                }
+            }
+        }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// True if `hostname` equals an entry or is a subdomain of one.
     /// Never matches a bare TLD-style parent it does not contain.
     pub fn matches(&self, hostname: &str) -> bool {
-        let host = hostname.to_ascii_lowercase();
-        let host = host.strip_suffix('.').unwrap_or(&host);
-        let mut rest = host;
-        loop {
-            if self.entries.contains(rest) {
-                return true;
+        if self.len == 0 {
+            return false;
+        }
+        self.matches_normalized(&NormalizedHost::new(hostname))
+    }
+
+    /// [`matches`](DomainSet::matches) against an already-normalized host
+    /// — lets one normalization serve several list checks on the packet
+    /// path.
+    pub fn matches_normalized(&self, host: &NormalizedHost) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let bytes = host.as_bytes();
+        if bytes.is_empty() {
+            return self.contains_suffix(SuffixHash::new().hash, bytes);
+        }
+        let mut state = SuffixHash::new();
+        let mut dots_in_suffix = 0usize;
+        let mut i = bytes.len();
+        while i > 0 {
+            i -= 1;
+            let byte = bytes[i];
+            state.prepend(byte);
+            if byte == b'.' {
+                dots_in_suffix += 1;
             }
-            match rest.split_once('.') {
-                Some((_, parent)) if parent.contains('.') => rest = parent,
-                _ => return false,
+            let at_label_boundary = i == 0 || bytes[i - 1] == b'.';
+            if at_label_boundary {
+                // Candidates are the full host plus every dotted suffix at
+                // a label boundary; a bare final label ("com") is never a
+                // candidate — the walk the HashSet version did explicitly.
+                let qualifies = i == 0 || dots_in_suffix >= 1;
+                if qualifies && self.contains_suffix(state.hash, &bytes[i..]) {
+                    return true;
+                }
             }
         }
+        false
+    }
+
+    #[inline]
+    fn contains_suffix(&self, hash: u64, suffix: &[u8]) -> bool {
+        self.buckets
+            .get(&hash)
+            .is_some_and(|bucket| bucket.iter().any(|e| e.as_bytes() == suffix))
     }
 
     /// Iterates over the entries.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(|s| s.as_str())
+        self.buckets.values().flatten().map(|s| &**s)
     }
 }
 

@@ -40,11 +40,11 @@ fn clienthello(host: &str) -> Vec<u8> {
 /// Runs a full client handshake through the device from the local side.
 fn handshake(dev: &mut TspuDevice, now: Time, sport: u16) {
     let syn = tcp_packet(CLIENT, sport, SERVER, 443, TcpFlags::SYN, b"");
-    assert_eq!(dev.process(now, Direction::LocalToRemote, &syn).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::LocalToRemote, syn.clone()).len(), 1);
     let synack = tcp_packet(SERVER, 443, CLIENT, sport, TcpFlags::SYN_ACK, b"");
-    assert_eq!(dev.process(now, Direction::RemoteToLocal, &synack).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::RemoteToLocal, synack.clone()).len(), 1);
     let ack = tcp_packet(CLIENT, sport, SERVER, 443, TcpFlags::ACK, b"");
-    assert_eq!(dev.process(now, Direction::LocalToRemote, &ack).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::LocalToRemote, ack.clone()).len(), 1);
 }
 
 #[test]
@@ -55,13 +55,13 @@ fn sni1_rewrites_downstream_to_rst_ack() {
 
     // The triggering ClientHello itself passes upstream (Fig. 2 SNI-I).
     let ch = tcp_packet(CLIENT, 40000, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-    assert_eq!(dev.process(now, Direction::LocalToRemote, &ch).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::LocalToRemote, ch.clone()).len(), 1);
     assert_eq!(dev.stats().triggers_sni1, 1);
 
     // The ServerHello coming back is rewritten: RST/ACK, payload gone,
     // TTL/seq/ack preserved.
     let server_hello = tcp_packet(SERVER, 443, CLIENT, 40000, TcpFlags::PSH_ACK, &tspu_wire::tls::server_hello_record());
-    let out = dev.process(now, Direction::RemoteToLocal, &server_hello);
+    let out = dev.process_owned(now, Direction::RemoteToLocal, server_hello.clone());
     assert_eq!(out.len(), 1);
     let ip = Ipv4Packet::new_checked(&out[0][..]).unwrap();
     assert!(ip.verify_checksum());
@@ -77,7 +77,7 @@ fn sni1_rewrites_downstream_to_rst_ack() {
 
     // Upstream packets keep passing unmodified (SNI-I acts downstream only).
     let data = tcp_packet(CLIENT, 40000, SERVER, 443, TcpFlags::PSH_ACK, b"more");
-    let out = dev.process(now, Direction::LocalToRemote, &data);
+    let out = dev.process_owned(now, Direction::LocalToRemote, data.clone());
     assert_eq!(out, vec![data]);
 }
 
@@ -86,15 +86,15 @@ fn sni1_residual_expires_after_75s() {
     let mut dev = device();
     handshake(&mut dev, Time::ZERO, 40000);
     let ch = tcp_packet(CLIENT, 40000, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-    dev.process(Time::ZERO, Direction::LocalToRemote, &ch);
+    dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone());
 
     let reply = tcp_packet(SERVER, 443, CLIENT, 40000, TcpFlags::PSH_ACK, b"data");
     // At 74 s: still rewritten.
-    let out = dev.process(Time::from_secs(74), Direction::RemoteToLocal, &reply);
+    let out = dev.process_owned(Time::from_secs(74), Direction::RemoteToLocal, reply.clone());
     let seg = TcpSegment::new_unchecked(Ipv4Packet::new_unchecked(&out[0][..]).payload().to_vec());
     assert_eq!(seg.flags(), TcpFlags::RST_ACK);
     // At 76 s: residual lapsed; packet passes untouched.
-    let out = dev.process(Time::from_secs(76), Direction::RemoteToLocal, &reply);
+    let out = dev.process_owned(Time::from_secs(76), Direction::RemoteToLocal, reply.clone());
     assert_eq!(out, vec![reply]);
 }
 
@@ -103,9 +103,9 @@ fn non_blocked_sni_passes_untouched() {
     let mut dev = device();
     handshake(&mut dev, Time::ZERO, 40001);
     let ch = tcp_packet(CLIENT, 40001, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("wikipedia.org"));
-    assert_eq!(dev.process(Time::ZERO, Direction::LocalToRemote, &ch).len(), 1);
+    assert_eq!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone()).len(), 1);
     let reply = tcp_packet(SERVER, 443, CLIENT, 40001, TcpFlags::PSH_ACK, b"content");
-    let out = dev.process(Time::ZERO, Direction::RemoteToLocal, &reply);
+    let out = dev.process_owned(Time::ZERO, Direction::RemoteToLocal, reply.clone());
     assert_eq!(out, vec![reply]);
     assert_eq!(dev.stats().triggers_sni1, 0);
 }
@@ -114,7 +114,7 @@ fn non_blocked_sni_passes_untouched() {
 fn sni_trigger_requires_port_443() {
     let mut dev = device();
     let ch = tcp_packet(CLIENT, 40002, SERVER, 8443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-    dev.process(Time::ZERO, Direction::LocalToRemote, &ch);
+    dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone());
     assert_eq!(dev.stats().triggers_sni1, 0);
 }
 
@@ -124,7 +124,7 @@ fn sni_trigger_ignores_remote_clienthellos() {
     // triggers (§5.3.2).
     let mut dev = device();
     let ch = tcp_packet(SERVER, 50000, CLIENT, 443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-    let out = dev.process(Time::ZERO, Direction::RemoteToLocal, &ch);
+    let out = dev.process_owned(Time::ZERO, Direction::RemoteToLocal, ch.clone());
     assert_eq!(out.len(), 1);
     assert_eq!(dev.stats().triggers_sni1, 0);
 }
@@ -134,7 +134,7 @@ fn sni2_allows_handful_then_drops_symmetrically() {
     let mut dev = device();
     handshake(&mut dev, Time::ZERO, 40100);
     let ch = tcp_packet(CLIENT, 40100, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("play.google.com"));
-    assert_eq!(dev.process(Time::ZERO, Direction::LocalToRemote, &ch).len(), 1);
+    assert_eq!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone()).len(), 1);
     assert_eq!(dev.stats().triggers_sni2, 1);
 
     // 5–8 more packets (from either side) pass, after which both
@@ -148,15 +148,15 @@ fn sni2_allows_handful_then_drops_symmetrically() {
         } else {
             (Direction::LocalToRemote, &up)
         };
-        passed += dev.process(Time::ZERO, dir, pkt).len();
+        passed += dev.process_owned(Time::ZERO, dir, pkt.clone()).len();
     }
     assert!((5..=8).contains(&passed), "allowance was {passed}");
 
     // Much later (but within the 420 s residual) still dropping.
-    let out = dev.process(Time::from_secs(400), Direction::LocalToRemote, &up);
+    let out = dev.process_owned(Time::from_secs(400), Direction::LocalToRemote, up.clone());
     assert!(out.is_empty());
     // After 420 s the verdict lapses.
-    let out = dev.process(Time::from_secs(421), Direction::LocalToRemote, &up);
+    let out = dev.process_owned(Time::from_secs(421), Direction::LocalToRemote, up.clone());
     assert_eq!(out.len(), 1);
 }
 
@@ -166,7 +166,7 @@ fn sni3_throttles_when_policy_active() {
     let mut dev = TspuDevice::reliable("tspu", policy);
     handshake(&mut dev, Time::ZERO, 40200);
     let ch = tcp_packet(CLIENT, 40200, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("fbcdn.net"));
-    assert_eq!(dev.process(Time::ZERO, Direction::LocalToRemote, &ch).len(), 1);
+    assert_eq!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone()).len(), 1);
     assert_eq!(dev.stats().triggers_sni3, 1);
 
     // Stream 1460-byte segments downstream every 100 ms for 60 s; goodput
@@ -175,7 +175,7 @@ fn sni3_throttles_when_policy_active() {
     let mut delivered = 0u64;
     let mut now = Time::ZERO;
     for _ in 0..600 {
-        delivered += 1460 * dev.process(now, Direction::RemoteToLocal, &data).len() as u64;
+        delivered += 1460 * dev.process_owned(now, Direction::RemoteToLocal, data.clone()).len() as u64;
         now += Duration::from_millis(100);
     }
     let rate = delivered as f64 / 60.0;
@@ -194,7 +194,7 @@ fn march4_switches_throttle_to_rst_centrally() {
     for dev in [&mut dev_a, &mut dev_b] {
         handshake(dev, Time::ZERO, 40300);
         let ch = tcp_packet(CLIENT, 40300, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("fbcdn.net"));
-        dev.process(Time::ZERO, Direction::LocalToRemote, &ch);
+        dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone());
         assert_eq!(dev.stats().triggers_sni3, 0);
         assert_eq!(dev.stats().triggers_sni1, 1);
     }
@@ -206,15 +206,15 @@ fn sni4_backup_fires_when_sni1_evaded() {
     let now = Time::ZERO;
     // Split handshake: local SYN, remote answers with bare SYN.
     let syn = tcp_packet(CLIENT, 40400, SERVER, 443, TcpFlags::SYN, b"");
-    dev.process(now, Direction::LocalToRemote, &syn);
+    dev.process_owned(now, Direction::LocalToRemote, syn.clone());
     let syn_back = tcp_packet(SERVER, 443, CLIENT, 40400, TcpFlags::SYN, b"");
-    dev.process(now, Direction::RemoteToLocal, &syn_back);
+    dev.process_owned(now, Direction::RemoteToLocal, syn_back.clone());
 
     // twitter.com is both SNI-I and SNI-IV listed; SNI-I is evaded by the
     // ambiguous roles, so the backup filter eats everything, including
     // the ClientHello itself.
     let ch = tcp_packet(CLIENT, 40400, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-    let out = dev.process(now, Direction::LocalToRemote, &ch);
+    let out = dev.process_owned(now, Direction::LocalToRemote, ch.clone());
     assert!(out.is_empty());
     assert_eq!(dev.stats().triggers_sni4, 1);
     assert_eq!(dev.stats().triggers_sni1, 0);
@@ -222,8 +222,8 @@ fn sni4_backup_fires_when_sni1_evaded() {
     // Both directions now drop.
     let up = tcp_packet(CLIENT, 40400, SERVER, 443, TcpFlags::PSH_ACK, b"u");
     let down = tcp_packet(SERVER, 443, CLIENT, 40400, TcpFlags::PSH_ACK, b"d");
-    assert!(dev.process(now, Direction::LocalToRemote, &up).is_empty());
-    assert!(dev.process(now, Direction::RemoteToLocal, &down).is_empty());
+    assert!(dev.process_owned(now, Direction::LocalToRemote, up.clone()).is_empty());
+    assert!(dev.process_owned(now, Direction::RemoteToLocal, down.clone()).is_empty());
 }
 
 #[test]
@@ -233,14 +233,14 @@ fn sni1_only_domain_fully_evaded_by_split_handshake() {
     let mut dev = device();
     let now = Time::ZERO;
     let syn = tcp_packet(CLIENT, 40500, SERVER, 443, TcpFlags::SYN, b"");
-    dev.process(now, Direction::LocalToRemote, &syn);
+    dev.process_owned(now, Direction::LocalToRemote, syn.clone());
     let syn_back = tcp_packet(SERVER, 443, CLIENT, 40500, TcpFlags::SYN, b"");
-    dev.process(now, Direction::RemoteToLocal, &syn_back);
+    dev.process_owned(now, Direction::RemoteToLocal, syn_back.clone());
 
     let ch = tcp_packet(CLIENT, 40500, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("dw.com"));
-    assert_eq!(dev.process(now, Direction::LocalToRemote, &ch).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::LocalToRemote, ch.clone()).len(), 1);
     let reply = tcp_packet(SERVER, 443, CLIENT, 40500, TcpFlags::PSH_ACK, b"page");
-    let out = dev.process(now, Direction::RemoteToLocal, &reply);
+    let out = dev.process_owned(now, Direction::RemoteToLocal, reply.clone());
     assert_eq!(out, vec![reply]);
     assert_eq!(dev.stats().triggers_sni1, 0);
     assert_eq!(dev.stats().triggers_sni4, 0);
@@ -253,18 +253,18 @@ fn quic_v1_blocked_other_versions_pass() {
 
     // Version 1, 1200 bytes, port 443: blocked including the trigger.
     let v1 = udp_packet(CLIENT, 50000, SERVER, 443, &initial_payload(QuicVersion::V1, 1200));
-    assert!(dev.process(now, Direction::LocalToRemote, &v1).is_empty());
+    assert!(dev.process_owned(now, Direction::LocalToRemote, v1.clone()).is_empty());
     assert_eq!(dev.stats().triggers_quic, 1);
     // All subsequent flow packets drop, both directions, any size.
     let small_up = udp_packet(CLIENT, 50000, SERVER, 443, &[1, 2, 3]);
-    assert!(dev.process(now, Direction::LocalToRemote, &small_up).is_empty());
+    assert!(dev.process_owned(now, Direction::LocalToRemote, small_up.clone()).is_empty());
     let down = udp_packet(SERVER, 443, CLIENT, 50000, &[9; 64]);
-    assert!(dev.process(now, Direction::RemoteToLocal, &down).is_empty());
+    assert!(dev.process_owned(now, Direction::RemoteToLocal, down.clone()).is_empty());
 
     // draft-29 and quicping evade (fresh flows).
     for version in [QuicVersion::Draft29, QuicVersion::QuicPing] {
         let pkt = udp_packet(CLIENT, 50001, SERVER, 443, &initial_payload(version, 1200));
-        assert_eq!(dev.process(now, Direction::LocalToRemote, &pkt).len(), 1, "{version:?}");
+        assert_eq!(dev.process_owned(now, Direction::LocalToRemote, pkt.clone()).len(), 1, "{version:?}");
     }
 }
 
@@ -274,28 +274,28 @@ fn quic_needs_1001_bytes_and_port_443_and_local_origin() {
     let now = Time::ZERO;
     // 1000 bytes: passes (fingerprint needs ≥ 1001).
     let short = udp_packet(CLIENT, 50002, SERVER, 443, &initial_payload(QuicVersion::V1, 1000));
-    assert_eq!(dev.process(now, Direction::LocalToRemote, &short).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::LocalToRemote, short.clone()).len(), 1);
     // Wrong port: passes.
     let wrong_port = udp_packet(CLIENT, 50003, SERVER, 8443, &initial_payload(QuicVersion::V1, 1200));
-    assert_eq!(dev.process(now, Direction::LocalToRemote, &wrong_port).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::LocalToRemote, wrong_port.clone()).len(), 1);
     // Remote-origin: passes.
     let inbound = udp_packet(SERVER, 443, CLIENT, 50004, &initial_payload(QuicVersion::V1, 1200));
-    assert_eq!(dev.process(now, Direction::RemoteToLocal, &inbound).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::RemoteToLocal, inbound.clone()).len(), 1);
     assert_eq!(dev.stats().triggers_quic, 0);
 
     // Exactly 1001 bytes triggers.
     let exact = udp_packet(CLIENT, 50005, SERVER, 443, &initial_payload(QuicVersion::V1, 1001));
-    assert!(dev.process(now, Direction::LocalToRemote, &exact).is_empty());
+    assert!(dev.process_owned(now, Direction::LocalToRemote, exact.clone()).is_empty());
 }
 
 #[test]
 fn quic_block_expires_after_420s() {
     let mut dev = device();
     let v1 = udp_packet(CLIENT, 50006, SERVER, 443, &initial_payload(QuicVersion::V1, 1200));
-    assert!(dev.process(Time::ZERO, Direction::LocalToRemote, &v1).is_empty());
+    assert!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, v1.clone()).is_empty());
     let probe = udp_packet(CLIENT, 50006, SERVER, 443, &[7; 100]);
-    assert!(dev.process(Time::from_secs(419), Direction::LocalToRemote, &probe).is_empty());
-    assert_eq!(dev.process(Time::from_secs(421), Direction::LocalToRemote, &probe).len(), 1);
+    assert!(dev.process_owned(Time::from_secs(419), Direction::LocalToRemote, probe.clone()).is_empty());
+    assert_eq!(dev.process_owned(Time::from_secs(421), Direction::LocalToRemote, probe.clone()).len(), 1);
 }
 
 #[test]
@@ -305,21 +305,21 @@ fn ip_blocking_drops_outbound_rewrites_response() {
 
     // Locally initiated connection to the blocked IP: SYN dropped.
     let syn = tcp_packet(CLIENT, 40600, TOR, 9001, TcpFlags::SYN, b"");
-    assert!(dev.process(now, Direction::LocalToRemote, &syn).is_empty());
+    assert!(dev.process_owned(now, Direction::LocalToRemote, syn.clone()).is_empty());
 
     // Remotely initiated from the blocked IP: the inbound SYN passes…
     let syn_in = tcp_packet(TOR, 33000, CLIENT, 7, TcpFlags::SYN, b"");
-    assert_eq!(dev.process(now, Direction::RemoteToLocal, &syn_in).len(), 1);
+    assert_eq!(dev.process_owned(now, Direction::RemoteToLocal, syn_in.clone()).len(), 1);
     // …but the local SYN/ACK response is rewritten to RST/ACK.
     let synack_out = tcp_packet(CLIENT, 7, TOR, 33000, TcpFlags::SYN_ACK, b"");
-    let out = dev.process(now, Direction::LocalToRemote, &synack_out);
+    let out = dev.process_owned(now, Direction::LocalToRemote, synack_out.clone());
     assert_eq!(out.len(), 1);
     let seg = TcpSegment::new_unchecked(Ipv4Packet::new_unchecked(&out[0][..]).payload().to_vec());
     assert_eq!(seg.flags(), TcpFlags::RST_ACK);
 
     // Censorship applies regardless of port or payload.
     let data = tcp_packet(CLIENT, 12345, TOR, 80, TcpFlags::PSH_ACK, b"GET /");
-    assert!(dev.process(now, Direction::LocalToRemote, &data).is_empty());
+    assert!(dev.process_owned(now, Direction::LocalToRemote, data.clone()).is_empty());
 }
 
 #[test]
@@ -327,12 +327,12 @@ fn ip_blocking_drops_icmp_both_ways() {
     let mut dev = device();
     let icmp = tspu_wire::icmpv4::Icmpv4Repr::EchoRequest { ident: 1, seq_no: 1 }.build();
     let ping_out = Ipv4Repr::new(CLIENT, TOR, Protocol::Icmp, icmp.len()).build(&icmp);
-    assert!(dev.process(Time::ZERO, Direction::LocalToRemote, &ping_out).is_empty());
+    assert!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, ping_out.clone()).is_empty());
     let ping_in = Ipv4Repr::new(TOR, CLIENT, Protocol::Icmp, icmp.len()).build(&icmp);
-    assert!(dev.process(Time::ZERO, Direction::RemoteToLocal, &ping_in).is_empty());
+    assert!(dev.process_owned(Time::ZERO, Direction::RemoteToLocal, ping_in.clone()).is_empty());
     // Pings between unblocked endpoints pass.
     let ok_ping = Ipv4Repr::new(CLIENT, SERVER, Protocol::Icmp, icmp.len()).build(&icmp);
-    assert_eq!(dev.process(Time::ZERO, Direction::LocalToRemote, &ok_ping).len(), 1);
+    assert_eq!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, ok_ping.clone()).len(), 1);
 }
 
 #[test]
@@ -346,14 +346,14 @@ fn fragmented_clienthello_evades_sni() {
     assert!(fragments.len() > 1);
     let mut forwarded = Vec::new();
     for frag in &fragments {
-        forwarded = dev.process(now, Direction::LocalToRemote, frag);
+        forwarded = dev.process_owned(now, Direction::LocalToRemote, frag.clone());
     }
     // All fragments forwarded once the last arrives; no trigger fired.
     assert_eq!(forwarded.len(), fragments.len());
     assert_eq!(dev.stats().triggers_sni1, 0);
     // And the server-side reply passes untouched.
     let reply = tcp_packet(SERVER, 443, CLIENT, 40700, TcpFlags::PSH_ACK, b"hello");
-    assert_eq!(dev.process(now, Direction::RemoteToLocal, &reply), vec![reply]);
+    assert_eq!(dev.process_owned(now, Direction::RemoteToLocal, reply.clone()), vec![reply]);
 }
 
 #[test]
@@ -367,7 +367,7 @@ fn segmented_clienthello_evades_sni() {
     let (a, b) = ch.split_at(ch.len() / 2);
     for part in [a, b] {
         let pkt = tcp_packet(CLIENT, 40800, SERVER, 443, TcpFlags::PSH_ACK, part);
-        assert_eq!(dev.process(now, Direction::LocalToRemote, &pkt).len(), 1);
+        assert_eq!(dev.process_owned(now, Direction::LocalToRemote, pkt.clone()).len(), 1);
     }
     assert_eq!(dev.stats().triggers_sni1, 0);
 }
@@ -378,7 +378,7 @@ fn fragment_to_blocked_ip_still_dropped() {
     let big = tcp_packet(CLIENT, 40900, TOR, 80, TcpFlags::PSH_ACK, &[0; 600]);
     let fragments = tspu_wire::frag::fragment(&big, 256).unwrap();
     for frag in &fragments {
-        assert!(dev.process(Time::ZERO, Direction::LocalToRemote, frag).is_empty());
+        assert!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, frag.clone()).is_empty());
     }
 }
 
@@ -390,9 +390,9 @@ fn failure_profile_lets_some_flows_through() {
     for i in 0..1000u16 {
         let sport = 41000 + i;
         let ch = tcp_packet(CLIENT, sport, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-        dev.process(Time::ZERO, Direction::LocalToRemote, &ch);
+        dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone());
         let reply = tcp_packet(SERVER, 443, CLIENT, sport, TcpFlags::PSH_ACK, b"x");
-        let out = dev.process(Time::ZERO, Direction::RemoteToLocal, &reply);
+        let out = dev.process_owned(Time::ZERO, Direction::RemoteToLocal, reply.clone());
         let rewritten = out.len() == 1
             && TcpSegment::new_unchecked(Ipv4Packet::new_unchecked(&out[0][..]).payload()).flags()
                 == TcpFlags::RST_ACK;
@@ -410,18 +410,18 @@ fn fresh_source_port_escapes_residual_censorship() {
     let mut dev = device();
     handshake(&mut dev, Time::ZERO, 42000);
     let ch = tcp_packet(CLIENT, 42000, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("twitter.com"));
-    dev.process(Time::ZERO, Direction::LocalToRemote, &ch);
+    dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone());
     // Same 5-tuple: reply rewritten.
     let reply = tcp_packet(SERVER, 443, CLIENT, 42000, TcpFlags::PSH_ACK, b"x");
-    let out = dev.process(Time::ZERO, Direction::RemoteToLocal, &reply);
+    let out = dev.process_owned(Time::ZERO, Direction::RemoteToLocal, reply.clone());
     let seg = TcpSegment::new_unchecked(Ipv4Packet::new_unchecked(&out[0][..]).payload().to_vec());
     assert_eq!(seg.flags(), TcpFlags::RST_ACK);
     // Different source port, innocuous SNI: untouched.
     handshake(&mut dev, Time::ZERO, 42001);
     let ch2 = tcp_packet(CLIENT, 42001, SERVER, 443, TcpFlags::PSH_ACK, &clienthello("kernel.org"));
-    dev.process(Time::ZERO, Direction::LocalToRemote, &ch2);
+    dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch2.clone());
     let reply2 = tcp_packet(SERVER, 443, CLIENT, 42001, TcpFlags::PSH_ACK, b"y");
-    let out = dev.process(Time::ZERO, Direction::RemoteToLocal, &reply2);
+    let out = dev.process_owned(Time::ZERO, Direction::RemoteToLocal, reply2.clone());
     assert_eq!(out, vec![reply2]);
 }
 
@@ -442,9 +442,9 @@ fn rst_ack_rewrite_preserves_metadata() {
 #[test]
 fn non_ip_and_other_protocols_pass() {
     let mut dev = device();
-    assert_eq!(dev.process(Time::ZERO, Direction::LocalToRemote, b"junk").len(), 1);
+    assert_eq!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, b"junk".to_vec()).len(), 1);
     let other = Ipv4Repr::new(CLIENT, SERVER, Protocol::Other(47), 4).build(&[1, 2, 3, 4]);
-    assert_eq!(dev.process(Time::ZERO, Direction::LocalToRemote, &other), vec![other]);
+    assert_eq!(dev.process_owned(Time::ZERO, Direction::LocalToRemote, other.clone()), vec![other]);
 }
 
 #[test]
@@ -457,18 +457,19 @@ fn interleaved_flows_behave_like_sequential_ones() {
         let mut dev = device();
         let flows: Vec<(u16, &str)> =
             vec![(45_001, "twitter.com"), (45_002, "wikipedia.org"), (45_003, "meduza.io")];
-        let phases: [&dyn Fn(&mut TspuDevice, u16, &str); 3] = [
+        type Phase<'a> = &'a dyn Fn(&mut TspuDevice, u16, &str);
+        let phases: [Phase; 3] = [
             &|dev, sport, _| {
                 let syn = tcp_packet(CLIENT, sport, SERVER, 443, TcpFlags::SYN, b"");
-                dev.process(Time::ZERO, Direction::LocalToRemote, &syn);
+                dev.process_owned(Time::ZERO, Direction::LocalToRemote, syn.clone());
             },
             &|dev, sport, _| {
                 let synack = tcp_packet(SERVER, 443, CLIENT, sport, TcpFlags::SYN_ACK, b"");
-                dev.process(Time::ZERO, Direction::RemoteToLocal, &synack);
+                dev.process_owned(Time::ZERO, Direction::RemoteToLocal, synack.clone());
             },
             &|dev, sport, domain| {
                 let ch = tcp_packet(CLIENT, sport, SERVER, 443, TcpFlags::PSH_ACK, &clienthello(domain));
-                dev.process(Time::ZERO, Direction::LocalToRemote, &ch);
+                dev.process_owned(Time::ZERO, Direction::LocalToRemote, ch.clone());
             },
         ];
         if interleaved {
@@ -488,7 +489,7 @@ fn interleaved_flows_behave_like_sequential_ones() {
             .iter()
             .map(|(sport, _)| {
                 let reply = tcp_packet(SERVER, 443, CLIENT, *sport, TcpFlags::PSH_ACK, b"r");
-                let out = dev.process(Time::ZERO, Direction::RemoteToLocal, &reply);
+                let out = dev.process_owned(Time::ZERO, Direction::RemoteToLocal, reply.clone());
                 out.len() == 1 && {
                     let ip = Ipv4Packet::new_unchecked(&out[0][..]);
                     TcpSegment::new_unchecked(ip.payload()).flags() == TcpFlags::RST_ACK

@@ -138,7 +138,7 @@ proptest! {
                               dir_local in any::<bool>()) {
         let mut dev = TspuDevice::reliable("fuzz", PolicyHandle::new(Policy::example()));
         let dir = if dir_local { Direction::LocalToRemote } else { Direction::RemoteToLocal };
-        let out = dev.process(Time::ZERO, dir, &bytes);
+        let out = dev.process_owned(Time::ZERO, dir, bytes.clone());
         prop_assert!(out.len() <= 1);
     }
 
@@ -154,7 +154,7 @@ proptest! {
         let packet = Ipv4Repr::new(src, dst, Protocol::Tcp, seg.len()).build(&seg);
         let mut dev = TspuDevice::reliable("fuzz2", PolicyHandle::new(Policy::example()));
         let dir = if dir_local { Direction::LocalToRemote } else { Direction::RemoteToLocal };
-        let out = dev.process(Time::ZERO, dir, &packet);
+        let out = dev.process_owned(Time::ZERO, dir, packet.clone());
         for forwarded in out {
             let view = Ipv4Packet::new_checked(&forwarded[..]).unwrap();
             prop_assert!(view.verify_checksum());
@@ -193,7 +193,7 @@ proptest! {
                 .find(|&i| !pending[i].is_empty())
                 .unwrap();
             let fragment = pending[pick].remove(0);
-            let out = dev.process(Time::ZERO, Direction::LocalToRemote, &fragment);
+            let out = dev.process_owned(Time::ZERO, Direction::LocalToRemote, fragment.clone());
             forwarded_per_train[pick] += out.len();
             remaining -= 1;
         }

@@ -1,0 +1,94 @@
+//! Proof that the packet-path matcher is allocation-free: a counting
+//! global allocator wraps the system allocator, and `DomainSet::matches`
+//! / `NormalizedHost::new` must not allocate for hostnames that fit the
+//! 256-byte stack buffer — i.e. every hostname a real SNI carries.
+//!
+//! The counter is process-global, so everything runs in ONE test function
+//! (the libtest harness would otherwise interleave allocations from
+//! concurrent tests into the measured windows).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tspu_core::policy::{DomainSet, NormalizedHost};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during<F: FnOnce() -> R, R>(f: F) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let result = f();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    drop(result);
+    after - before
+}
+
+#[test]
+fn matcher_is_allocation_free_on_the_packet_path() {
+    let set = DomainSet::from_names([
+        "facebook.com",
+        "instagram.com",
+        "twitter.com",
+        "rutracker.org",
+        "xn--p1ai",
+    ]);
+    // 256 bytes exactly (the stack capacity), as a deep subdomain.
+    let long_label = "a".repeat(NormalizedHost::STACK_CAPACITY - ".web.facebook.com".len());
+    let max_host = format!("{long_label}.web.facebook.com");
+    assert_eq!(max_host.len(), NormalizedHost::STACK_CAPACITY);
+    let hosts: [&str; 6] = [
+        "facebook.com",
+        "WWW.Facebook.COM.",
+        "login.instagram.com",
+        "definitely-not-blocked.example",
+        "com",
+        &max_host,
+    ];
+
+    // Warm up so lazily initialized pieces (if any) do not count.
+    for host in hosts {
+        let _ = set.matches(host);
+    }
+
+    for host in hosts {
+        let n = allocations_during(|| {
+            let mut hits = 0u32;
+            for _ in 0..100 {
+                hits += u32::from(set.matches(host));
+            }
+            hits
+        });
+        assert_eq!(n, 0, "matches({host:?}) allocated {n} times in 100 calls");
+    }
+
+    // Normalization alone is also allocation-free at the capacity limit.
+    let n = allocations_during(|| NormalizedHost::new(&max_host).as_bytes().len());
+    assert_eq!(n, 0, "NormalizedHost::new allocated for a 256-byte host");
+
+    // Sanity-check the counter itself: an over-limit hostname takes the
+    // heap spill path and must be observed doing so.
+    let oversized = format!("b{max_host}");
+    let n = allocations_during(|| NormalizedHost::new(&oversized).as_bytes().len());
+    assert!(n > 0, "counter failed to observe the spill-path allocation");
+}

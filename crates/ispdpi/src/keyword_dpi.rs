@@ -14,7 +14,8 @@
 
 use std::collections::HashSet;
 
-use tspu_netsim::{Direction, Middlebox, Time};
+use tspu_core::policy::DomainSet;
+use tspu_netsim::{Direction, Middlebox, Time, Verdict};
 use tspu_wire::http::HttpRequest;
 use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::TcpSegment;
@@ -22,7 +23,7 @@ use tspu_wire::tcp::TcpSegment;
 /// The keyword-filtering middlebox.
 pub struct HttpKeywordDpi {
     isp: String,
-    blocklist: HashSet<String>,
+    blocklist: DomainSet,
     /// Requests intercepted so far.
     pub intercepted: u64,
 }
@@ -30,53 +31,48 @@ pub struct HttpKeywordDpi {
 impl HttpKeywordDpi {
     /// Creates the DPI with the ISP's own list snapshot.
     pub fn new(isp: &str, blocklist: HashSet<String>) -> HttpKeywordDpi {
-        HttpKeywordDpi { isp: isp.to_string(), blocklist, intercepted: 0 }
+        HttpKeywordDpi {
+            isp: isp.to_string(),
+            blocklist: DomainSet::from_names(blocklist),
+            intercepted: 0,
+        }
     }
 
     fn lists(&self, host: &str) -> bool {
-        let mut rest = host;
-        loop {
-            if self.blocklist.contains(rest) {
-                return true;
-            }
-            match rest.split_once('.') {
-                Some((_, parent)) if parent.contains('.') => rest = parent,
-                _ => return false,
-            }
-        }
+        self.blocklist.matches(host)
     }
 }
 
 impl Middlebox for HttpKeywordDpi {
-    fn process(&mut self, _now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process(&mut self, _now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
         if direction != Direction::LocalToRemote {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         }
-        let Ok(ip) = Ipv4Packet::new_checked(packet) else {
-            return vec![packet.to_vec()];
+        let Ok(ip) = Ipv4Packet::new_checked(&packet[..]) else {
+            return Verdict::Pass;
         };
         if ip.protocol() != Protocol::Tcp || ip.is_fragment() {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         }
         let Ok(segment) = TcpSegment::new_checked(ip.payload()) else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         if segment.dst_port() != 80 || segment.payload().is_empty() {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         }
         let Ok(request) = HttpRequest::parse(segment.payload()) else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         let Some(host) = request.host else {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         };
         if !self.lists(&host) {
-            return vec![packet.to_vec()];
+            return Verdict::Pass;
         }
         // Swallow the offending request: the client times out — the
         // blunt, cheap blocking the pre-TSPU era was known for.
         self.intercepted += 1;
-        Vec::new()
+        Verdict::Drop
     }
 
     fn label(&self) -> String {
@@ -110,7 +106,7 @@ mod tests {
     #[test]
     fn blocked_host_request_swallowed() {
         let mut dpi = dpi();
-        let out = dpi.process(Time::ZERO, Direction::LocalToRemote, &http_get("blocked.ru", 80));
+        let out = dpi.process_owned(Time::ZERO, Direction::LocalToRemote, http_get("blocked.ru", 80));
         assert!(out.is_empty());
         assert_eq!(dpi.intercepted, 1);
     }
@@ -119,7 +115,7 @@ mod tests {
     fn subdomain_also_intercepted() {
         let mut dpi = dpi();
         assert!(dpi
-            .process(Time::ZERO, Direction::LocalToRemote, &http_get("www.blocked.ru", 80))
+            .process_owned(Time::ZERO, Direction::LocalToRemote, http_get("www.blocked.ru", 80))
             .is_empty());
     }
 
@@ -127,7 +123,7 @@ mod tests {
     fn clean_host_passes() {
         let mut dpi = dpi();
         let packet = http_get("open.ru", 80);
-        assert_eq!(dpi.process(Time::ZERO, Direction::LocalToRemote, &packet), vec![packet]);
+        assert_eq!(dpi.process_owned(Time::ZERO, Direction::LocalToRemote, packet.clone()), vec![packet]);
         assert_eq!(dpi.intercepted, 0);
     }
 
@@ -137,14 +133,14 @@ mod tests {
         // SNI filtering — which is why the TSPU was needed at all.
         let mut dpi = dpi();
         let https = http_get("blocked.ru", 443);
-        assert_eq!(dpi.process(Time::ZERO, Direction::LocalToRemote, &https).len(), 1);
+        assert_eq!(dpi.process_owned(Time::ZERO, Direction::LocalToRemote, https).len(), 1);
     }
 
     #[test]
     fn inbound_traffic_untouched() {
         let mut dpi = dpi();
         assert_eq!(
-            dpi.process(Time::ZERO, Direction::RemoteToLocal, &http_get("blocked.ru", 80)).len(),
+            dpi.process_owned(Time::ZERO, Direction::RemoteToLocal, http_get("blocked.ru", 80)).len(),
             1
         );
     }

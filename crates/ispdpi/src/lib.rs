@@ -21,6 +21,8 @@ pub mod resolver_app;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
+use tspu_core::policy::DomainSet;
+
 pub use keyword_dpi::HttpKeywordDpi;
 pub use resolver_app::DnsResolverApp;
 
@@ -56,7 +58,7 @@ impl Resolution {
 /// resolution does not depend on the querier.
 pub struct IspResolver {
     isp: String,
-    blocklist: HashSet<String>,
+    blocklist: DomainSet,
     blockpage_addr: Ipv4Addr,
 }
 
@@ -64,7 +66,11 @@ impl IspResolver {
     /// Creates a resolver for `isp` with its own blocklist snapshot and
     /// blockpage address.
     pub fn new(isp: &str, blocklist: HashSet<String>, blockpage_addr: Ipv4Addr) -> IspResolver {
-        IspResolver { isp: isp.to_string(), blocklist, blockpage_addr }
+        IspResolver {
+            isp: isp.to_string(),
+            blocklist: DomainSet::from_names(blocklist),
+            blockpage_addr,
+        }
     }
 
     /// The ISP's name.
@@ -83,19 +89,10 @@ impl IspResolver {
     }
 
     /// True if the ISP's snapshot lists `name` (exact or parent domain,
-    /// like the registry's own matching).
+    /// like the registry's own matching). Delegates to the shared
+    /// allocation-free suffix matcher.
     pub fn lists(&self, name: &str) -> bool {
-        let name = name.to_ascii_lowercase();
-        let mut rest = name.as_str();
-        loop {
-            if self.blocklist.contains(rest) {
-                return true;
-            }
-            match rest.split_once('.') {
-                Some((_, parent)) if parent.contains('.') => rest = parent,
-                _ => return false,
-            }
-        }
+        self.blocklist.matches(name)
     }
 
     /// Resolves `name`, substituting the blockpage for listed names.
@@ -233,11 +230,16 @@ mod dump_tests {
         let stale_cov = coverage(&stale);
         let fresh_cov = coverage(&fresh);
         assert!(stale_cov < fresh_cov, "{stale_cov} vs {fresh_cov}");
-        // A domain added late is missed by the stale ISP only.
+        // A domain added after the stale sync but before the fresh one is
+        // missed by the stale ISP only. (Days run 0..130, so a plain
+        // `> 100` check can land past the fresh sync date too.)
         let late = universe
             .registry_sample
             .iter()
-            .find(|d| d.registry_added_day.unwrap() > 100)
+            .find(|d| {
+                let day = d.registry_added_day.unwrap();
+                day > 15 && day <= 120
+            })
             .unwrap();
         assert!(!stale.lists(&late.name));
         assert!(fresh.lists(&late.name));

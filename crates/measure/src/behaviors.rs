@@ -110,12 +110,7 @@ mod tests {
     /// Reliable lab (no failure dice) for behavior classification.
     fn reliable_lab() -> VantageLab {
         let universe = Universe::generate(3);
-        let policy = tspu_topology::policy_from_universe(&universe, false, true);
-        // Zero out failures by rebuilding devices with the same policy but
-        // a custom profile: easiest is to use the lab and accept the tiny
-        // ER-Telecom rates — instead we build and override below.
-        let _ = policy;
-        VantageLab::build(&universe, false, true)
+        VantageLab::build_reliable(&universe, false, true)
     }
 
     #[test]

@@ -120,20 +120,20 @@ fn still_triggers(policy: &PolicyHandle, record: &[u8]) -> bool {
     ] {
         let seg = TcpRepr::new(sp, dp, flags).build(src, dst);
         let pkt = Ipv4Repr::new(src, dst, Protocol::Tcp, seg.len()).build(&seg);
-        dev.process(now, dir, &pkt);
+        dev.process_owned(now, dir, pkt.clone());
     }
     // The (mutated) ClientHello.
     let mut tcp = TcpRepr::new(4444, 443, TcpFlags::PSH_ACK);
     tcp.payload = record.to_vec();
     let seg = tcp.build(CLIENT, SERVER);
     let ch = Ipv4Repr::new(CLIENT, SERVER, Protocol::Tcp, seg.len()).build(&seg);
-    dev.process(now, Direction::LocalToRemote, &ch);
+    dev.process_owned(now, Direction::LocalToRemote, ch.clone());
     // Does the response get rewritten?
     let mut reply = TcpRepr::new(443, 4444, TcpFlags::PSH_ACK);
     reply.payload = vec![0xaa; 64];
     let seg = reply.build(SERVER, CLIENT);
     let response = Ipv4Repr::new(SERVER, CLIENT, Protocol::Tcp, seg.len()).build(&seg);
-    let out = dev.process(now, Direction::RemoteToLocal, &response);
+    let out = dev.process_owned(now, Direction::RemoteToLocal, response.clone());
     out.len() == 1 && {
         let ip = tspu_wire::ipv4::Ipv4Packet::new_unchecked(&out[0][..]);
         TcpSegment::new_unchecked(ip.payload()).flags() == TcpFlags::RST_ACK

@@ -22,8 +22,8 @@ pub fn filter_drops(policy: &PolicyHandle, dst_port: u16, payload: &[u8]) -> boo
         let datagram = UdpRepr::new(50_001, dst_port, bytes.to_vec()).build(CLIENT, SERVER);
         Ipv4Repr::new(CLIENT, SERVER, Protocol::Udp, datagram.len()).build(&datagram)
     };
-    let first = dev.process(now, Direction::LocalToRemote, &build(payload));
-    let follow = dev.process(now, Direction::LocalToRemote, &build(&[0x01; 32]));
+    let first = dev.process_owned(now, Direction::LocalToRemote, build(payload));
+    let follow = dev.process_owned(now, Direction::LocalToRemote, build(&[0x01; 32]));
     first.is_empty() && follow.is_empty()
 }
 

@@ -361,8 +361,11 @@ mod tests {
     use tspu_registry::Universe;
 
     fn lab() -> VantageLab {
+        // Reliable devices: these tests recover the ground-truth timeout
+        // constants via binary search, where one failure-dice exemption
+        // would flip an observable mid-search.
         let universe = Universe::generate(3);
-        VantageLab::build(&universe, false, true)
+        VantageLab::build_reliable(&universe, false, true)
     }
 
     fn close_to(measured: u64, expected: u64) -> bool {

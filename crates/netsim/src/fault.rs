@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::middlebox::{Direction, Middlebox};
+use crate::middlebox::{Direction, Middlebox, Verdict};
 use crate::time::Time;
 
 /// A link that randomly drops packets with a fixed probability.
@@ -40,13 +40,13 @@ impl LossyLink {
 }
 
 impl Middlebox for LossyLink {
-    fn process(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process(&mut self, _now: Time, _direction: Direction, _packet: &mut Vec<u8>) -> Verdict {
         if self.rng.gen_bool(self.loss) {
             self.dropped += 1;
-            Vec::new()
+            Verdict::Drop
         } else {
             self.forwarded += 1;
-            vec![packet.to_vec()]
+            Verdict::Pass
         }
     }
 
@@ -72,14 +72,13 @@ impl CorruptingLink {
 }
 
 impl Middlebox for CorruptingLink {
-    fn process(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
-        let mut packet = packet.to_vec();
+    fn process(&mut self, _now: Time, _direction: Direction, packet: &mut Vec<u8>) -> Verdict {
         if !packet.is_empty() && self.rng.gen_bool(self.chance) {
             let pos = self.rng.gen_range(0..packet.len());
             let bit = 1u8 << self.rng.gen_range(0..8);
             packet[pos] ^= bit;
         }
-        vec![packet]
+        Verdict::Pass
     }
 
     fn label(&self) -> String {
@@ -97,7 +96,7 @@ mod tests {
         let packet = vec![0u8; 32];
         let mut delivered = 0;
         for _ in 0..10_000 {
-            delivered += link.process(Time::ZERO, Direction::LocalToRemote, &packet).len();
+            delivered += link.process_owned(Time::ZERO, Direction::LocalToRemote, packet.clone()).len();
         }
         assert!((7_300..=7_700).contains(&delivered), "delivered {delivered}");
         assert_eq!(link.dropped() + link.forwarded(), 10_000);
@@ -107,7 +106,7 @@ mod tests {
     fn zero_loss_forwards_everything() {
         let mut link = LossyLink::new(0.0, 1);
         for _ in 0..100 {
-            assert_eq!(link.process(Time::ZERO, Direction::RemoteToLocal, &[1, 2, 3]).len(), 1);
+            assert_eq!(link.process_owned(Time::ZERO, Direction::RemoteToLocal, vec![1, 2, 3]).len(), 1);
         }
     }
 
@@ -115,7 +114,7 @@ mod tests {
     fn corruption_changes_exactly_one_bit() {
         let mut link = CorruptingLink::new(1.0, 3);
         let original = vec![0u8; 64];
-        let out = link.process(Time::ZERO, Direction::LocalToRemote, &original);
+        let out = link.process_owned(Time::ZERO, Direction::LocalToRemote, original.clone());
         let corrupted = &out[0];
         let flipped: u32 = original
             .iter()
@@ -130,7 +129,7 @@ mod tests {
         let run = |seed| {
             let mut link = LossyLink::new(0.5, seed);
             (0..64)
-                .map(|_| link.process(Time::ZERO, Direction::LocalToRemote, &[0]).len())
+                .map(|_| link.process_owned(Time::ZERO, Direction::LocalToRemote, vec![0]).len())
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));

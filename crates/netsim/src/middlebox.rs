@@ -32,23 +32,52 @@ impl Direction {
     }
 }
 
+/// The outcome of processing one packet.
+///
+/// The common cases — forward unchanged, drop — carry no packet buffers at
+/// all, so an in-path chain of non-mutating devices moves a packet from
+/// hop to hop without a single copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward the input packet, possibly rewritten in place.
+    Pass,
+    /// Consume the packet: dropped, or absorbed into device state (the
+    /// TSPU's fragment cache buffering a fragment).
+    Drop,
+    /// Forward a different packet in the input's place (the TSPU's RST/ACK
+    /// rewrite, NAT translation).
+    Replace(Vec<u8>),
+    /// Forward several packets (the fragment cache flushing a buffered
+    /// train when its last fragment arrives).
+    Fanout(Vec<Vec<u8>>),
+}
+
 /// An in-path packet processor.
 ///
-/// `process` maps one input packet to zero or more output packets that
-/// continue along the same route from the device's position:
-///
-/// * `vec![]` — the packet is dropped;
-/// * `vec![packet]` — forwarded, possibly rewritten in place (the TSPU's
-///   RST/ACK rewrite keeps the original IP header);
-/// * `vec![a, b, …]` — multiple packets continue (the TSPU's fragment
-///   cache flushing a buffered queue when the last fragment arrives).
+/// `process` inspects one packet — mutating it in place if needed — and
+/// returns a [`Verdict`] saying what continues along the route from the
+/// device's position.
 ///
 /// State expiry is lazy: implementations compare `now` against their own
 /// deadlines on each call. The simulator never calls middleboxes when no
 /// packet crosses them, exactly like real in-path hardware.
 pub trait Middlebox {
     /// Processes one packet traveling in `direction`.
-    fn process(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>>;
+    fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict;
+
+    /// Convenience wrapper: takes the packet by value and materializes the
+    /// verdict as the list of packets that continue. Tests and measurement
+    /// drivers use this; the event loop itself consumes [`Verdict`]s
+    /// directly to stay copy-free.
+    fn process_owned(&mut self, now: Time, direction: Direction, packet: Vec<u8>) -> Vec<Vec<u8>> {
+        let mut packet = packet;
+        match self.process(now, direction, &mut packet) {
+            Verdict::Pass => vec![packet],
+            Verdict::Drop => Vec::new(),
+            Verdict::Replace(replacement) => vec![replacement],
+            Verdict::Fanout(packets) => packets,
+        }
+    }
 
     /// A short name for captures and debugging.
     fn label(&self) -> String {

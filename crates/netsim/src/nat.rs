@@ -22,7 +22,7 @@ use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::TcpSegment;
 use tspu_wire::udp::UdpDatagram;
 
-use crate::middlebox::{Direction, Middlebox};
+use crate::middlebox::{Direction, Middlebox, Verdict};
 use crate::time::Time;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,25 +145,25 @@ impl Cgnat {
 }
 
 impl Middlebox for Cgnat {
-    fn process(&mut self, _now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
-        let Ok(view) = Ipv4Packet::new_checked(packet) else {
-            return vec![packet.to_vec()];
+    fn process(&mut self, _now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
+        let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else {
+            return Verdict::Pass;
         };
         if view.is_fragment() {
             // No transport header (or unmatchable train): untranslatable.
             self.fragments_dropped += 1;
-            return Vec::new();
+            return Verdict::Drop;
         }
         match direction {
             Direction::LocalToRemote => match self.translate_out(packet) {
-                Some(translated) => vec![translated],
-                None => vec![packet.to_vec()],
+                Some(translated) => Verdict::Replace(translated),
+                None => Verdict::Pass,
             },
             Direction::RemoteToLocal => match self.translate_in(packet) {
-                Some(translated) => vec![translated],
+                Some(translated) => Verdict::Replace(translated),
                 None => {
                     self.unsolicited_dropped += 1;
-                    Vec::new()
+                    Verdict::Drop
                 }
             },
         }
@@ -193,7 +193,7 @@ mod tests {
     fn outbound_translation_and_return_path() {
         let mut nat = Cgnat::new(PUBLIC);
         let syn = tcp(INNER, 40_000, SERVER, 443, TcpFlags::SYN);
-        let out = nat.process(Time::ZERO, Direction::LocalToRemote, &syn);
+        let out = nat.process_owned(Time::ZERO, Direction::LocalToRemote, syn.clone());
         assert_eq!(out.len(), 1);
         let view = Ipv4Packet::new_checked(&out[0][..]).unwrap();
         assert_eq!(view.src_addr(), PUBLIC);
@@ -204,7 +204,7 @@ mod tests {
 
         // Reply to the translated port returns to the inner host.
         let synack = tcp(SERVER, 443, PUBLIC, public_port, TcpFlags::SYN_ACK);
-        let back = nat.process(Time::ZERO, Direction::RemoteToLocal, &synack);
+        let back = nat.process_owned(Time::ZERO, Direction::RemoteToLocal, synack.clone());
         assert_eq!(back.len(), 1);
         let view = Ipv4Packet::new_checked(&back[0][..]).unwrap();
         assert_eq!(view.dst_addr(), INNER);
@@ -218,8 +218,8 @@ mod tests {
     fn mapping_is_stable_per_flow() {
         let mut nat = Cgnat::new(PUBLIC);
         let pkt = tcp(INNER, 40_001, SERVER, 443, TcpFlags::SYN);
-        let a = nat.process(Time::ZERO, Direction::LocalToRemote, &pkt);
-        let b = nat.process(Time::ZERO, Direction::LocalToRemote, &pkt);
+        let a = nat.process_owned(Time::ZERO, Direction::LocalToRemote, pkt.clone());
+        let b = nat.process_owned(Time::ZERO, Direction::LocalToRemote, pkt.clone());
         let port = |bytes: &Vec<u8>| {
             let view = Ipv4Packet::new_unchecked(&bytes[..]);
             TcpSegment::new_unchecked(view.payload()).src_port()
@@ -231,7 +231,7 @@ mod tests {
     fn unsolicited_inbound_dropped() {
         let mut nat = Cgnat::new(PUBLIC);
         let probe = tcp(SERVER, 5555, PUBLIC, 40_404, TcpFlags::SYN);
-        assert!(nat.process(Time::ZERO, Direction::RemoteToLocal, &probe).is_empty());
+        assert!(nat.process_owned(Time::ZERO, Direction::RemoteToLocal, probe.clone()).is_empty());
         assert_eq!(nat.unsolicited_dropped, 1);
     }
 
@@ -244,7 +244,7 @@ mod tests {
         let seg = tcp_syn.build(SERVER, PUBLIC);
         let packet = Ipv4Repr::new(SERVER, PUBLIC, Protocol::Tcp, seg.len()).build(&seg);
         for fragment in tspu_wire::frag::fragment(&packet, 64).unwrap() {
-            assert!(nat.process(Time::ZERO, Direction::RemoteToLocal, &fragment).is_empty());
+            assert!(nat.process_owned(Time::ZERO, Direction::RemoteToLocal, fragment.clone()).is_empty());
         }
         assert!(nat.fragments_dropped >= 4);
     }
@@ -253,8 +253,8 @@ mod tests {
     fn distinct_inner_hosts_get_distinct_ports() {
         let mut nat = Cgnat::new(PUBLIC);
         let other = Ipv4Addr::new(100, 64, 5, 3);
-        let a = nat.process(Time::ZERO, Direction::LocalToRemote, &tcp(INNER, 40_000, SERVER, 443, TcpFlags::SYN));
-        let b = nat.process(Time::ZERO, Direction::LocalToRemote, &tcp(other, 40_000, SERVER, 443, TcpFlags::SYN));
+        let a = nat.process_owned(Time::ZERO, Direction::LocalToRemote, tcp(INNER, 40_000, SERVER, 443, TcpFlags::SYN));
+        let b = nat.process_owned(Time::ZERO, Direction::LocalToRemote, tcp(other, 40_000, SERVER, 443, TcpFlags::SYN));
         let port = |bytes: &Vec<u8>| {
             let view = Ipv4Packet::new_unchecked(&bytes[..]);
             TcpSegment::new_unchecked(view.payload()).src_port()

@@ -2,7 +2,9 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+use tspu_wire::fasthash::FxHashMap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::time::Duration;
@@ -12,7 +14,7 @@ use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
 
 use crate::app::{Application, Output};
 use crate::capture::{CaptureRecord, TracePoint};
-use crate::middlebox::{Direction, Middlebox, MiddleboxId};
+use crate::middlebox::{Direction, Middlebox, MiddleboxId, Verdict};
 use crate::time::Time;
 
 /// Index of a host registered with a [`Network`].
@@ -112,8 +114,8 @@ pub struct Network {
     seq: u64,
     queue: BinaryHeap<Reverse<Event>>,
     hosts: Vec<HostState>,
-    addr_map: HashMap<Ipv4Addr, HostId>,
-    routes: HashMap<(HostId, HostId), Rc<Route>>,
+    addr_map: FxHashMap<Ipv4Addr, HostId>,
+    routes: FxHashMap<(HostId, HostId), Rc<Route>>,
     middleboxes: Vec<Box<dyn Middlebox>>,
     hop_latency: Duration,
     capture_enabled: bool,
@@ -129,8 +131,8 @@ impl Network {
             seq: 0,
             queue: BinaryHeap::new(),
             hosts: Vec::new(),
-            addr_map: HashMap::new(),
-            routes: HashMap::new(),
+            addr_map: FxHashMap::default(),
+            routes: FxHashMap::default(),
             middleboxes: Vec::new(),
             hop_latency,
             capture_enabled: true,
@@ -349,16 +351,52 @@ impl Network {
             view.fill_checksum();
         }
 
-        // Middleboxes on this link, chained in order.
-        let mut in_flight = vec![packet];
-        for &(mb_id, direction) in &route_step.devices {
-            let mut next = Vec::new();
-            for pkt in in_flight.drain(..) {
-                let outputs = self.middleboxes[mb_id.0].process(self.now, direction, &pkt);
-                if outputs.is_empty() {
-                    self.capture(TracePoint::Dropped { step }, &pkt);
+        // Middleboxes on this link, chained in order. The single-packet
+        // case — every hop of every non-fragmented flow — is copy-free:
+        // the one buffer moves through the chain (rewritten in place or
+        // replaced when a device says so) and on into the next hop event.
+        let mut devices = route_step.devices.iter();
+        let mut fanout: Option<Vec<Vec<u8>>> = None;
+        for &(mb_id, direction) in devices.by_ref() {
+            match self.middleboxes[mb_id.0].process(self.now, direction, &mut packet) {
+                Verdict::Pass => {}
+                Verdict::Drop => {
+                    self.capture(TracePoint::Dropped { step }, &packet);
+                    return;
                 }
-                next.extend(outputs);
+                Verdict::Replace(replacement) => packet = replacement,
+                Verdict::Fanout(packets) => {
+                    if packets.is_empty() {
+                        self.capture(TracePoint::Dropped { step }, &packet);
+                        return;
+                    }
+                    fanout = Some(packets);
+                    break;
+                }
+            }
+        }
+        let Some(mut in_flight) = fanout else {
+            let time = self.now + self.hop_latency;
+            self.push_event(time, EventKind::Hop { src, dst, step: step + 1, packet });
+            return;
+        };
+
+        // Rare multi-packet tail (a fragment train flushed mid-chain): the
+        // remaining devices process each packet of the train.
+        for &(mb_id, direction) in devices {
+            let mut next = Vec::new();
+            for mut pkt in in_flight {
+                match self.middleboxes[mb_id.0].process(self.now, direction, &mut pkt) {
+                    Verdict::Pass => next.push(pkt),
+                    Verdict::Drop => self.capture(TracePoint::Dropped { step }, &pkt),
+                    Verdict::Replace(replacement) => next.push(replacement),
+                    Verdict::Fanout(packets) => {
+                        if packets.is_empty() {
+                            self.capture(TracePoint::Dropped { step }, &pkt);
+                        }
+                        next.extend(packets);
+                    }
+                }
             }
             in_flight = next;
             if in_flight.is_empty() {
@@ -391,11 +429,13 @@ impl Network {
 
     fn do_deliver(&mut self, dst: HostId, packet: Vec<u8>) {
         self.capture(TracePoint::HostRx(dst), &packet);
-        self.hosts[dst.0].inbox.push((self.now, packet.clone()));
         if let Some(mut app) = self.hosts[dst.0].app.take() {
             let outputs = app.on_packet(self.now, &packet);
             self.hosts[dst.0].app = Some(app);
+            self.hosts[dst.0].inbox.push((self.now, packet));
             self.apply_outputs(dst, outputs);
+        } else {
+            self.hosts[dst.0].inbox.push((self.now, packet));
         }
     }
 
@@ -456,7 +496,7 @@ impl<M> Shared<M> {
 }
 
 impl<M: Middlebox> Middlebox for Shared<M> {
-    fn process(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+    fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
         self.inner.borrow_mut().process(now, direction, packet)
     }
 
@@ -540,8 +580,8 @@ mod tests {
 
     struct DropAll;
     impl Middlebox for DropAll {
-        fn process(&mut self, _now: Time, _dir: Direction, _packet: &[u8]) -> Vec<Vec<u8>> {
-            Vec::new()
+        fn process(&mut self, _now: Time, _dir: Direction, _packet: &mut Vec<u8>) -> Verdict {
+            Verdict::Drop
         }
     }
 
@@ -551,12 +591,12 @@ mod tests {
         remote_to_local: usize,
     }
     impl Middlebox for CountDirections {
-        fn process(&mut self, _now: Time, dir: Direction, packet: &[u8]) -> Vec<Vec<u8>> {
+        fn process(&mut self, _now: Time, dir: Direction, _packet: &mut Vec<u8>) -> Verdict {
             match dir {
                 Direction::LocalToRemote => self.local_to_remote += 1,
                 Direction::RemoteToLocal => self.remote_to_local += 1,
             }
-            vec![packet.to_vec()]
+            Verdict::Pass
         }
     }
 

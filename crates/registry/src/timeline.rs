@@ -87,6 +87,9 @@ mod tests {
         assert!(!mar4.throttle_active && mar4.quic_filter && mar4.escalation_blocks);
     }
 
+    // Deliberate constant assertions: the transcribed dates must stay
+    // in chronological order.
+    #[allow(clippy::assertions_on_constants)]
     #[test]
     fn day_constants_are_ordered() {
         assert!(day::FEB_24 < day::FEB_26);

@@ -237,6 +237,10 @@ impl Application for TcpClient {
     }
 }
 
+/// What [`QuicClient::start`] hands the driver: the app, the shared
+/// reply counter, and the initial timed packets to inject.
+pub type QuicClientStart = (QuicClient, Rc<RefCell<usize>>, Vec<(Duration, Vec<u8>)>);
+
 /// A QUIC client: fires one Initial-sized datagram, then `follow_ups`
 /// smaller datagrams at 100 ms intervals, and records replies.
 pub struct QuicClient {
@@ -255,7 +259,7 @@ impl QuicClient {
         dst: Ipv4Addr,
         version: tspu_wire::quic::QuicVersion,
         follow_ups: usize,
-    ) -> (QuicClient, Rc<RefCell<usize>>, Vec<(Duration, Vec<u8>)>) {
+    ) -> QuicClientStart {
         let replies = Rc::new(RefCell::new(0));
         let mut packets = Vec::new();
         packets.push((

@@ -87,9 +87,21 @@ impl VantageLab {
         Self::build_with_policy(universe, policy)
     }
 
+    /// Builds the lab with perfectly reliable devices (no Table 1 failure
+    /// dice) — for state-machine and timeout experiments, where a single
+    /// unlucky exemption roll would corrupt a binary search over sleeps.
+    pub fn build_reliable(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
+        let policy = policy_from_universe(universe, throttle_active, quic_filter);
+        Self::build_inner(universe, policy, true)
+    }
+
     /// Builds the lab with an explicit policy handle (e.g. perfectly
     /// reliable devices for state-machine experiments).
     pub fn build_with_policy(universe: &Universe, policy: PolicyHandle) -> VantageLab {
+        Self::build_inner(universe, policy, false)
+    }
+
+    fn build_inner(universe: &Universe, policy: PolicyHandle, reliable: bool) -> VantageLab {
         let mut net = Network::with_default_latency();
 
         let us_main = net.add_host(US_MAIN);
@@ -108,6 +120,9 @@ impl VantageLab {
         };
 
         let rates = |isp: &str| {
+            if reliable {
+                return FailureProfile::uniform(0.0);
+            }
             stats::table1::PER_DEVICE
                 .iter()
                 .find(|(name, _)| *name == isp)
@@ -196,12 +211,13 @@ impl VantageLab {
                 (&paris, &fr_transit, up_fr_id),
                 (&tor, &fr_transit, up_fr_id),
             ] {
-                let mut forward = Vec::new();
-                forward.push(RouteStep::router(obit_hops[0]));
-                forward.push(RouteStep::with_device(obit_hops[1], sym_id, Direction::LocalToRemote));
-                forward.push(RouteStep::with_device(transit[0], up_id, Direction::LocalToRemote));
-                forward.push(RouteStep::router(transit[1]));
-                forward.push(RouteStep::router(transit[2]));
+                let forward = vec![
+                    RouteStep::router(obit_hops[0]),
+                    RouteStep::with_device(obit_hops[1], sym_id, Direction::LocalToRemote),
+                    RouteStep::with_device(transit[0], up_id, Direction::LocalToRemote),
+                    RouteStep::router(transit[1]),
+                    RouteStep::router(transit[2]),
+                ];
                 net.set_route(host, dst, Route { steps: forward });
                 // Reverse path: different transit hops (asymmetric
                 // routing), no upstream-only device, symmetric device on.
@@ -319,12 +335,7 @@ mod tests {
         let universe = Universe::generate(11);
         let policy = policy_from_universe(&universe, false, true);
         // Make devices perfectly reliable for the structural tests.
-        let lab = {
-            let mut p = tspu_core::Policy::default();
-            p.quic_filter = true;
-            let _ = p;
-            VantageLab::build_with_policy(&universe, policy)
-        };
+        let lab = VantageLab::build_with_policy(&universe, policy);
         (universe, lab)
     }
 

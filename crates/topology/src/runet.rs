@@ -798,10 +798,16 @@ mod tests {
         assert!(r.endpoints.iter().all(|e| e.behind_symmetric));
         // …and the device is far from the leaves (the anti-Fig. 12).
         assert!(r.endpoints.iter().all(|e| e.device_hops.unwrap() >= 5));
-        // Whereas the TSPU placement needs hundreds of boxes for partial
-        // coverage, close to leaves.
+        // Whereas the TSPU placement needs an order of magnitude more
+        // boxes for partial coverage, close to leaves. (Relative bound:
+        // the absolute count depends on the RNG draws of the generator.)
         let tspu = Runet::generate(&universe, RunetConfig::tiny(9));
-        assert!(tspu.devices.len() > 50, "{} devices", tspu.devices.len());
+        assert!(
+            tspu.devices.len() > 10 * r.devices.len(),
+            "{} devices vs {} choke-point boxes",
+            tspu.devices.len(),
+            r.devices.len()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod checksum;
 pub mod dns;
+pub mod fasthash;
 pub mod frag;
 pub mod http;
 pub mod icmpv4;

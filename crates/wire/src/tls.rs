@@ -583,8 +583,8 @@ mod tests {
     fn mutating_random_does_not_change_outcome() {
         let record = ClientHelloBuilder::new("nordvpn.com").build();
         let mut mutated = record.clone();
-        for i in 11..43 {
-            mutated[i] ^= 0xff; // the 32-byte random
+        for byte in &mut mutated[11..43] {
+            *byte ^= 0xff; // the 32-byte random
         }
         assert_eq!(extract_sni(&mutated), SniOutcome::Sni("nordvpn.com".into()));
     }

@@ -34,7 +34,7 @@ fn main() {
     }
     // Blockpages are reachable from every vantage (inside the ISP).
     for vantage in &lab.vantages {
-        for (_, &bp) in &blockpage_hosts {
+        for &bp in blockpage_hosts.values() {
             lab.net.set_route_symmetric(vantage.host, bp, tspu_netsim::Route::direct());
         }
     }

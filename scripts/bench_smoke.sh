@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Benchmark smoke run: exercises every perf Criterion group and writes a
+# JSON-lines summary — one {"id", "ns_per_iter", "iters"} object per
+# bench — for the cross-PR perf trajectory (BENCH_pr1.json et al.).
+#
+# Usage:
+#   scripts/bench_smoke.sh [OUTPUT]      # quick (~20x shorter) run
+#   BENCH_FULL=1 scripts/bench_smoke.sh  # full-length measurement
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr1.json}"
+rm -f "$out"
+
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+  BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench perf
+else
+  BENCH_QUICK=1 BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench perf
+fi
+
+echo "wrote $(wc -l <"$out") bench records to $out"

@@ -1,0 +1,305 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`criterion_group!`] / [`criterion_main!`], and [`black_box`].
+//!
+//! It is a real timing harness, not a no-op: each benchmark is
+//! calibrated to a target measurement time, run in batches, and the
+//! median ns/iter is printed. Two environment knobs:
+//!
+//! * `BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"id":"group/name","ns_per_iter":<f64>,"iters":<u64>}`.
+//! * `BENCH_QUICK=1` — shrink measurement time ~20× for smoke runs.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Units-per-iteration annotation; recorded but only used for display.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; the stub times the routine
+/// alone regardless, so the variants only pick the batch size.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 256,
+            BatchSize::LargeInput => 16,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        Criterion {
+            measurement: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(1000)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Kept for CLI-parity with the real crate; args are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Criterion {
+        run_benchmark(id.as_ref().to_string(), self.measurement, None, f);
+        self
+    }
+
+    /// No-op in the stub (the real crate writes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            format!("{}/{}", self.name, id.as_ref()),
+            self.criterion.measurement,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; call [`iter`](Bencher::iter) or
+/// [`iter_batched`](Bencher::iter_batched) exactly once.
+pub struct Bencher {
+    measurement: Duration,
+    /// Median nanoseconds per iteration, filled in by iter/iter_batched.
+    result_ns: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1/50 of the budget?
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                hint_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement / 50 || n >= 1 << 30 {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        // Measure: timed batches of n until the budget is spent.
+        let mut samples = Vec::new();
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline || samples.is_empty() {
+            let start = Instant::now();
+            for _ in 0..n {
+                hint_black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+            iters += n;
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        self.record(samples, iters);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        let mut samples = Vec::new();
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline || samples.is_empty() {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                hint_black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            iters += batch as u64;
+            if samples.len() >= 2000 {
+                break;
+            }
+        }
+        self.record(samples, iters);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>, iters: u64) {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = samples[samples.len() / 2];
+        self.total_iters = iters;
+    }
+}
+
+/// Reports a custom scalar (e.g. a tail latency) in the same format and
+/// JSON stream as regular benchmarks. Not part of the real criterion API;
+/// benches use it for statistics a median-reporting harness cannot express.
+pub fn report_custom(id: &str, ns_per_iter: f64, iters: u64) {
+    println!("bench: {id:<55} {ns_per_iter:>12.1} ns/iter");
+    write_json_line(id, ns_per_iter, iters);
+}
+
+fn write_json_line(id: &str, ns: f64, iters: u64) {
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\":\"{}\",\"ns_per_iter\":{:.2},\"iters\":{}}}",
+                    id.replace('"', "'"),
+                    ns,
+                    iters
+                );
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: String,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        measurement,
+        result_ns: f64::NAN,
+        total_iters: 0,
+    };
+    f(&mut b);
+    let ns = b.result_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 / ns * 1000.0),
+        Throughput::Bytes(n) => format!("  {:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0)),
+    });
+    println!(
+        "bench: {id:<55} {ns:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+    write_json_line(&id, ns, b.total_iters);
+}
+
+/// Declares a benchmark group function, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("BENCH_QUICK", "1");
+        criterion_group!(benches, work);
+        benches();
+    }
+}
