@@ -310,6 +310,74 @@ fn netsim_scale(c: &mut Criterion) {
     group.finish();
 }
 
+/// Raw simulator event throughput: drain a large batch of flows through
+/// the event loop and charge wall time to `events_processed`. Reported as
+/// ns/event under `netsim/events_per_sec` (events/sec = 1e9 / ns_per_iter).
+fn netsim_event_rate(_c: &mut Criterion) {
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let flows: u64 = if quick { 2_000 } else { 40_000 };
+    let mut net = Network::new(Duration::from_micros(100));
+    let a = net.add_host(CLIENT);
+    let s = net.add_host(SERVER);
+    let policy = PolicyHandle::new(Policy::example());
+    let dev = net.add_middlebox(Box::new(TspuDevice::reliable("bench-events", policy)));
+    let hops: Vec<Ipv4Addr> = (0..10u32).map(|i| Ipv4Addr::from(0x0aa0_0000 + i)).collect();
+    let mut route = Route::through(&hops);
+    route.steps[8].devices.push((dev, Direction::LocalToRemote));
+    net.set_route_symmetric(a, s, route);
+    let start = std::time::Instant::now();
+    for n in 0..flows {
+        let port = 1024 + (n % 60_000) as u16;
+        let syn = TcpPacketSpec::new(CLIENT, port, SERVER, 443, TcpFlags::SYN).build();
+        net.send_from(a, syn);
+        net.run_until_idle();
+        black_box(net.take_inbox(s).len());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let events = net.events_processed().max(1);
+    criterion::report_custom("netsim/events_per_sec", elapsed / events as f64, events);
+}
+
+/// The tentpole's headline: the §6 registry campaign sharded by the scan
+/// pool, single-thread vs 8 threads over the same `SweepSpec`. One whole
+/// sweep is the unit of work, so these report through `report_custom`
+/// (ns_per_iter = ns per domain scenario). Verdicts are asserted equal
+/// across thread counts — the speedup must not cost determinism.
+fn sweep_scale(_c: &mut Criterion) {
+    use tspu_measure::sweep::{ScanPool, SweepSpec};
+    use tspu_registry::Universe;
+
+    // Always the full 100k scenarios, even under BENCH_QUICK: at ~30 µs
+    // per scenario the whole sweep costs seconds, and the id promises the
+    // registry scale.
+    let domain_count: usize = 100_000;
+    let universe = Universe::generate(2022);
+    // The paper-scale domain list: the real registry/tranco names cycled
+    // and uniqued with a synthetic tail up to 100k scenarios.
+    let domains: Vec<String> = universe
+        .registry_sample
+        .iter()
+        .chain(universe.tranco.iter())
+        .map(|d| d.name.clone())
+        .chain((0..domain_count).map(|i| format!("filler-{i}.example.ru")))
+        .take(domain_count)
+        .collect();
+    let spec = SweepSpec::from_universe(&universe, domains);
+
+    let timed = |threads: usize| {
+        let pool = ScanPool::new(threads);
+        let start = std::time::Instant::now();
+        let verdicts = spec.run(&pool);
+        (start.elapsed().as_nanos() as f64, verdicts)
+    };
+    let (ns_1, verdicts_1) = timed(1);
+    let (ns_8, verdicts_8) = timed(8);
+    assert_eq!(verdicts_1, verdicts_8, "sweep results must not depend on thread count");
+    let n = spec.len().max(1) as u64;
+    criterion::report_custom("sweep/registry_100k_1thread", ns_1 / n as f64, n);
+    criterion::report_custom("sweep/registry_100k_Nthread", ns_8 / n as f64, n);
+}
+
 criterion_group!(
     benches,
     conntrack_throughput,
@@ -319,6 +387,8 @@ criterion_group!(
     sni_parse_vs_scan,
     frag_cache,
     policer,
-    netsim_scale
+    netsim_scale,
+    netsim_event_rate,
+    sweep_scale
 );
 criterion_main!(benches);

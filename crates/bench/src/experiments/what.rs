@@ -7,17 +7,20 @@ use std::fmt::Write as _;
 
 use tspu_measure::domains::{self, DomainVerdict};
 use tspu_measure::os_reference;
+use tspu_measure::sweep::{self, ScanPool};
 use tspu_topology::VantageLab;
 
 use super::{universe, ExperimentReport};
 use crate::env_usize;
 
 /// Fig. 6: domains blocked by the TSPU versus by each ISP resolver, for
-/// both test lists.
+/// both test lists. The campaign shards domain-per-scenario across the
+/// scan pool (`TSPU_THREADS`); aggregation is deterministic, so the
+/// report is identical at any thread count.
 pub fn fig6() -> ExperimentReport {
     let universe = universe();
-    let mut lab = VantageLab::build(&universe, false, true);
     let limit = env_usize("TSPU_DOMAIN_LIMIT", 25_000);
+    let pool = ScanPool::from_env();
 
     let mut body = String::new();
     for (list_name, domains, total) in [
@@ -26,7 +29,7 @@ pub fn fig6() -> ExperimentReport {
     ] {
         let names: Vec<&str> = domains.iter().take(limit).map(|d| d.name.as_str()).collect();
         let tested = names.len();
-        let campaign = domains::run_campaign(&mut lab, names);
+        let campaign = sweep::registry_campaign(&universe, names, &pool);
         let tspu = campaign.tspu_blocked();
         let tspu_only = campaign.tspu_only();
         let _ = writeln!(body, "--- {list_name}: tested {tested} of {total} domains ---");
@@ -129,7 +132,7 @@ pub fn attribution() -> ExperimentReport {
     use std::time::Duration;
     use tspu_core::{Policy, PolicyHandle, TspuDevice};
     use tspu_ispdpi::HttpKeywordDpi;
-    use tspu_netsim::{Direction, Network, Route, RouteStep, Shared};
+    use tspu_netsim::{Direction, Network, Route, RouteStep};
     use tspu_stack::craft::TcpPacketSpec;
     use tspu_wire::http::HttpRequest;
     use tspu_wire::ipv4::Ipv4Packet;
@@ -160,7 +163,7 @@ pub fn attribution() -> ExperimentReport {
     {
         let client_addr = Ipv4Addr::new(10, 40 + i as u8, 0, 2);
         let client = net.add_host(client_addr);
-        let tspu = net.add_middlebox(Box::new(Shared::new(TspuDevice::reliable(name, policy.clone()))));
+        let tspu = net.add_middlebox(Box::new(TspuDevice::reliable(name, policy.clone())));
         let hop_a = Ipv4Addr::new(10, 40 + i as u8, 255, 1);
         let hop_b = Ipv4Addr::new(10, 40 + i as u8, 255, 2);
         let mut step_a = RouteStep::router(hop_a);

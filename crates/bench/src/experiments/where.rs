@@ -6,9 +6,10 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use tspu_measure::sweep::ScanPool;
 use tspu_measure::{echo, fragscan, localize, traceroute};
 use tspu_registry::Universe;
-use tspu_topology::{PlacementModel, Runet, RunetConfig, VantageLab};
+use tspu_topology::{policy_from_universe, PlacementModel, Runet, RunetConfig, VantageLab};
 
 use super::{universe, ExperimentReport};
 use crate::env_f64;
@@ -22,12 +23,14 @@ fn runet() -> Runet {
     Runet::generate(&universe, config)
 }
 
-/// §7.1: TTL localization from the vantage points.
+/// §7.1: TTL localization from the vantage points, one pooled trial per
+/// TTL (the sweep is embarrassingly parallel: every trial is its own lab).
 pub fn local_ttl() -> ExperimentReport {
-    let mut lab = VantageLab::build(&universe(), false, true);
+    let policy = policy_from_universe(&universe(), false, true);
+    let pool = ScanPool::from_env();
     let mut body = String::new();
     for vantage in ["Rostelecom", "ER-Telecom", "OBIT"] {
-        let found = localize::localize_symmetric(&mut lab, vantage, 55_000, 8);
+        let found = localize::localize_symmetric_pooled(&policy, vantage, 55_000, 8, &pool);
         let _ = writeln!(
             body,
             "{vantage}: symmetric TSPU between hop {} and {} (paper: within the first 3 hops)",
@@ -38,16 +41,17 @@ pub fn local_ttl() -> ExperimentReport {
     ExperimentReport { id: "local_ttl", title: "§7.1 local TTL localization", body }
 }
 
-/// §7.1.1: upstream-only device detection (Fig. 8 left).
+/// §7.1.1: upstream-only device detection (Fig. 8 left), pooled.
 pub fn upstream_only() -> ExperimentReport {
-    let mut lab = VantageLab::build(&universe(), false, true);
+    let policy = policy_from_universe(&universe(), false, true);
+    let pool = ScanPool::from_env();
     let mut body = String::new();
     for (vantage, paper) in [
         ("Rostelecom", "one, one hop behind the symmetric device (same AS)"),
         ("ER-Telecom", "none"),
         ("OBIT", "two, at the first link of the transit ISPs (per destination)"),
     ] {
-        let found = localize::find_upstream_only(&mut lab, vantage, 56_000, 8);
+        let found = localize::find_upstream_only_pooled(&policy, vantage, 56_000, 8, &pool);
         let _ = writeln!(
             body,
             "{vantage}: {} upstream-only device(s) found at hop boundaries {:?}  (paper: {paper})",
@@ -396,7 +400,7 @@ pub fn arch_compare() -> ExperimentReport {
         let busiest = net
             .devices
             .iter()
-            .map(|d| d.borrow().stats().packets_seen)
+            .map(|&d| net.net.middlebox(d).stats().packets_seen)
             .max()
             .unwrap_or(0);
         let _ = writeln!(

@@ -141,12 +141,15 @@ impl CircumventionLab {
     /// Builds the harness with every device upgraded to the given
     /// hardening level — the arms-race scenario §8 predicts.
     pub fn hardened(universe: &Universe, hardening: tspu_core::Hardening) -> CircumventionLab {
-        let harness = CircumventionLab::new(universe);
-        for vantage in &harness.lab.vantages {
-            vantage.sym_device.borrow_mut().set_hardening(hardening);
-            for device in &vantage.upstream_devices {
-                device.borrow_mut().set_hardening(hardening);
-            }
+        let mut harness = CircumventionLab::new(universe);
+        let handles: Vec<_> = harness
+            .lab
+            .vantages
+            .iter()
+            .flat_map(|v| std::iter::once(v.sym_device).chain(v.upstream_devices.iter().copied()))
+            .collect();
+        for handle in handles {
+            harness.lab.net.with_middlebox_mut(handle, |dev| dev.set_hardening(hardening));
         }
         harness
     }
@@ -264,7 +267,7 @@ impl CircumventionLab {
             self.lab.net.send_from(v_host, packet);
         }
         self.lab.net.run_until_idle();
-        let got = *replies.borrow();
+        let got = replies.get();
         got >= 3
     }
 }

@@ -9,10 +9,9 @@
 //! clones the handle, so a central update (e.g. the March 4, 2022 switch
 //! from throttling to RST blocking) is observed by all devices at once.
 
-use std::cell::RefCell;
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use crate::constants;
 use crate::fasthash::FxHashMap;
@@ -326,26 +325,30 @@ impl Policy {
 ///
 /// Cloning the handle models Roskomnadzor distributing the same list to
 /// another device; mutating through any handle updates every device.
+///
+/// Backed by `Arc<RwLock<…>>` so the handle — and every device holding it —
+/// is `Send`: parallel sweep workers each run their own simulation against
+/// one shared, read-mostly policy without rebuilding the blocklists.
 #[derive(Clone)]
 pub struct PolicyHandle {
-    inner: Rc<RefCell<Policy>>,
+    inner: Arc<RwLock<Policy>>,
 }
 
 impl PolicyHandle {
     /// Wraps a policy for central distribution.
     pub fn new(policy: Policy) -> PolicyHandle {
-        PolicyHandle { inner: Rc::new(RefCell::new(policy)) }
+        PolicyHandle { inner: Arc::new(RwLock::new(policy)) }
     }
 
     /// Reads the current policy.
-    pub fn read(&self) -> std::cell::Ref<'_, Policy> {
-        self.inner.borrow()
+    pub fn read(&self) -> RwLockReadGuard<'_, Policy> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Applies a centrally coordinated update — visible to all devices
     /// holding this handle, at once.
     pub fn update<F: FnOnce(&mut Policy)>(&self, f: F) {
-        f(&mut self.inner.borrow_mut());
+        f(&mut self.inner.write().unwrap_or_else(|e| e.into_inner()));
     }
 
     /// The March 4, 2022 transition observed in §5.2: throttling (SNI-III)

@@ -35,8 +35,10 @@ pub mod os_reference;
 pub mod quicfp;
 pub mod reliability;
 pub mod sequences;
+pub mod sweep;
 pub mod timeouts;
 pub mod traceroute;
 
 pub use behaviors::{classify_behavior, ObservedBehavior};
 pub use harness::{PacketSummary, ProbeSide, ScriptResult, ScriptStep};
+pub use sweep::{ScanPool, SweepSpec};

@@ -1,14 +1,20 @@
 //! Local-to-remote TSPU localization (§7.1): TTL-limited triggers find the
 //! hop where blocking begins; the Fig. 8-left protocol finds additional
 //! upstream-only devices that symmetric probing cannot see.
+//!
+//! Each TTL probe is one self-contained trial on a fresh flow, so the
+//! sweep parallelizes scenario-per-TTL through [`crate::sweep::ScanPool`]
+//! (`*_pooled` variants) with results identical to the sequential walk.
 
 use std::time::Duration;
 
+use tspu_core::PolicyHandle;
 use tspu_topology::VantageLab;
 use tspu_wire::tcp::TcpFlags;
 use tspu_wire::tls::ClientHelloBuilder;
 
 use crate::harness::{run_script, ProbeSide, ScriptEnd, ScriptStep};
+use crate::sweep::ScanPool;
 
 /// Result of the TTL sweep: the device lies between `hop` and `hop + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,54 +22,115 @@ pub struct LocalizedDevice {
     pub after_hop: u8,
 }
 
-/// §7.1: sends triggers with increasing TTL; control packets establish the
-/// flow and detect whether blocking occurred. "If we identify some TTL
+/// One symmetric-localization trial: control packets (full TTL) establish
+/// the flow, the trigger is TTL-limited, and a remote control response
+/// tests for blocking. Returns whether the flow was blocked (RST/ACK seen
+/// at the local side).
+pub fn symmetric_trial(lab: &mut VantageLab, vantage_name: &str, port: u16, ttl: u8) -> bool {
+    let vantage = lab.vantage(vantage_name);
+    let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port };
+    let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
+    let mut steps = crate::harness::handshake_prefix();
+    steps.push(
+        ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
+            .payload(ClientHelloBuilder::new("meduza.io").build())
+            .ttl(ttl),
+    );
+    steps.push(
+        ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK)
+            .payload(vec![0x99; 90])
+            .after(Duration::from_millis(100)),
+    );
+    let result = run_script(&mut lab.net, local, remote, &steps);
+    result.at_local.iter().any(|p| p.is_rst_ack)
+}
+
+/// One upstream-only trial (Fig. 8 left): the US machine opens the
+/// connection, the RU side answers SYN/ACK, then sends a TTL-limited
+/// SNI-II ClientHello and a 12-packet volley; blocking shows as missing
+/// volley packets at the remote.
+pub fn upstream_trial(lab: &mut VantageLab, vantage_name: &str, port: u16, ttl: u8) -> bool {
+    let vantage = lab.vantage(vantage_name);
+    let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port };
+    // The US peer's port must be 443: from the upstream-only device's
+    // reversed perspective the RU side is a client talking to remote
+    // port 443 — the same quirk that forces the echo technique to pin
+    // the Paris ephemeral port to 443 (§7.2).
+    let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
+    let mut steps = vec![
+        // Remote-initiated connection.
+        ScriptStep::new(ProbeSide::Remote, TcpFlags::SYN),
+        ScriptStep::new(ProbeSide::Local, TcpFlags::SYN_ACK),
+        ScriptStep::new(ProbeSide::Remote, TcpFlags::ACK),
+        // TTL-limited SNI-II trigger from the RU side.
+        ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
+            .payload(ClientHelloBuilder::new("play.google.com").build())
+            .ttl(ttl),
+    ];
+    // Follow-up volley from the RU side: SNI-II drops upstream traffic
+    // after its allowance, which the US machine observes as missing
+    // packets.
+    for _ in 0..12 {
+        steps.push(ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK).payload(vec![0x66; 70]));
+    }
+    let result = run_script(&mut lab.net, local, remote, &steps);
+    let through = result.at_remote.iter().filter(|p| p.payload_len == 70).count();
+    through < 12
+}
+
+/// The first false→true transition in the per-TTL blocking vector
+/// (`blocked[i]` is the trial at TTL `i + 1`): "if we identify some TTL
 /// value N where we do not observe blocking but TTL N+1 results in
-/// blocking, the TSPU device exists between hop N and N+1."
-///
-/// One trial per TTL, each on a fresh source port and flow.
+/// blocking, the TSPU device exists between hop N and N+1." Blocked
+/// already at TTL 1 means the device sits on the first link.
+fn first_onset(blocked: &[bool]) -> Option<LocalizedDevice> {
+    blocked
+        .iter()
+        .enumerate()
+        .position(|(i, &b)| b && (i == 0 || !blocked[i - 1]))
+        .map(|i| LocalizedDevice { after_hop: i as u8 })
+}
+
+/// Every false→true transition — one per device on the path.
+fn all_onsets(blocked: &[bool]) -> Vec<LocalizedDevice> {
+    blocked
+        .iter()
+        .enumerate()
+        .filter(|&(i, &b)| b && (i == 0 || !blocked[i - 1]))
+        .map(|(i, _)| LocalizedDevice { after_hop: i as u8 })
+        .collect()
+}
+
+/// §7.1: sends triggers with increasing TTL; one trial per TTL, each on a
+/// fresh source port and flow.
 pub fn localize_symmetric(
     lab: &mut VantageLab,
     vantage_name: &str,
     port_base: u16,
     max_ttl: u8,
 ) -> Option<LocalizedDevice> {
-    let mut previous_blocked = None;
-    for ttl in 1..=max_ttl {
-        let vantage = lab.vantage(vantage_name);
-        let local = ScriptEnd {
-            host: vantage.host,
-            addr: vantage.addr,
-            port: port_base + u16::from(ttl),
-        };
-        let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
-        // Control packets (full TTL) establish the flow; the trigger is
-        // TTL-limited; a remote control response tests for blocking.
-        let mut steps = crate::harness::handshake_prefix();
-        steps.push(
-            ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
-                .payload(ClientHelloBuilder::new("meduza.io").build())
-                .ttl(ttl),
-        );
-        steps.push(
-            ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK)
-                .payload(vec![0x99; 90])
-                .after(Duration::from_millis(100)),
-        );
-        let result = run_script(&mut lab.net, local, remote, &steps);
-        let blocked = result.at_local.iter().any(|p| p.is_rst_ack);
-        if let Some(false) = previous_blocked {
-            if blocked {
-                return Some(LocalizedDevice { after_hop: ttl - 1 });
-            }
-        }
-        if previous_blocked.is_none() && blocked {
-            // Blocked already at TTL 1: device on the first link.
-            return Some(LocalizedDevice { after_hop: 0 });
-        }
-        previous_blocked = Some(blocked);
-    }
-    None
+    let blocked: Vec<bool> = (1..=max_ttl)
+        .map(|ttl| symmetric_trial(lab, vantage_name, port_base + u16::from(ttl), ttl))
+        .collect();
+    first_onset(&blocked)
+}
+
+/// [`localize_symmetric`] sharded TTL-per-scenario across the pool, each
+/// trial on a fresh scan lab built from the shared policy. Identical
+/// results at any thread count.
+pub fn localize_symmetric_pooled(
+    policy: &PolicyHandle,
+    vantage_name: &str,
+    port_base: u16,
+    max_ttl: u8,
+    pool: &ScanPool,
+) -> Option<LocalizedDevice> {
+    let ttls: Vec<u8> = (1..=max_ttl).collect();
+    let blocked = pool.run(&ttls, |_, &ttl| {
+        let mut lab = VantageLab::build_scan(policy.clone());
+        symmetric_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
+    });
+    first_onset(&blocked)
 }
 
 /// §7.1.1 (Fig. 8-left): detects upstream-only devices. The US machine
@@ -79,51 +146,33 @@ pub fn find_upstream_only(
     port_base: u16,
     max_ttl: u8,
 ) -> Vec<LocalizedDevice> {
-    let mut found = Vec::new();
-    let mut prev_blocked = false;
-    for ttl in 1..=max_ttl {
-        let vantage = lab.vantage(vantage_name);
-        let local = ScriptEnd {
-            host: vantage.host,
-            addr: vantage.addr,
-            port: port_base + u16::from(ttl),
-        };
-        // The US peer's port must be 443: from the upstream-only device's
-        // reversed perspective the RU side is a client talking to remote
-        // port 443 — the same quirk that forces the echo technique to pin
-        // the Paris ephemeral port to 443 (§7.2).
-        let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
-        let mut steps = vec![
-            // Remote-initiated connection.
-            ScriptStep::new(ProbeSide::Remote, TcpFlags::SYN),
-            ScriptStep::new(ProbeSide::Local, TcpFlags::SYN_ACK),
-            ScriptStep::new(ProbeSide::Remote, TcpFlags::ACK),
-            // TTL-limited SNI-II trigger from the RU side.
-            ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
-                .payload(ClientHelloBuilder::new("play.google.com").build())
-                .ttl(ttl),
-        ];
-        // Follow-up volley from the RU side: SNI-II drops upstream traffic
-        // after its allowance, which the US machine observes as missing
-        // packets.
-        for _ in 0..12 {
-            steps.push(ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK).payload(vec![0x66; 70]));
-        }
-        let result = run_script(&mut lab.net, local, remote, &steps);
-        let through = result.at_remote.iter().filter(|p| p.payload_len == 70).count();
-        let blocked = through < 12;
-        if blocked && !prev_blocked {
-            found.push(LocalizedDevice { after_hop: ttl - 1 });
-        }
-        prev_blocked = blocked;
-    }
-    found
+    let blocked: Vec<bool> = (1..=max_ttl)
+        .map(|ttl| upstream_trial(lab, vantage_name, port_base + u16::from(ttl), ttl))
+        .collect();
+    all_onsets(&blocked)
+}
+
+/// [`find_upstream_only`] sharded TTL-per-scenario across the pool.
+pub fn find_upstream_only_pooled(
+    policy: &PolicyHandle,
+    vantage_name: &str,
+    port_base: u16,
+    max_ttl: u8,
+    pool: &ScanPool,
+) -> Vec<LocalizedDevice> {
+    let ttls: Vec<u8> = (1..=max_ttl).collect();
+    let blocked = pool.run(&ttls, |_, &ttl| {
+        let mut lab = VantageLab::build_scan(policy.clone());
+        upstream_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
+    });
+    all_onsets(&blocked)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tspu_registry::Universe;
+    use tspu_topology::policy_from_universe;
 
     fn lab() -> VantageLab {
         let universe = Universe::generate(3);
@@ -159,5 +208,22 @@ mod tests {
         // ER-Telecom: none.
         let found = find_upstream_only(&mut lab, "ER-Telecom", 54_000, 8);
         assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn pooled_localization_matches_sequential() {
+        let universe = Universe::generate(3);
+        let policy = policy_from_universe(&universe, false, true);
+        for threads in [1, 2, 8] {
+            let pool = ScanPool::new(threads);
+            for vantage in ["Rostelecom", "ER-Telecom", "OBIT"] {
+                let sym = localize_symmetric_pooled(&policy, vantage, 50_000, 8, &pool);
+                assert_eq!(sym, Some(LocalizedDevice { after_hop: 2 }), "{vantage} x{threads}");
+            }
+            let upstream = find_upstream_only_pooled(&policy, "Rostelecom", 52_000, 8, &pool);
+            assert_eq!(upstream, vec![LocalizedDevice { after_hop: 3 }], "x{threads}");
+            let none = find_upstream_only_pooled(&policy, "ER-Telecom", 54_000, 8, &pool);
+            assert!(none.is_empty(), "x{threads}: {none:?}");
+        }
     }
 }

@@ -1,0 +1,298 @@
+//! Parallel sweep engine: shards independent scan scenarios across OS
+//! threads with chunked work-stealing, then reassembles results in
+//! scenario order so the output is byte-identical at any thread count.
+//!
+//! The design exploits the measurement structure of the paper: every
+//! scenario (vantage × target × technique) is a self-contained simulation.
+//! Workers build their own `VantageLab` per scenario from a shared
+//! immutable [`SweepSpec`]; the only shared state is the read-only policy
+//! behind its `RwLock`, so no ordering between scenarios can influence a
+//! verdict and determinism survives parallelism by construction.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tspu_core::PolicyHandle;
+use tspu_registry::Universe;
+use tspu_topology::{policy_from_universe, VantageLab};
+
+use crate::domains::{test_domain, DomainCampaign, DomainVerdict};
+
+/// Largest chunk a worker claims at once. Small enough that stragglers
+/// near the end of the sweep still spread across workers, large enough
+/// that the shared cursor is touched rarely.
+const MAX_CHUNK: usize = 256;
+
+/// A pool of scan workers. Cheap to construct — threads are spawned per
+/// [`ScanPool::run`] call (scoped), not kept alive between sweeps.
+#[derive(Debug, Clone)]
+pub struct ScanPool {
+    threads: usize,
+}
+
+impl ScanPool {
+    /// A pool with exactly `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> ScanPool {
+        ScanPool { threads: threads.max(1) }
+    }
+
+    /// The sequential fallback: everything runs on the calling thread.
+    pub fn single_thread() -> ScanPool {
+        ScanPool::new(1)
+    }
+
+    /// Reads `TSPU_THREADS`; falls back to the machine's parallelism.
+    pub fn from_env() -> ScanPool {
+        let threads = std::env::var("TSPU_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        ScanPool::new(threads)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, sharding across the pool. Results come back
+    /// in item order regardless of which worker ran which index.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_with(items, || (), |(), index, item| f(index, item))
+    }
+
+    /// Like [`ScanPool::run`] with per-worker scratch state: each worker
+    /// calls `init` once and threads the state through its scenarios.
+    /// The state must not affect results (it is reuse, not memory) — the
+    /// determinism guarantee assumes `f` is a pure function of
+    /// `(index, item)`.
+    pub fn run_with<T, R, S, Init, F>(&self, items: &[T], init: Init, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let mut state = init();
+            return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
+        }
+        let workers = self.threads.min(items.len());
+        let total = items.len();
+        let cursor = AtomicUsize::new(0);
+        let mut shards: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut state = init();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // Guided self-scheduling: claim a quarter of
+                            // an even share of what's left, so early
+                            // chunks are big and the tail rebalances.
+                            let seen = cursor.load(Ordering::Relaxed);
+                            if seen >= total {
+                                break;
+                            }
+                            let chunk = ((total - seen) / (workers * 4)).clamp(1, MAX_CHUNK);
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= total {
+                                break;
+                            }
+                            let end = (start + chunk).min(total);
+                            for (index, item) in
+                                items.iter().enumerate().take(end).skip(start)
+                            {
+                                out.push((index, f(&mut state, index, item)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                shards.push(handle.join().expect("sweep worker panicked"));
+            }
+        });
+        let mut indexed: Vec<(usize, R)> = shards.into_iter().flatten().collect();
+        indexed.sort_by_key(|&(index, _)| index);
+        indexed.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+/// Shared immutable description of a registry sweep: one scenario per
+/// domain, all against the same central policy. Workers clone the policy
+/// handle (an `Arc`) and build a fresh scan lab per scenario.
+#[derive(Clone)]
+pub struct SweepSpec {
+    pub policy: PolicyHandle,
+    pub domains: Vec<String>,
+}
+
+impl SweepSpec {
+    pub fn new(policy: PolicyHandle, domains: Vec<String>) -> SweepSpec {
+        SweepSpec { policy, domains }
+    }
+
+    /// A spec over the universe's central policy (the post-March-4 epoch
+    /// the §6 campaign measures: no throttling, QUIC filter on).
+    pub fn from_universe<I, D>(universe: &Universe, domains: I) -> SweepSpec
+    where
+        I: IntoIterator<Item = D>,
+        D: Into<String>,
+    {
+        SweepSpec {
+            policy: policy_from_universe(universe, false, true),
+            domains: domains.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Sweeps every domain through [`test_domain`], one fresh scan lab per
+    /// scenario. Returns verdicts parallel to `self.domains`, in domain
+    /// order at every thread count.
+    ///
+    /// Scan labs use reliable devices, so the §3 "repeat >5 times" retry
+    /// loop of the sequential campaign is unnecessary here: one attempt
+    /// per scenario, on a port derived purely from the scenario index.
+    pub fn run(&self, pool: &ScanPool) -> Vec<DomainVerdict> {
+        pool.run(&self.domains, |index, domain| {
+            let mut lab = VantageLab::build_scan(self.policy.clone());
+            test_domain(&mut lab, domain, scenario_port(index))
+        })
+    }
+}
+
+/// Source port for scenario `index`, a pure function of the index so the
+/// sweep's traffic is identical no matter which worker runs the scenario.
+/// Stays in `2048..32048`: below `0x8000`, because [`test_domain`]'s
+/// split-handshake follow-up probes `port ^ 0x8000`, and clear of the
+/// well-known range.
+pub fn scenario_port(index: usize) -> u16 {
+    2048 + (index % 30_000) as u16
+}
+
+/// The §6 campaign, parallel: TSPU verdicts via the pool, ISP resolver
+/// membership computed sequentially during aggregation (a pure lookup).
+/// Byte-identical to itself at any thread count; equivalent to the
+/// sequential [`crate::domains::run_campaign`] on reliable labs.
+pub fn registry_campaign<'a, I>(universe: &Universe, domains: I, pool: &ScanPool) -> DomainCampaign
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let spec = SweepSpec::from_universe(universe, domains);
+    let verdicts = spec.run(pool);
+
+    let resolvers = tspu_ispdpi::vantage_resolvers(universe);
+    let mut campaign = DomainCampaign {
+        tspu: BTreeMap::new(),
+        isp_blocked: resolvers.iter().map(|r| (r.isp().to_string(), HashSet::new())).collect(),
+    };
+    for (domain, verdict) in spec.domains.iter().zip(verdicts) {
+        campaign.tspu.insert(domain.clone(), verdict);
+        for resolver in &resolvers {
+            if resolver.lists(domain) {
+                campaign
+                    .isp_blocked
+                    .get_mut(resolver.isp())
+                    .expect("resolver registered")
+                    .insert(domain.clone());
+            }
+        }
+    }
+    campaign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_item_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let pool = ScanPool::new(4);
+        let doubled = pool.run(&items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_with_matches_single_thread() {
+        let items: Vec<u64> = (0..317).collect();
+        let work = |_state: &mut u64, index: usize, item: &u64| {
+            *item * 31 + index as u64
+        };
+        let sequential = ScanPool::single_thread().run_with(&items, || 0u64, work);
+        for threads in [2, 3, 8] {
+            let parallel = ScanPool::new(threads).run_with(&items, || 0u64, work);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = ScanPool::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.run(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.run(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn from_env_honors_tspu_threads() {
+        // No env mutation (tests share the process): just check clamping.
+        assert_eq!(ScanPool::new(0).threads(), 1);
+        assert!(ScanPool::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn scenario_ports_stay_below_split_handshake_bit() {
+        for index in [0usize, 1, 29_999, 30_000, 123_456] {
+            let port = scenario_port(index);
+            assert!((2048..0x8000).contains(&port), "index {index} -> port {port}");
+            assert_ne!(port ^ 0x8000, 443);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential_verdicts() {
+        let universe = Universe::generate(3);
+        let domains = ["meduza.io", "play.google.com", "twitter.com", "wikipedia.org"];
+        let spec = SweepSpec::from_universe(&universe, domains);
+        let verdicts = spec.run(&ScanPool::new(2));
+        assert_eq!(
+            verdicts,
+            vec![
+                DomainVerdict::Sni1,
+                DomainVerdict::Sni2,
+                DomainVerdict::Sni4,
+                DomainVerdict::Open,
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_campaign_matches_table3_anchors() {
+        let universe = Universe::generate(3);
+        let pool = ScanPool::new(4);
+        let campaign =
+            registry_campaign(&universe, ["play.google.com", "nordvpn.com", "wikipedia.org"], &pool);
+        let only = campaign.tspu_only();
+        assert!(only.contains("play.google.com"));
+        assert!(only.contains("nordvpn.com"));
+        assert_eq!(campaign.tspu["wikipedia.org"], DomainVerdict::Open);
+    }
+}

@@ -30,7 +30,10 @@ impl Output {
 /// (port 7, §7.2), TLS measurement servers, split-handshake servers (§8),
 /// and scripted probes. All state lives inside the implementation;
 /// the simulator only delivers packets and timer ticks.
-pub trait Application {
+///
+/// `Send` is a supertrait so networks carrying applications can move
+/// between sweep worker threads.
+pub trait Application: Send {
     /// Called when a packet addressed to this host arrives. Outputs are
     /// executed by the host.
     fn on_packet(&mut self, now: Time, packet: &[u8]) -> Vec<Output>;

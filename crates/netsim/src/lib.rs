@@ -43,6 +43,6 @@ pub mod pcap;
 
 pub use app::{Application, Output};
 pub use capture::{CaptureRecord, TracePoint};
-pub use middlebox::{Direction, Middlebox, MiddleboxId, Verdict};
-pub use network::{HostId, Network, Route, RouteStep, Shared};
+pub use middlebox::{AsAny, Direction, Middlebox, MiddleboxId, Verdict};
+pub use network::{HostId, MiddleboxHandle, Network, Route, RouteId, RouteStep};
 pub use time::Time;

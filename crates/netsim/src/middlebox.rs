@@ -1,5 +1,7 @@
 //! The middlebox trait and traffic direction.
 
+use std::any::Any;
+
 use crate::time::Time;
 
 /// Index of a middlebox registered with a [`crate::Network`].
@@ -52,6 +54,25 @@ pub enum Verdict {
     Fanout(Vec<Vec<u8>>),
 }
 
+/// Object-safe downcast support, blanket-implemented for every `'static`
+/// type. [`Middlebox`] requires it so a network-owned `Box<dyn Middlebox>`
+/// can be borrowed back at its concrete type through a typed
+/// [`crate::MiddleboxHandle`].
+pub trait AsAny {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 /// An in-path packet processor.
 ///
 /// `process` inspects one packet — mutating it in place if needed — and
@@ -61,7 +82,10 @@ pub enum Verdict {
 /// State expiry is lazy: implementations compare `now` against their own
 /// deadlines on each call. The simulator never calls middleboxes when no
 /// packet crosses them, exactly like real in-path hardware.
-pub trait Middlebox {
+///
+/// `Send` is a supertrait so a whole [`crate::Network`] (which owns its
+/// middleboxes) can move between sweep worker threads.
+pub trait Middlebox: Send + AsAny {
     /// Processes one packet traveling in `direction`.
     fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict;
 

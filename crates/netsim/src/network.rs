@@ -1,14 +1,13 @@
 //! The discrete-event engine: hosts, routes, and the event loop.
 
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-use tspu_wire::fasthash::FxHashMap;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
 use std::time::Duration;
 
+use tspu_wire::fasthash::{FxHashMap, FxHasher};
 use tspu_wire::icmpv4::Icmpv4Repr;
 use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
 
@@ -28,7 +27,7 @@ pub struct HostId(pub usize);
 /// the `k`-th router, so it reaches the devices after router `k` only with
 /// TTL ≥ `k + 1`. This matches the paper's "TSPU device exists between hop
 /// N and N+1" reporting (§7.1).
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct RouteStep {
     /// The router's address, used as the source of ICMP time-exceeded.
     pub hop_addr: Ipv4Addr,
@@ -50,9 +49,50 @@ impl RouteStep {
 }
 
 /// A directed path between two hosts.
-#[derive(Clone, Default)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct Route {
     pub steps: Vec<RouteStep>,
+}
+
+/// Index of an interned [`Route`] in a [`Network`]'s route arena.
+///
+/// Routes are deduplicated on installation: every (src, dst) pair whose
+/// path is structurally identical — common in topologies where a cluster
+/// of clients shares one provider path — maps to the same arena slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteId(u32);
+
+/// A typed, copyable reference to a middlebox owned by a [`Network`].
+///
+/// The network owns middleboxes as `Box<dyn Middlebox>`; experiments that
+/// reconfigure a device mid-run (the March 4 policy switch from throttling
+/// to RST, §5.2) or inspect its counters afterwards keep one of these and
+/// borrow the concrete device back through [`Network::middlebox`] /
+/// [`Network::middlebox_mut`]. This replaces the old `Rc<RefCell<…>>`
+/// `Shared<M>` wrapper, which made the whole simulator `!Send`.
+pub struct MiddleboxHandle<M> {
+    id: MiddleboxId,
+    _concrete: PhantomData<fn() -> M>,
+}
+
+impl<M> Clone for MiddleboxHandle<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for MiddleboxHandle<M> {}
+
+impl<M> std::fmt::Debug for MiddleboxHandle<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MiddleboxHandle({})", self.id.0)
+    }
+}
+
+impl<M> MiddleboxHandle<M> {
+    /// The untyped id, for route attachments.
+    pub fn id(self) -> MiddleboxId {
+        self.id
+    }
 }
 
 impl Route {
@@ -115,7 +155,10 @@ pub struct Network {
     queue: BinaryHeap<Reverse<Event>>,
     hosts: Vec<HostState>,
     addr_map: FxHashMap<Ipv4Addr, HostId>,
-    routes: FxHashMap<(HostId, HostId), Rc<Route>>,
+    routes: FxHashMap<(HostId, HostId), RouteId>,
+    route_arena: Vec<Route>,
+    /// Route hash → arena slots with that hash, for interning dedup.
+    route_intern: FxHashMap<u64, Vec<RouteId>>,
     middleboxes: Vec<Box<dyn Middlebox>>,
     hop_latency: Duration,
     capture_enabled: bool,
@@ -133,6 +176,8 @@ impl Network {
             hosts: Vec::new(),
             addr_map: FxHashMap::default(),
             routes: FxHashMap::default(),
+            route_arena: Vec::new(),
+            route_intern: FxHashMap::default(),
             middleboxes: Vec::new(),
             hop_latency,
             capture_enabled: true,
@@ -203,9 +248,72 @@ impl Network {
         id
     }
 
+    /// Registers a concrete middlebox, returning a typed handle that can
+    /// borrow it back after the network takes ownership. Use
+    /// [`MiddleboxHandle::id`] for route attachments.
+    pub fn install_middlebox<M: Middlebox + 'static>(&mut self, mb: M) -> MiddleboxHandle<M> {
+        let id = self.add_middlebox(Box::new(mb));
+        MiddleboxHandle { id, _concrete: PhantomData }
+    }
+
+    /// Borrows a middlebox at its concrete type.
+    ///
+    /// # Panics
+    /// Panics if the handle came from a different network whose slot holds
+    /// another type — handles are only meaningful for the network that
+    /// created them.
+    pub fn middlebox<M: Middlebox + 'static>(&self, handle: MiddleboxHandle<M>) -> &M {
+        let mb: &dyn Middlebox = &*self.middleboxes[handle.id.0];
+        mb.as_any().downcast_ref::<M>().expect("middlebox handle type mismatch")
+    }
+
+    /// Mutably borrows a middlebox at its concrete type.
+    ///
+    /// # Panics
+    /// Panics on handle/slot type mismatch, as in [`Network::middlebox`].
+    pub fn middlebox_mut<M: Middlebox + 'static>(&mut self, handle: MiddleboxHandle<M>) -> &mut M {
+        let mb: &mut dyn Middlebox = &mut *self.middleboxes[handle.id.0];
+        mb.as_any_mut().downcast_mut::<M>().expect("middlebox handle type mismatch")
+    }
+
+    /// Runs a closure with mutable access to a middlebox — the explicit
+    /// mid-run reconfiguration API.
+    pub fn with_middlebox_mut<M: Middlebox + 'static, R>(
+        &mut self,
+        handle: MiddleboxHandle<M>,
+        f: impl FnOnce(&mut M) -> R,
+    ) -> R {
+        f(self.middlebox_mut(handle))
+    }
+
+    /// Interns a route, returning the arena slot shared by all
+    /// structurally identical routes.
+    fn intern_route(&mut self, route: Route) -> RouteId {
+        let mut hasher = FxHasher::default();
+        route.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some(ids) = self.route_intern.get(&key) {
+            for &id in ids {
+                if self.route_arena[id.0 as usize] == route {
+                    return id;
+                }
+            }
+        }
+        let id = RouteId(u32::try_from(self.route_arena.len()).expect("route arena overflow"));
+        self.route_arena.push(route);
+        self.route_intern.entry(key).or_default().push(id);
+        id
+    }
+
+    /// Number of distinct routes in the arena (after interning).
+    pub fn interned_routes(&self) -> usize {
+        self.route_arena.len()
+    }
+
     /// Installs the directed route from `src` to `dst`.
     pub fn set_route(&mut self, src: HostId, dst: HostId, route: Route) {
-        self.routes.insert((src, dst), Rc::new(route));
+        let id = self.intern_route(route);
+        self.routes.insert((src, dst), id);
     }
 
     /// Installs the same (mirrored) route in both directions: the reverse
@@ -219,13 +327,15 @@ impl Network {
                 *dir = dir.flip();
             }
         }
-        self.routes.insert((a, b), Rc::new(route));
-        self.routes.insert((b, a), Rc::new(reverse));
+        let forward = self.intern_route(route);
+        let backward = self.intern_route(reverse);
+        self.routes.insert((a, b), forward);
+        self.routes.insert((b, a), backward);
     }
 
     /// The route from `src` to `dst`, if installed.
     pub fn route(&self, src: HostId, dst: HostId) -> Option<&Route> {
-        self.routes.get(&(src, dst)).map(|r| r.as_ref())
+        self.routes.get(&(src, dst)).map(|&id| &self.route_arena[id.0 as usize])
     }
 
     /// Removes the route between two hosts (both directions).
@@ -310,7 +420,11 @@ impl Network {
     fn do_send(&mut self, host: HostId, packet: Vec<u8>) {
         self.capture(TracePoint::HostTx(host), &packet);
         let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else {
-            return; // unroutable garbage: dropped at the NIC
+            // Unparseable garbage: dropped at the NIC. Still recorded, so
+            // scan post-mortems can distinguish "never sent" from "sent
+            // and eaten on the path".
+            self.capture(TracePoint::Dropped { step: 0 }, &packet);
+            return;
         };
         let dst_addr = view.dst_addr();
         let Some(dst) = self.addr_map.get(&dst_addr).copied() else {
@@ -322,15 +436,28 @@ impl Network {
     }
 
     fn do_hop(&mut self, src: HostId, dst: HostId, step: usize, packet: Vec<u8>) {
-        let route = match self.routes.get(&(src, dst)) {
-            Some(route) => Rc::clone(route),
-            None => Rc::new(Route::direct()),
+        // Copy out the per-step scalars up front; the device loop below
+        // re-indexes the arena per device so no `&self` borrow is ever
+        // live across the `&mut self.middleboxes` call (the arena is
+        // append-only and `process` cannot reach it, so indices are
+        // stable). This is what let the interned arena replace `Rc<Route>`
+        // without cloning the device list per hop.
+        let rid = match self.routes.get(&(src, dst)) {
+            Some(&rid) => rid,
+            None => {
+                // No installed route: direct delivery.
+                self.push_event(self.now, EventKind::Deliver { dst, packet });
+                return;
+            }
         };
-        if step >= route.steps.len() {
-            self.push_event(self.now, EventKind::Deliver { dst, packet });
-            return;
-        }
-        let route_step = &route.steps[step];
+        let (hop_addr, n_devices) = {
+            let route = &self.route_arena[rid.0 as usize];
+            if step >= route.steps.len() {
+                self.push_event(self.now, EventKind::Deliver { dst, packet });
+                return;
+            }
+            (route.steps[step].hop_addr, route.steps[step].devices.len())
+        };
 
         // Router: decrement TTL; expire with ICMP time-exceeded.
         let mut packet = packet;
@@ -341,7 +468,6 @@ impl Network {
             };
             let ttl = view.ttl();
             if ttl <= 1 {
-                let hop_addr = route_step.hop_addr;
                 let orig_src = view.src_addr();
                 self.capture(TracePoint::Dropped { step }, &packet);
                 self.emit_time_exceeded(hop_addr, orig_src, step);
@@ -355,9 +481,10 @@ impl Network {
         // case — every hop of every non-fragmented flow — is copy-free:
         // the one buffer moves through the chain (rewritten in place or
         // replaced when a device says so) and on into the next hop event.
-        let mut devices = route_step.devices.iter();
         let mut fanout: Option<Vec<Vec<u8>>> = None;
-        for &(mb_id, direction) in devices.by_ref() {
+        let mut resume = n_devices;
+        for di in 0..n_devices {
+            let (mb_id, direction) = self.route_arena[rid.0 as usize].steps[step].devices[di];
             match self.middleboxes[mb_id.0].process(self.now, direction, &mut packet) {
                 Verdict::Pass => {}
                 Verdict::Drop => {
@@ -371,6 +498,7 @@ impl Network {
                         return;
                     }
                     fanout = Some(packets);
+                    resume = di + 1;
                     break;
                 }
             }
@@ -383,7 +511,8 @@ impl Network {
 
         // Rare multi-packet tail (a fragment train flushed mid-chain): the
         // remaining devices process each packet of the train.
-        for &(mb_id, direction) in devices {
+        for di in resume..n_devices {
+            let (mb_id, direction) = self.route_arena[rid.0 as usize].steps[step].devices[di];
             let mut next = Vec::new();
             for mut pkt in in_flight {
                 match self.middleboxes[mb_id.0].process(self.now, direction, &mut pkt) {
@@ -460,48 +589,6 @@ impl Network {
                 }
             }
         }
-    }
-}
-
-/// A middlebox handle shared between the network and the experiment driver.
-///
-/// Experiments must reconfigure devices mid-run (the March 4 policy switch
-/// from throttling to RST, §5.2) and inspect device state; the network owns
-/// middleboxes as trait objects, so concrete access goes through this
-/// `Rc<RefCell<…>>` wrapper. The simulation is single-threaded by design.
-pub struct Shared<M> {
-    inner: Rc<RefCell<M>>,
-}
-
-impl<M> Shared<M> {
-    /// Wraps a middlebox for shared access.
-    pub fn new(inner: M) -> Shared<M> {
-        Shared { inner: Rc::new(RefCell::new(inner)) }
-    }
-
-    /// A second handle to the same middlebox.
-    pub fn handle(&self) -> Shared<M> {
-        Shared { inner: Rc::clone(&self.inner) }
-    }
-
-    /// Borrows the middlebox immutably.
-    pub fn borrow(&self) -> std::cell::Ref<'_, M> {
-        self.inner.borrow()
-    }
-
-    /// Borrows the middlebox mutably.
-    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, M> {
-        self.inner.borrow_mut()
-    }
-}
-
-impl<M: Middlebox> Middlebox for Shared<M> {
-    fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
-        self.inner.borrow_mut().process(now, direction, packet)
-    }
-
-    fn label(&self) -> String {
-        self.inner.borrow().label()
     }
 }
 
@@ -617,43 +704,48 @@ mod tests {
 
     #[test]
     fn symmetric_route_flips_direction() {
-        let counter = Shared::new(CountDirections::default());
-        let handle = counter.handle();
         let mut net = Network::with_default_latency();
         let a = net.add_host(A);
         let b = net.add_host(B);
-        let mb = net.add_middlebox(Box::new(counter));
+        let counter = net.install_middlebox(CountDirections::default());
         let route = Route {
-            steps: vec![RouteStep::with_device(R1, mb, Direction::LocalToRemote)],
+            steps: vec![RouteStep::with_device(R1, counter.id(), Direction::LocalToRemote)],
         };
         net.set_route_symmetric(a, b, route);
         net.send_from(a, packet(A, B, 64, b"up"));
         net.send_from(b, packet(B, A, 64, b"down"));
         net.run_until_idle();
-        assert_eq!(handle.borrow().local_to_remote, 1);
-        assert_eq!(handle.borrow().remote_to_local, 1);
+        assert_eq!(net.middlebox(counter).local_to_remote, 1);
+        assert_eq!(net.middlebox(counter).remote_to_local, 1);
     }
 
     #[test]
     fn asymmetric_route_gives_partial_visibility() {
-        let counter = Shared::new(CountDirections::default());
-        let handle = counter.handle();
         let mut net = Network::with_default_latency();
         let a = net.add_host(A);
         let b = net.add_host(B);
-        let mb = net.add_middlebox(Box::new(counter));
+        let counter = net.install_middlebox(CountDirections::default());
         // Device only on the upstream (a -> b) path: paper §7.1.1.
         net.set_route(a, b, Route {
-            steps: vec![RouteStep::with_device(R1, mb, Direction::LocalToRemote)],
+            steps: vec![RouteStep::with_device(R1, counter.id(), Direction::LocalToRemote)],
         });
         net.set_route(b, a, Route::through(&[R2]));
         net.send_from(a, packet(A, B, 64, b"up"));
         net.send_from(b, packet(B, A, 64, b"down"));
         net.run_until_idle();
-        assert_eq!(handle.borrow().local_to_remote, 1);
-        assert_eq!(handle.borrow().remote_to_local, 0);
+        assert_eq!(net.middlebox(counter).local_to_remote, 1);
+        assert_eq!(net.middlebox(counter).remote_to_local, 0);
         assert_eq!(net.take_inbox(a).len(), 1);
         assert_eq!(net.take_inbox(b).len(), 1);
+    }
+
+    #[test]
+    fn with_middlebox_mut_reconfigures_in_place() {
+        let mut net = Network::with_default_latency();
+        let counter = net.install_middlebox(CountDirections::default());
+        net.with_middlebox_mut(counter, |c| c.local_to_remote = 41);
+        net.middlebox_mut(counter).local_to_remote += 1;
+        assert_eq!(net.middlebox(counter).local_to_remote, 42);
     }
 
     struct Echo {
@@ -682,28 +774,28 @@ mod tests {
     }
 
     struct TimerApp {
-        fired: Rc<RefCell<Vec<Time>>>,
+        fired: std::sync::Arc<std::sync::Mutex<Vec<Time>>>,
     }
     impl Application for TimerApp {
         fn on_packet(&mut self, _now: Time, _packet: &[u8]) -> Vec<Output> {
             vec![Output::Timer { delay: Duration::from_secs(5) }]
         }
         fn on_timer(&mut self, now: Time) -> Vec<Output> {
-            self.fired.borrow_mut().push(now);
+            self.fired.lock().unwrap().push(now);
             Vec::new()
         }
     }
 
     #[test]
     fn timers_fire_at_virtual_time() {
-        let fired = Rc::new(RefCell::new(Vec::new()));
+        let fired = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut net = Network::with_default_latency();
         let a = net.add_host(A);
-        let b = net.add_host_with_app(B, Box::new(TimerApp { fired: Rc::clone(&fired) }));
+        let b = net.add_host_with_app(B, Box::new(TimerApp { fired: std::sync::Arc::clone(&fired) }));
         net.set_route_symmetric(a, b, Route::direct());
         net.send_from(a, packet(A, B, 64, b"go"));
         net.run_until_idle();
-        let fired = fired.borrow();
+        let fired = fired.lock().unwrap();
         assert_eq!(fired.len(), 1);
         // 1 hop latency (1 ms) + 5 s timer.
         assert_eq!(fired[0], Time::from_micros(5_001_000));
@@ -714,6 +806,39 @@ mod tests {
         let mut net = Network::with_default_latency();
         net.run_for(Duration::from_secs(480));
         assert_eq!(net.now(), Time::from_secs(480));
+    }
+
+    #[test]
+    fn network_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Network>();
+    }
+
+    #[test]
+    fn unparseable_packet_records_nic_drop() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        net.send_from(a, vec![0xff; 7]); // too short to be an IPv4 header
+        net.run_until_idle();
+        assert!(net
+            .captures()
+            .iter()
+            .any(|c| matches!(c.point, TracePoint::Dropped { step: 0 })));
+    }
+
+    #[test]
+    fn identical_routes_intern_to_one_arena_slot() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let c = net.add_host(Ipv4Addr::new(203, 0, 113, 2));
+        net.set_route(a, b, Route::through(&[R1, R2]));
+        net.set_route(a, c, Route::through(&[R1, R2]));
+        net.set_route(b, a, Route::through(&[R2, R1]));
+        assert_eq!(net.interned_routes(), 2);
+        // Interned slots still resolve per (src, dst) pair.
+        assert_eq!(net.route(a, b).unwrap().steps[0].hop_addr, R1);
+        assert_eq!(net.route(b, a).unwrap().steps[0].hop_addr, R2);
     }
 
     #[test]

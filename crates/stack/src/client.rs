@@ -4,9 +4,9 @@
 //! experiment driver keeps, mirroring the paper's methodology of capturing
 //! traffic at both ends (§3).
 
-use std::cell::RefCell;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use tspu_netsim::{Application, Output, Time};
@@ -43,9 +43,12 @@ pub struct ClientReportInner {
 }
 
 /// Cloneable handle to a client's observations.
+///
+/// `Arc<Mutex<…>>`-backed so clients (and the networks carrying them) are
+/// `Send`; within one simulation the lock is uncontended.
 #[derive(Clone, Default)]
 pub struct ClientReport {
-    inner: Rc<RefCell<ClientReportInner>>,
+    inner: Arc<Mutex<ClientReportInner>>,
 }
 
 impl ClientReport {
@@ -55,13 +58,13 @@ impl ClientReport {
     }
 
     /// Reads the record.
-    pub fn read(&self) -> std::cell::Ref<'_, ClientReportInner> {
-        self.inner.borrow()
+    pub fn read(&self) -> MutexGuard<'_, ClientReportInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Classifies the outcome.
     pub fn outcome(&self) -> ClientOutcome {
-        let inner = self.inner.borrow();
+        let inner = self.read();
         if inner.reset_at.is_some() {
             ClientOutcome::Reset
         } else if !inner.data.is_empty() {
@@ -76,7 +79,7 @@ impl ClientReport {
     /// Observed goodput over the data reception interval, in bytes/second.
     /// `None` before any data arrived.
     pub fn goodput(&self) -> Option<f64> {
-        let inner = self.inner.borrow();
+        let inner = self.read();
         let (first, last) = (inner.first_data_at?, inner.last_data_at?);
         let secs = (last - first).as_secs_f64().max(0.1);
         Some(inner.bytes_received as f64 / secs)
@@ -170,15 +173,13 @@ impl TcpClient {
         for event in self.conn.take_events() {
             match event {
                 ConnEvent::Established => {
-                    let mut inner = self.report.inner.borrow_mut();
-                    inner.established_at.get_or_insert(now);
+                    self.report.read().established_at.get_or_insert(now);
                 }
                 ConnEvent::ResetReceived => {
-                    let mut inner = self.report.inner.borrow_mut();
-                    inner.reset_at.get_or_insert(now);
+                    self.report.read().reset_at.get_or_insert(now);
                 }
                 ConnEvent::DataReceived(data) => {
-                    let mut inner = self.report.inner.borrow_mut();
+                    let mut inner = self.report.read();
                     inner.first_data_at.get_or_insert(now);
                     inner.last_data_at = Some(now);
                     inner.bytes_received += data.len();
@@ -237,9 +238,24 @@ impl Application for TcpClient {
     }
 }
 
+/// Cloneable, `Send` counter of datagrams a [`QuicClient`] received.
+#[derive(Clone, Default)]
+pub struct ReplyCounter(Arc<AtomicUsize>);
+
+impl ReplyCounter {
+    /// The count so far.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// What [`QuicClient::start`] hands the driver: the app, the shared
 /// reply counter, and the initial timed packets to inject.
-pub type QuicClientStart = (QuicClient, Rc<RefCell<usize>>, Vec<(Duration, Vec<u8>)>);
+pub type QuicClientStart = (QuicClient, ReplyCounter, Vec<(Duration, Vec<u8>)>);
 
 /// A QUIC client: fires one Initial-sized datagram, then `follow_ups`
 /// smaller datagrams at 100 ms intervals, and records replies.
@@ -247,7 +263,7 @@ pub struct QuicClient {
     src: Ipv4Addr,
     src_port: u16,
     dst: Ipv4Addr,
-    replies: Rc<RefCell<usize>>,
+    replies: ReplyCounter,
 }
 
 impl QuicClient {
@@ -260,7 +276,7 @@ impl QuicClient {
         version: tspu_wire::quic::QuicVersion,
         follow_ups: usize,
     ) -> QuicClientStart {
-        let replies = Rc::new(RefCell::new(0));
+        let replies = ReplyCounter::default();
         let mut packets = Vec::new();
         packets.push((
             Duration::ZERO,
@@ -272,7 +288,7 @@ impl QuicClient {
                 crate::craft::udp_packet(src, src_port, dst, 443, &[0x5a; 120]),
             ));
         }
-        let client = QuicClient { src, src_port, dst, replies: Rc::clone(&replies) };
+        let client = QuicClient { src, src_port, dst, replies: replies.clone() };
         (client, replies, packets)
     }
 }
@@ -289,7 +305,7 @@ impl Application for QuicClient {
             return Vec::new();
         };
         if datagram.dst_port() == self.src_port {
-            *self.replies.borrow_mut() += 1;
+            self.replies.bump();
         }
         let _ = self.src;
         Vec::new()
@@ -393,6 +409,6 @@ mod tests {
             net.send_from(c, packet);
         }
         net.run_until_idle();
-        assert_eq!(*replies.borrow(), 4);
+        assert_eq!(replies.get(), 4);
     }
 }

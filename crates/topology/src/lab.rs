@@ -20,7 +20,7 @@ use std::net::Ipv4Addr;
 use tspu_core::{FailureProfile, PolicyHandle, TspuDevice};
 use tspu_ispdpi::IspResolver;
 use tspu_netsim::{Direction, MiddleboxId, Network, Route, RouteStep};
-use tspu_netsim::{HostId, Shared};
+use tspu_netsim::{HostId, MiddleboxHandle};
 use tspu_registry::{stats, Universe};
 
 use crate::policy_build::{policy_from_universe, TOR_ENTRY_NODE};
@@ -31,10 +31,11 @@ pub struct Vantage {
     pub city: &'static str,
     pub host: HostId,
     pub addr: Ipv4Addr,
-    /// The symmetric device on this vantage's paths.
-    pub sym_device: Shared<TspuDevice>,
+    /// The symmetric device on this vantage's paths. Borrow it through
+    /// `lab.net.middlebox(handle)` / `middlebox_mut(handle)`.
+    pub sym_device: MiddleboxHandle<TspuDevice>,
     /// Upstream-only devices on this vantage's paths (0–2).
-    pub upstream_devices: Vec<Shared<TspuDevice>>,
+    pub upstream_devices: Vec<MiddleboxHandle<TspuDevice>>,
     /// Hop index (1-based, from the vantage) of the symmetric device:
     /// the device sits between hop `sym_hop` and `sym_hop + 1`.
     pub sym_hop: usize,
@@ -92,16 +93,27 @@ impl VantageLab {
     /// unlucky exemption roll would corrupt a binary search over sleeps.
     pub fn build_reliable(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
         let policy = policy_from_universe(universe, throttle_active, quic_filter);
-        Self::build_inner(universe, policy, true)
+        Self::build_inner(Some(universe), policy, true)
     }
 
     /// Builds the lab with an explicit policy handle (e.g. perfectly
     /// reliable devices for state-machine experiments).
     pub fn build_with_policy(universe: &Universe, policy: PolicyHandle) -> VantageLab {
-        Self::build_inner(universe, policy, false)
+        Self::build_inner(Some(universe), policy, false)
     }
 
-    fn build_inner(universe: &Universe, policy: PolicyHandle, reliable: bool) -> VantageLab {
+    /// Builds the minimal lab a sweep worker needs: perfectly reliable
+    /// devices sharing a pre-built `policy`, and no per-ISP resolvers
+    /// (sweep aggregation does resolver lookups itself). The expensive
+    /// part of a lab — the policy's blocklists — is shared behind the
+    /// handle, so this is cheap enough to construct *per scenario*. A
+    /// fresh simulator per scenario is also what makes parallel sweeps
+    /// deterministic: no simulator state crosses scenario boundaries.
+    pub fn build_scan(policy: PolicyHandle) -> VantageLab {
+        Self::build_inner(None, policy, true)
+    }
+
+    fn build_inner(universe: Option<&Universe>, policy: PolicyHandle, reliable: bool) -> VantageLab {
         let mut net = Network::with_default_latency();
 
         let us_main = net.add_host(US_MAIN);
@@ -111,12 +123,10 @@ impl VantageLab {
 
         let mut vantages = Vec::new();
 
-        // Helper: register a device and return (shared handle, id).
+        // Helper: register a device and return (typed handle, id).
         let make_dev = |net: &mut Network, name: &str, fp: FailureProfile, seed: u64| {
-            let dev = Shared::new(TspuDevice::new(name, policy.clone(), fp, seed));
-            let handle = dev.handle();
-            let id = net.add_middlebox(Box::new(dev));
-            (handle, id)
+            let handle = net.install_middlebox(TspuDevice::new(name, policy.clone(), fp, seed));
+            (handle, handle.id())
         };
 
         let rates = |isp: &str| {
@@ -254,7 +264,7 @@ impl VantageLab {
             net.set_route_symmetric(a, b, Route::through(&[Ipv4Addr::new(192, 0, 2, 254)]));
         }
 
-        let resolvers = tspu_ispdpi::vantage_resolvers(universe);
+        let resolvers = universe.map(tspu_ispdpi::vantage_resolvers).unwrap_or_default();
 
         VantageLab {
             net,
@@ -423,10 +433,17 @@ mod tests {
         lab.net.send_from(host, syn);
         lab.net.run_until_idle();
         let v = lab.vantage("Rostelecom");
-        let sym = v.sym_device.borrow();
-        let up = v.upstream_devices[0].borrow();
-        assert!(sym.stats().packets_seen > up.stats().packets_seen);
-        assert!(up.stats().packets_seen > 0);
+        let sym = lab.net.middlebox(v.sym_device).stats();
+        let up = lab.net.middlebox(v.upstream_devices[0]).stats();
+        assert!(sym.packets_seen > up.packets_seen);
+        assert!(up.packets_seen > 0);
+    }
+
+    #[test]
+    fn lab_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<VantageLab>();
+        assert_send::<Vantage>();
     }
 
     #[test]

@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tspu_core::{FailureProfile, PolicyHandle, TspuDevice};
-use tspu_netsim::{Direction, HostId, MiddleboxId, Network, Route, RouteStep, Shared};
+use tspu_netsim::{Direction, HostId, MiddleboxHandle, MiddleboxId, Network, Route, RouteStep};
 use tspu_registry::Universe;
 use tspu_stack::server::ReassemblingApp;
 use tspu_stack::{PortBehavior, ServerApp, ServerPort};
@@ -190,8 +190,8 @@ pub struct Runet {
     /// The IP-blocked Tor entry node (same data center as the scanner).
     pub tor: HostId,
     pub tor_addr: Ipv4Addr,
-    /// All TSPU devices, for stats.
-    pub devices: Vec<Shared<TspuDevice>>,
+    /// All TSPU devices, for stats (borrow through `net.middlebox`).
+    pub devices: Vec<MiddleboxHandle<TspuDevice>>,
     /// Which AS owns each router hop address (Fig. 11's view).
     pub hop_owner: HashMap<Ipv4Addr, u32>,
 }
@@ -330,7 +330,7 @@ impl Runet {
         ];
 
         let mut endpoints = Vec::new();
-        let mut devices: Vec<Shared<TspuDevice>> = Vec::new();
+        let mut devices: Vec<MiddleboxHandle<TspuDevice>> = Vec::new();
         let mut hop_owner: HashMap<Ipv4Addr, u32> = HashMap::new();
         for (i, &hop) in core_hops.iter().enumerate() {
             hop_owner.insert(hop, if i < 2 { 0 } else { 12_389 });
@@ -347,23 +347,21 @@ impl Runet {
 
         // Upstream-only devices: one per covering transit provider slice.
         // Small ISPs with CaaS coverage share a provider device.
-        let mut caas_device: Option<(MiddleboxId, Shared<TspuDevice>)> = None;
+        let mut caas_device: Option<MiddleboxHandle<TspuDevice>> = None;
 
         // Choke-point architecture: a couple of border boxes carry the
         // whole country; nothing sits in the access networks.
         let choke_devices: Vec<MiddleboxId> = if config.placement == PlacementModel::ChokePointGfw {
             (0..2)
                 .map(|i| {
-                    let dev = Shared::new(TspuDevice::new(
+                    let handle = net.install_middlebox(TspuDevice::new(
                         &format!("gfw-border-{i}"),
                         policy.clone(),
                         FailureProfile::uniform(config.device_failure),
                         config.seed ^ 0x9f0f ^ i,
                     ));
-                    let handle = dev.handle();
-                    let id = net.add_middlebox(Box::new(dev));
                     devices.push(handle);
-                    id
+                    handle.id()
                 })
                 .collect()
         } else {
@@ -388,16 +386,14 @@ impl Runet {
             let provider_sym = if as_info.coverage == Coverage::ProviderSymmetric
                 && config.placement == PlacementModel::LeafTspu
             {
-                let dev = Shared::new(TspuDevice::new(
+                let handle = net.install_middlebox(TspuDevice::new(
                     &format!("tspu-provider-as{asn}"),
                     policy.clone(),
                     FailureProfile::uniform(config.device_failure),
                     config.seed ^ (u64::from(asn) << 8),
                 ));
-                let handle = dev.handle();
-                let id = net.add_middlebox(Box::new(dev));
                 devices.push(handle);
-                Some(id)
+                Some(handle.id())
             } else {
                 None
             };
@@ -432,15 +428,14 @@ impl Runet {
 
                 // Device for this cluster.
                 let (device_id, tspu_link) = if covered {
-                    let dev = Shared::new(TspuDevice::new(
+                    let handle = net.install_middlebox(TspuDevice::new(
                         &format!("tspu-as{asn}-c{addr_counter}"),
                         policy.clone(),
                         FailureProfile::uniform(config.device_failure),
                         config.seed ^ u64::from(addr_counter),
                     ));
-                    let handle = dev.handle();
-                    let id = net.add_middlebox(Box::new(dev));
                     devices.push(handle);
+                    let id = handle.id();
                     // Place the device so that `device_hops` counts the
                     // hops from the device's link to the destination: with
                     // device_hops = 1 the device sits on the very last
@@ -466,19 +461,17 @@ impl Runet {
                 let upstream_id = if as_info.coverage == Coverage::UpstreamOnly
                     && config.placement == PlacementModel::LeafTspu
                 {
-                    let (id, _) = caas_device.get_or_insert_with(|| {
-                        let dev = Shared::new(TspuDevice::new(
+                    let handle = *caas_device.get_or_insert_with(|| {
+                        let handle = net.install_middlebox(TspuDevice::new(
                             "tspu-transit-caas",
                             policy.clone(),
                             FailureProfile::uniform(config.device_failure),
                             config.seed ^ 0xca45,
                         ));
-                        let handle = dev.handle();
-                        let id = net.add_middlebox(Box::new(dev));
-                        devices.push(handle.handle());
-                        (id, handle)
+                        devices.push(handle);
+                        handle
                     });
-                    Some(*id)
+                    Some(handle.id())
                 } else {
                     None
                 };

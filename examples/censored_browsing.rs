@@ -149,8 +149,8 @@ fn main() {
         lab.net.run_until_idle();
         println!(
             "  QUIC v1 to port 443: {} of 3 datagrams answered{}",
-            replies.borrow(),
-            if *replies.borrow() == 0 { " — HTTP/3 is blocked (Mar 4, 2022 filter)" } else { "" }
+            replies.get(),
+            if replies.get() == 0 { " — HTTP/3 is blocked (Mar 4, 2022 filter)" } else { "" }
         );
         lab.net.set_app(lab.us_main, site_app(lab.us_main_addr));
         println!();

@@ -46,7 +46,7 @@ fn main() {
     }
 
     // Device-side view: the symmetric TSPU on this vantage's path.
-    let stats = lab.vantage("ER-Telecom").sym_device.borrow().stats();
+    let stats = lab.net.middlebox(lab.vantage("ER-Telecom").sym_device).stats();
     println!(
         "\nTSPU device counters: {} packets seen, {} SNI-I triggers, {} rewritten",
         stats.packets_seen, stats.triggers_sni1, stats.packets_rewritten

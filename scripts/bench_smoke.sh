@@ -2,6 +2,8 @@
 # Benchmark smoke run: exercises every perf Criterion group and writes a
 # JSON-lines summary — one {"id", "ns_per_iter", "iters"} object per
 # bench — for the cross-PR perf trajectory (BENCH_pr1.json et al.).
+# PR 2 adds the parallel-sweep ids (sweep/registry_100k_{1,N}thread) and
+# netsim/events_per_sec alongside the PR 1 set.
 #
 # Usage:
 #   scripts/bench_smoke.sh [OUTPUT]      # quick (~20x shorter) run
@@ -9,7 +11,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr1.json}"
+out="${1:-BENCH_pr2.json}"
+# cargo runs bench binaries from the package dir, so anchor relative
+# output paths to the workspace root.
+case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
 rm -f "$out"
 
 if [ "${BENCH_FULL:-0}" = "1" ]; then

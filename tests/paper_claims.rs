@@ -122,7 +122,7 @@ fn claim_march4_transition_was_central_and_instant() {
     assert!(!lab.policy.read().throttle_active);
     assert!(lab.policy.read().quic_filter);
     for vantage in &lab.vantages {
-        let device = vantage.sym_device.borrow();
+        let device = lab.net.middlebox(vantage.sym_device);
         assert!(device.policy().read().quic_filter, "{}", vantage.name);
     }
 }
