@@ -1,0 +1,183 @@
+//! Chaos hooks for the TSPU device: deliberate model violations (to prove
+//! the oracle catches them) and the bridge that turns a device's policy
+//! into the classification closures a [`DeviceAudit`] needs.
+//!
+//! The oracle (`tspu_netsim::oracle`) is policy-agnostic by design — the
+//! simulator crate cannot depend on this one. This module closes the loop
+//! from the core side: given the same [`PolicyHandle`] a device enforces,
+//! [`audit_for`] builds the audit entry whose `classify` closure mirrors
+//! the device's own trigger evaluation, list for list.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use tspu_netsim::oracle::{ArmCandidate, ArmKind, DeviceAudit};
+use tspu_netsim::{MiddleboxId, Time};
+use tspu_wire::ipv4::{Ipv4Packet, Protocol};
+use tspu_wire::tcp::TcpSegment;
+use tspu_wire::tls::{extract_sni, SniOutcome};
+use tspu_wire::udp::UdpDatagram;
+
+use crate::behaviors::BlockKind;
+use crate::constants;
+use crate::policy::{NormalizedHost, PolicyHandle};
+
+/// A deliberate, seeded departure from the paper's model. Installing one on
+/// a device plants exactly the class of bug the oracle exists to catch —
+/// the acceptance demo for the whole invariant machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelViolation {
+    /// Injected RST/ACKs get a fresh TTL of 64 instead of preserving the
+    /// victim packet's TTL — the Fig. 2 metadata-preservation break, and
+    /// what a naive scratch-built injector would do.
+    FreshTtlOnInjectedRst,
+}
+
+/// Builds the oracle audit for one device: same policy handle, same
+/// restart schedule, classification mirroring the device's trigger logic.
+///
+/// The closures read the policy at *check* time, not build time. Under a
+/// mid-run hot reload that only adds rules (the March 4 transition), that
+/// can classify early packets against the later, larger lists — which is
+/// sound: a phantom candidate only opens an audit window that never sees
+/// enforcement, and multi-candidate flows get the relaxed checks.
+///
+/// Assumes an unhardened device: the classifier reads the SNI the way the
+/// baseline TSPU does (single in-order ClientHello, no reassembly).
+pub fn audit_for(
+    device: MiddleboxId,
+    label: &str,
+    policy: PolicyHandle,
+    restarts: Vec<Time>,
+) -> DeviceAudit {
+    let classify_policy = policy.clone();
+    let ip_policy = policy;
+    DeviceAudit {
+        device,
+        label: label.to_string(),
+        classify: Box::new(move |packet| classify(&classify_policy, packet)),
+        ip_blocked: Box::new(move |addr: Ipv4Addr| ip_policy.read().blocked_ips.contains(&addr)),
+        restarts,
+    }
+}
+
+/// Converts a fault plan's restart offsets (durations since simulation
+/// start) into the absolute times a [`DeviceAudit`] wants.
+pub fn restart_times(restarts: &[Duration]) -> Vec<Time> {
+    restarts.iter().map(|&offset| Time::ZERO + offset).collect()
+}
+
+/// Every blocking mechanism this local→remote packet could arm under the
+/// current policy. The device picks one by conntrack role and precedence;
+/// the oracle cannot see roles, so it gets the full candidate set and
+/// applies the strict single-candidate checks only when the set is a
+/// singleton.
+fn classify(policy: &PolicyHandle, packet: &[u8]) -> Vec<ArmCandidate> {
+    let Ok(ip) = Ipv4Packet::new_checked(packet) else {
+        return Vec::new();
+    };
+    if ip.is_fragment() {
+        return Vec::new();
+    }
+    match ip.protocol() {
+        Protocol::Tcp => classify_tcp(policy, &ip),
+        Protocol::Udp => classify_udp(policy, &ip),
+        _ => Vec::new(),
+    }
+}
+
+fn classify_tcp(policy: &PolicyHandle, ip: &Ipv4Packet<&[u8]>) -> Vec<ArmCandidate> {
+    let Ok(tcp) = TcpSegment::new_checked(ip.payload()) else {
+        return Vec::new();
+    };
+    if tcp.dst_port() != constants::SNI_PORT || tcp.payload().is_empty() {
+        return Vec::new();
+    }
+    let SniOutcome::Sni(hostname) = extract_sni(tcp.payload()) else {
+        return Vec::new();
+    };
+    let host = NormalizedHost::new(&hostname);
+    let policy = policy.read();
+    let mut candidates = Vec::new();
+    if policy.throttle_active && policy.sni_throttle.matches_normalized(&host) {
+        candidates.push(ArmCandidate {
+            kind: ArmKind::Throttle,
+            window: BlockKind::Throttle.duration(),
+        });
+    }
+    if policy.sni_rst.matches_normalized(&host) {
+        candidates.push(ArmCandidate { kind: ArmKind::RstRewrite, window: constants::BLOCK_SNI1 });
+    }
+    if policy.sni_backup.matches_normalized(&host) {
+        candidates.push(ArmCandidate { kind: ArmKind::FullDrop, window: constants::BLOCK_SNI4 });
+    }
+    if policy.sni_slow.matches_normalized(&host) {
+        candidates.push(ArmCandidate { kind: ArmKind::DelayedDrop, window: constants::BLOCK_SNI2 });
+    }
+    candidates
+}
+
+fn classify_udp(policy: &PolicyHandle, ip: &Ipv4Packet<&[u8]>) -> Vec<ArmCandidate> {
+    let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+        return Vec::new();
+    };
+    let payload = udp.payload();
+    if policy.read().quic_filter
+        && udp.dst_port() == constants::QUIC_PORT
+        && payload.len() >= constants::QUIC_MIN_PAYLOAD
+        && payload[1..5] == [0x00, 0x00, 0x00, 0x01]
+    {
+        return vec![ArmCandidate { kind: ArmKind::QuicDrop, window: constants::BLOCK_QUIC }];
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use tspu_wire::tcp::{TcpFlags, TcpRepr};
+    use tspu_wire::tls::ClientHelloBuilder;
+
+    fn hello_packet(host: &str) -> Vec<u8> {
+        let hello = ClientHelloBuilder::new(host).build();
+        let mut tcp = TcpRepr::new(40000, 443, TcpFlags::PSH_ACK);
+        tcp.payload = hello;
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let segment = tcp.build(src, dst);
+        Ipv4Repr::new(src, dst, Protocol::Tcp, segment.len()).build(&segment)
+    }
+
+    use tspu_wire::ipv4::Ipv4Repr;
+
+    #[test]
+    fn classify_mirrors_policy_lists() {
+        let policy = PolicyHandle::new(Policy::example());
+        // twitter.com is on sni_rst AND sni_backup: two candidates.
+        let kinds: Vec<ArmKind> =
+            classify(&policy, &hello_packet("twitter.com")).iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, vec![ArmKind::RstRewrite, ArmKind::FullDrop]);
+        // nordvpn.com is slow-path only.
+        let kinds: Vec<ArmKind> =
+            classify(&policy, &hello_packet("nordvpn.com")).iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, vec![ArmKind::DelayedDrop]);
+        // Unlisted hosts arm nothing.
+        assert!(classify(&policy, &hello_packet("example.org")).is_empty());
+    }
+
+    #[test]
+    fn classify_tracks_hot_reload() {
+        let policy = PolicyHandle::new(Policy::example());
+        let audit = audit_for(MiddleboxId(0), "dev", policy.clone(), Vec::new());
+        policy.update(|p| p.sni_rst.insert("example.org"));
+        let candidates = (audit.classify)(&hello_packet("example.org"));
+        assert_eq!(candidates.len(), 1, "audit sees the reloaded list");
+    }
+
+    #[test]
+    fn restart_times_are_absolute() {
+        let times = restart_times(&[Duration::from_secs(3), Duration::from_secs(9)]);
+        assert_eq!(times, vec![Time::from_secs(3), Time::from_secs(9)]);
+    }
+}

@@ -301,6 +301,14 @@ impl ConnTracker {
         self.flows.remove(key);
     }
 
+    /// Drops every tracked flow — what a device restart does to its state
+    /// table. Allocated table and ring capacity is kept, so a restarted
+    /// provisioned device still never grows on the packet path.
+    pub fn clear(&mut self) {
+        self.flows.clear();
+        self.ring.clear();
+    }
+
     /// Observes a TCP packet of flow `key` from `side`, creating or
     /// transitioning the entry, and returns it.
     pub fn observe_tcp(

@@ -87,6 +87,12 @@ pub const FRAG_QUEUE_LIMIT: usize = 45;
 /// Fragment cache timeout: "a short timeout of around 5 seconds".
 pub const FRAG_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Concurrently buffered fragment trains before the oldest is evicted.
+/// The paper does not measure this bound, but a real line card's fragment
+/// table is fixed-size; 4096 trains × 45 fragments bounds the cache at a
+/// few hundred MB worst case instead of growing without limit.
+pub const FRAG_MAX_TRAINS: usize = 4096;
+
 // --- Throttling rates (paper §5.2, SNI-III) ---
 
 /// The February–March 2022 hard throttle: "around 600–700 bytes per

@@ -16,6 +16,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use tspu_netsim::fault::DeviceFaults;
 use tspu_netsim::{Direction, Middlebox, Time, Verdict};
 use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::{TcpFlags, TcpSegment};
@@ -23,6 +24,7 @@ use tspu_wire::tls::{extract_sni, SniOutcome};
 use tspu_wire::udp::UdpDatagram;
 
 use crate::behaviors::{BlockKind, BlockState};
+use crate::chaos::ModelViolation;
 use crate::conntrack::{ConnTracker, FlowKey, Side};
 use crate::constants;
 use crate::frag_cache::{FragCache, FragConfig};
@@ -89,6 +91,8 @@ pub struct DeviceStats {
     pub reassembly_bytes_buffered: u64,
     /// SYN/ACKs dropped by the small-window filter (hardening).
     pub synacks_filtered: u64,
+    /// Scheduled restarts applied so far (chaos).
+    pub restarts: u64,
 }
 
 /// One TSPU box. Construct with a shared [`PolicyHandle`] (central
@@ -102,6 +106,11 @@ pub struct TspuDevice {
     failure: FailureProfile,
     stats: DeviceStats,
     hardening: Hardening,
+    faults: DeviceFaults,
+    /// Restarts from `faults` already applied (they are sorted).
+    restarts_applied: usize,
+    reload_applied: bool,
+    violation: Option<ModelViolation>,
 }
 
 /// What the trigger evaluator decided about the current packet.
@@ -127,7 +136,89 @@ impl TspuDevice {
             failure,
             stats: DeviceStats::default(),
             hardening: Hardening::none(),
+            faults: DeviceFaults::default(),
+            restarts_applied: 0,
+            reload_applied: false,
+            violation: None,
         }
+    }
+
+    /// Schedules deterministic device-level faults from a chaos plan:
+    /// mid-flight restarts (wiping conntrack and the fragment cache), a
+    /// policy hot-reload (the March 4, 2022 transition, fired through the
+    /// shared handle), and a Table-1 bypass-rate override.
+    pub fn with_device_faults(mut self, faults: DeviceFaults) -> TspuDevice {
+        self.set_device_faults(faults);
+        self
+    }
+
+    /// In-place variant of [`TspuDevice::with_device_faults`], for devices
+    /// already installed in a network.
+    pub fn set_device_faults(&mut self, mut faults: DeviceFaults) {
+        faults.restarts.sort();
+        if let Some(p) = faults.bypass_rate {
+            self.failure = FailureProfile::uniform(p);
+        }
+        self.faults = faults;
+        self.restarts_applied = 0;
+        self.reload_applied = false;
+    }
+
+    /// Installs a deliberate model violation — the oracle's acceptance
+    /// demo. Never set outside tests.
+    pub fn with_model_violation(mut self, violation: ModelViolation) -> TspuDevice {
+        self.violation = Some(violation);
+        self
+    }
+
+    /// In-place variant of [`TspuDevice::with_model_violation`].
+    pub fn set_model_violation(&mut self, violation: Option<ModelViolation>) {
+        self.violation = violation;
+    }
+
+    /// The device's scheduled faults.
+    pub fn device_faults(&self) -> &DeviceFaults {
+        &self.faults
+    }
+
+    /// Applies any scheduled faults that have come due. Faults fire
+    /// lazily at the next processed packet — like the real event: nobody
+    /// notices a reboot until traffic crosses the box again.
+    fn poll_faults(&mut self, now: Time) {
+        if self.faults.is_noop() {
+            return;
+        }
+        let since_start = now.since(Time::ZERO);
+        while self
+            .faults
+            .restarts
+            .get(self.restarts_applied)
+            .is_some_and(|&at| at <= since_start)
+        {
+            self.restarts_applied += 1;
+            self.stats.restarts += 1;
+            self.conntrack.clear();
+            self.frag_cache.clear();
+        }
+        if !self.reload_applied && self.faults.reload_at.is_some_and(|at| at <= since_start) {
+            self.reload_applied = true;
+            self.policy.march_4_2022_transition();
+        }
+    }
+
+    /// Builds the RST/ACK injection for `packet`, applying any installed
+    /// model violation.
+    fn inject_rst(&mut self, packet: &[u8]) -> Vec<u8> {
+        let mut out = rst_ack_rewrite(packet);
+        if self.violation == Some(ModelViolation::FreshTtlOnInjectedRst) {
+            // The deliberate bug: a fresh TTL instead of the victim's. The
+            // TCP checksum does not cover the TTL, so only the IP header
+            // checksum needs refreshing.
+            let mut view = Ipv4Packet::new_unchecked(&mut out[..]);
+            view.set_ttl(64);
+            view.fill_checksum();
+        }
+        out
     }
 
     /// Applies the §8 counter-circumvention upgrades to this device.
@@ -272,7 +363,7 @@ impl TspuDevice {
                             .unwrap_or(false));
                 if is_response {
                     self.stats.packets_rewritten += 1;
-                    return Verdict::Replace(rst_ack_rewrite(packet));
+                    return Verdict::Replace(self.inject_rst(packet));
                 }
                 return self.drop_packet();
             }
@@ -422,7 +513,7 @@ impl TspuDevice {
             BlockKind::RstRewrite => {
                 if direction == Direction::RemoteToLocal {
                     self.stats.packets_rewritten += 1;
-                    Verdict::Replace(rst_ack_rewrite(packet))
+                    Verdict::Replace(self.inject_rst(packet))
                 } else {
                     Verdict::Pass
                 }
@@ -580,6 +671,7 @@ fn extract_sni_scanning(payload: &[u8], scan: bool) -> Option<String> {
 
 impl Middlebox for TspuDevice {
     fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
+        self.poll_faults(now);
         self.stats.packets_seen += 1;
         let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else {
             return Verdict::Pass; // not IPv4: pass

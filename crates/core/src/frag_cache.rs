@@ -53,11 +53,21 @@ impl Train {
 pub struct FragConfig {
     pub queue_limit: usize,
     pub timeout: std::time::Duration,
+    /// Hard cap on concurrently buffered trains. The sweep on `offer` is
+    /// lazy and only touches the offered key, so without a cap a scan
+    /// spraying fresh (src, dst, ident) tuples grows the table without
+    /// bound; real line cards have a fixed fragment table. When full, the
+    /// oldest train (ties broken by key, deterministically) is evicted.
+    pub max_trains: usize,
 }
 
 impl Default for FragConfig {
     fn default() -> FragConfig {
-        FragConfig { queue_limit: constants::FRAG_QUEUE_LIMIT, timeout: constants::FRAG_TIMEOUT }
+        FragConfig {
+            queue_limit: constants::FRAG_QUEUE_LIMIT,
+            timeout: constants::FRAG_TIMEOUT,
+            max_trains: constants::FRAG_MAX_TRAINS,
+        }
     }
 }
 
@@ -99,6 +109,37 @@ impl FragCache {
         self.trains.len()
     }
 
+    /// Drops all buffered trains — a device restart losing its fragment
+    /// table. Stats counters survive (they live in the management plane).
+    pub fn clear(&mut self) {
+        self.trains.clear();
+    }
+
+    /// Makes room for one more train when the table is at `max_trains`:
+    /// first sweeps every expired train (the lazy per-key sweep in `offer`
+    /// never does this), then — if still full — evicts the oldest train,
+    /// ties broken by key so eviction is deterministic across runs.
+    fn make_room(&mut self, now: Time) {
+        if self.trains.len() < self.config.max_trains {
+            return;
+        }
+        let timeout = self.config.timeout;
+        let before = self.trains.len();
+        self.trains.retain(|_, t| !t.expired(now, timeout));
+        self.discarded += (before - self.trains.len()) as u64;
+        while self.trains.len() >= self.config.max_trains {
+            let victim = self
+                .trains
+                .iter()
+                .map(|(k, t)| (t.started, k.src, k.dst, k.ident))
+                .min()
+                .map(|(_, src, dst, ident)| FragKey { src, dst, ident })
+                .expect("table is non-empty");
+            self.trains.remove(&victim);
+            self.discarded += 1;
+        }
+    }
+
     /// Offers one fragment. Returns the packets to forward now: empty
     /// while buffering (or when poisoned), or the whole train once its
     /// last fragment arrives.
@@ -119,6 +160,9 @@ impl FragCache {
             self.discarded += 1;
         }
 
+        if !self.trains.contains_key(&key) {
+            self.make_room(now);
+        }
         let train = self.trains.entry(key).or_insert(Train {
             started: now,
             fragments: Vec::new(),
@@ -357,12 +401,130 @@ mod tests {
         assert_eq!(cache.pending(), 1); // a still buffering
     }
 
+    /// A datagram from `src` with the given ident, pre-fragmented.
+    fn train_from(src: Ipv4Addr, ident: u16, ttl: u8) -> Vec<Vec<u8>> {
+        let payload: Vec<u8> = (0..300).map(|i| i as u8).collect();
+        let mut repr = Ipv4Repr::new(src, DST, Protocol::Udp, payload.len());
+        repr.ttl = ttl;
+        repr.ident = ident;
+        frag::fragment(&repr.build(&payload), 128).unwrap()
+    }
+
+    #[test]
+    fn full_cache_evicts_oldest_train_deterministically() {
+        let mut cache = FragCache::new(FragConfig { max_trains: 3, ..FragConfig::default() });
+        // Three incomplete trains, started in order; the table is full.
+        let trains: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|i| train_from(Ipv4Addr::new(10, 0, 0, 10 + i), 40 + u16::from(i), 60))
+            .collect();
+        for (i, train) in trains.iter().take(3).enumerate() {
+            assert!(cache.offer(Time::from_micros(i as u64 * 1_000), &train[0]).is_empty());
+        }
+        assert_eq!(cache.pending(), 3);
+        // A fourth key arrives while nothing has expired: the oldest train
+        // (the first) is evicted to make room.
+        assert!(cache.offer(Time::from_micros(10_000), &trains[3][0]).is_empty());
+        assert_eq!(cache.pending(), 3);
+        assert_eq!(cache.discarded(), 1);
+        // A survivor still flushes in full (and frees its slot)…
+        assert!(cache.offer(Time::from_micros(11_000), &trains[1][1]).is_empty());
+        let out = cache.offer(Time::from_micros(12_000), &trains[1][2]);
+        assert_eq!(out.len(), 3, "surviving train flushes whole");
+        // …while the evicted train lost its first fragment: its arriving
+        // last fragment starts a fresh train and flushes alone.
+        let out = cache.offer(Time::from_micros(13_000), &trains[0][2]);
+        assert_eq!(out.len(), 1, "evicted train lost its first fragment");
+    }
+
+    #[test]
+    fn full_cache_prefers_sweeping_expired_trains() {
+        let mut cache = FragCache::new(FragConfig { max_trains: 3, ..FragConfig::default() });
+        let trains: Vec<Vec<Vec<u8>>> = (0..4)
+            .map(|i| train_from(Ipv4Addr::new(10, 0, 0, 10 + i), 40 + u16::from(i), 60))
+            .collect();
+        // Two stale trains and one fresh one fill the table.
+        assert!(cache.offer(Time::ZERO, &trains[0][0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &trains[1][0]).is_empty());
+        assert!(cache.offer(Time::from_secs(10), &trains[2][0]).is_empty());
+        // The new key reclaims both expired slots, so the fresh train is
+        // NOT evicted even though the table was full.
+        assert!(cache.offer(Time::from_secs(11), &trains[3][0]).is_empty());
+        assert_eq!(cache.pending(), 2);
+        assert!(cache.offer(Time::from_secs(11), &trains[2][1]).is_empty());
+        let out = cache.offer(Time::from_secs(11), &trains[2][2]);
+        assert_eq!(out.len(), 3, "fresh train survived the sweep");
+    }
+
+    #[test]
+    fn spraying_fresh_idents_cannot_grow_table_past_cap() {
+        // The regression the cap fixes: before it, a scanner spraying
+        // fresh (src, dst, ident) tuples grew the table without bound
+        // because the lazy sweep only ever touched the offered key.
+        let mut cache = FragCache::default();
+        let base = datagram(300, 60);
+        for ident in 0..(constants::FRAG_MAX_TRAINS as u16 + 500) {
+            let mut head = base.clone();
+            {
+                let mut view = Ipv4Packet::new_unchecked(&mut head[..]);
+                view.set_ident(ident);
+                view.fill_checksum();
+            }
+            let pieces = frag::fragment(&head, 128).unwrap();
+            assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+            assert!(cache.pending() <= constants::FRAG_MAX_TRAINS);
+        }
+        assert_eq!(cache.pending(), constants::FRAG_MAX_TRAINS);
+        assert_eq!(cache.discarded(), 500);
+    }
+
+    #[test]
+    fn clear_wipes_trains_but_keeps_stats() {
+        let mut cache = FragCache::default();
+        let pieces = frag::fragment(&datagram(400, 60), 128).unwrap();
+        let mut all = Vec::new();
+        for piece in &pieces {
+            all = cache.offer(Time::ZERO, piece);
+        }
+        assert_eq!(all.len(), 4);
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert_eq!(cache.pending(), 1);
+        cache.clear();
+        assert_eq!(cache.pending(), 0);
+        assert_eq!(cache.flushed(), 1, "stats survive the restart");
+        // The wiped train is forgotten: its duplicate no longer poisons.
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert_eq!(cache.pending(), 1);
+    }
+
+    #[test]
+    fn duplicate_offset_with_different_length_poisons() {
+        let mut cache = FragCache::default();
+        let original = datagram(400, 60);
+        let pieces = frag::fragment(&original, 128).unwrap();
+        // Same offset as piece 1, shorter payload: still a duplicate.
+        let dup = {
+            let view = Ipv4Packet::new_checked(&original[..]).unwrap();
+            let mut repr = Ipv4Repr::parse(&view).unwrap();
+            repr.frag_offset = 128;
+            repr.more_fragments = true;
+            repr.payload_len = 64;
+            repr.build(&view.payload()[128..192])
+        };
+        assert!(cache.offer(Time::ZERO, &pieces[0]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[1]).is_empty());
+        assert!(cache.offer(Time::ZERO, &dup).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[2]).is_empty());
+        assert!(cache.offer(Time::ZERO, &pieces[3]).is_empty());
+        assert_eq!(cache.flushed(), 0);
+    }
+
     #[test]
     fn ablation_conventional_dpi_limits() {
         // With Linux-like limits (64), a 46-fragment packet passes.
         let mut cache = FragCache::new(FragConfig {
             queue_limit: 64,
             timeout: std::time::Duration::from_secs(30),
+            ..FragConfig::default()
         });
         let pieces = frag::fragment_into(&datagram(1480, 60), 46).unwrap();
         let mut out = Vec::new();

@@ -28,6 +28,7 @@
 //! are the only per-device variation.
 
 pub mod behaviors;
+pub mod chaos;
 pub mod conntrack;
 pub mod constants;
 pub mod device;
@@ -38,6 +39,7 @@ pub mod policer;
 pub mod policy;
 
 pub use behaviors::{BlockKind, BlockState};
+pub use chaos::ModelViolation;
 pub use conntrack::{ConnState, ConnTracker, FlowKey, Side};
 pub use device::{DeviceStats, FailureProfile, TspuDevice};
 pub use frag_cache::FragCache;

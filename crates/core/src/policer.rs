@@ -132,4 +132,41 @@ mod tests {
             assert!(bucket.admit(Time::ZERO, 0));
         }
     }
+
+    #[test]
+    fn exhaustion_boundary_is_exact() {
+        // A packet exactly the burst size drains the bucket to zero; even
+        // one further byte is then over the line.
+        let mut bucket = TokenBucket::new(650, 1600, Time::ZERO);
+        assert!(bucket.admit(Time::ZERO, 1600));
+        assert_eq!(bucket.tokens(), 0);
+        assert!(!bucket.admit(Time::ZERO, 1));
+        assert!(bucket.admit(Time::ZERO, 0), "zero-length still passes an empty bucket");
+    }
+
+    #[test]
+    fn refill_boundary_is_exact_to_the_microsecond() {
+        // rate 1000 B/s = 1 byte/ms. Drain the bucket, then a 100-byte
+        // packet needs exactly 100 ms of refill: 1 µs early it is dropped
+        // (and the failed attempt must not eat the accrued tokens), on the
+        // boundary it passes.
+        let mut bucket = TokenBucket::new(1000, 1000, Time::ZERO);
+        assert!(bucket.admit(Time::ZERO, 1000));
+        let boundary = Time::from_micros(100_000);
+        assert!(!bucket.admit(Time::from_micros(99_999), 100));
+        assert!(bucket.admit(boundary, 100));
+        // Tokens are now exactly zero again: the next byte needs 1 ms.
+        assert!(!bucket.admit(boundary, 1));
+        assert!(bucket.admit(Time::from_micros(101_000), 1));
+    }
+
+    #[test]
+    fn failed_admit_does_not_consume_tokens() {
+        let mut bucket = TokenBucket::new(650, 1600, Time::ZERO);
+        assert!(bucket.admit(Time::ZERO, 1500)); // 100 left
+        for _ in 0..10 {
+            assert!(!bucket.admit(Time::ZERO, 200), "rejects must not drain");
+        }
+        assert!(bucket.admit(Time::ZERO, 100), "the 100 surviving bytes still spend");
+    }
 }

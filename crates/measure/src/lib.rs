@@ -25,6 +25,7 @@
 //! Ground truth from `tspu-topology` is used solely for *scoring*.
 
 pub mod behaviors;
+pub mod chaos;
 pub mod chfuzz;
 pub mod domains;
 pub mod echo;
@@ -40,5 +41,6 @@ pub mod timeouts;
 pub mod traceroute;
 
 pub use behaviors::{classify_behavior, ObservedBehavior};
+pub use chaos::{ChaosCell, ChaosScenario, ChaosSweep};
 pub use harness::{PacketSummary, ProbeSide, ScriptResult, ScriptStep};
 pub use sweep::{ScanPool, SweepSpec};

@@ -46,7 +46,7 @@ impl Mechanism {
 }
 
 /// Result of one Table 1 cell.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureStats {
     pub trials: u32,
     pub failures: u32,

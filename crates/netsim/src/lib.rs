@@ -39,9 +39,12 @@ mod time;
 
 pub mod fault;
 pub mod nat;
+pub mod oracle;
 pub mod pcap;
 
 pub use app::{Application, Output};
+pub use fault::{ChaosLink, DeviceFaults, FaultPlan, FlapSpec, LinkFaults, LinkStats};
+pub use oracle::{ArmCandidate, ArmKind, DeviceAudit, Oracle, OracleReport, OracleSpec};
 pub use capture::{CaptureRecord, TracePoint};
 pub use middlebox::{AsAny, Direction, Middlebox, MiddleboxId, Verdict};
 pub use network::{HostId, MiddleboxHandle, Network, Route, RouteId, RouteStep};

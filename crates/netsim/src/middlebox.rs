@@ -1,6 +1,7 @@
 //! The middlebox trait and traffic direction.
 
 use std::any::Any;
+use std::time::Duration;
 
 use crate::time::Time;
 
@@ -52,6 +53,10 @@ pub enum Verdict {
     /// Forward several packets (the fragment cache flushing a buffered
     /// train when its last fragment arrives).
     Fanout(Vec<Vec<u8>>),
+    /// Forward the input packet, but only after an extra queueing delay on
+    /// top of the link's hop latency (a chaos link's jitter). Delays from
+    /// several devices on the same link accumulate.
+    Delay(Duration),
 }
 
 /// Object-safe downcast support, blanket-implemented for every `'static`
@@ -100,6 +105,7 @@ pub trait Middlebox: Send + AsAny {
             Verdict::Drop => Vec::new(),
             Verdict::Replace(replacement) => vec![replacement],
             Verdict::Fanout(packets) => packets,
+            Verdict::Delay(_) => vec![packet],
         }
     }
 

@@ -481,49 +481,86 @@ impl Network {
         // case — every hop of every non-fragmented flow — is copy-free:
         // the one buffer moves through the chain (rewritten in place or
         // replaced when a device says so) and on into the next hop event.
+        // Device-level trace points bracket each call: an ingress record
+        // for the packet as the device saw it, an egress record per packet
+        // it forwarded. Extra queueing delay from Delay verdicts rides
+        // along with each in-flight packet into the next hop event.
         let mut fanout: Option<Vec<Vec<u8>>> = None;
+        let mut extra_delay = Duration::ZERO;
         let mut resume = n_devices;
         for di in 0..n_devices {
             let (mb_id, direction) = self.route_arena[rid.0 as usize].steps[step].devices[di];
+            self.capture(TracePoint::DeviceIngress { device: mb_id, step }, &packet);
             match self.middleboxes[mb_id.0].process(self.now, direction, &mut packet) {
-                Verdict::Pass => {}
+                Verdict::Pass => {
+                    self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &packet);
+                }
                 Verdict::Drop => {
                     self.capture(TracePoint::Dropped { step }, &packet);
                     return;
                 }
-                Verdict::Replace(replacement) => packet = replacement,
+                Verdict::Replace(replacement) => {
+                    packet = replacement;
+                    self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &packet);
+                }
                 Verdict::Fanout(packets) => {
                     if packets.is_empty() {
                         self.capture(TracePoint::Dropped { step }, &packet);
                         return;
                     }
+                    if self.capture_enabled {
+                        for pkt in &packets {
+                            self.capture(TracePoint::DeviceEgress { device: mb_id, step }, pkt);
+                        }
+                    }
                     fanout = Some(packets);
                     resume = di + 1;
                     break;
                 }
+                Verdict::Delay(delay) => {
+                    extra_delay += delay;
+                    self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &packet);
+                }
             }
         }
-        let Some(mut in_flight) = fanout else {
-            let time = self.now + self.hop_latency;
+        let Some(in_flight) = fanout else {
+            let time = self.now + self.hop_latency + extra_delay;
             self.push_event(time, EventKind::Hop { src, dst, step: step + 1, packet });
             return;
         };
+        let mut in_flight: Vec<(Vec<u8>, Duration)> =
+            in_flight.into_iter().map(|pkt| (pkt, extra_delay)).collect();
 
         // Rare multi-packet tail (a fragment train flushed mid-chain): the
-        // remaining devices process each packet of the train.
+        // remaining devices process each packet of the train, each packet
+        // carrying its own accumulated queueing delay.
         for di in resume..n_devices {
             let (mb_id, direction) = self.route_arena[rid.0 as usize].steps[step].devices[di];
             let mut next = Vec::new();
-            for mut pkt in in_flight {
+            for (mut pkt, delay) in in_flight {
+                self.capture(TracePoint::DeviceIngress { device: mb_id, step }, &pkt);
                 match self.middleboxes[mb_id.0].process(self.now, direction, &mut pkt) {
-                    Verdict::Pass => next.push(pkt),
+                    Verdict::Pass => {
+                        self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &pkt);
+                        next.push((pkt, delay));
+                    }
                     Verdict::Drop => self.capture(TracePoint::Dropped { step }, &pkt),
-                    Verdict::Replace(replacement) => next.push(replacement),
+                    Verdict::Replace(replacement) => {
+                        self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &replacement);
+                        next.push((replacement, delay));
+                    }
                     Verdict::Fanout(packets) => {
                         if packets.is_empty() {
                             self.capture(TracePoint::Dropped { step }, &pkt);
                         }
-                        next.extend(packets);
+                        for out in packets {
+                            self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &out);
+                            next.push((out, delay));
+                        }
+                    }
+                    Verdict::Delay(extra) => {
+                        self.capture(TracePoint::DeviceEgress { device: mb_id, step }, &pkt);
+                        next.push((pkt, delay + extra));
                     }
                 }
             }
@@ -533,8 +570,8 @@ impl Network {
             }
         }
 
-        let time = self.now + self.hop_latency;
-        for pkt in in_flight {
+        for (pkt, delay) in in_flight {
+            let time = self.now + self.hop_latency + delay;
             self.push_event(time, EventKind::Hop { src, dst, step: step + 1, packet: pkt });
         }
     }

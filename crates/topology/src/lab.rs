@@ -17,8 +17,11 @@
 
 use std::net::Ipv4Addr;
 
+use tspu_core::chaos::{audit_for, restart_times};
 use tspu_core::{FailureProfile, PolicyHandle, TspuDevice};
 use tspu_ispdpi::IspResolver;
+use tspu_netsim::fault::{ChaosLink, FaultPlan};
+use tspu_netsim::oracle::OracleSpec;
 use tspu_netsim::{Direction, MiddleboxId, Network, Route, RouteStep};
 use tspu_netsim::{HostId, MiddleboxHandle};
 use tspu_registry::{stats, Universe};
@@ -60,6 +63,9 @@ pub struct VantageLab {
     pub tor_addr: Ipv4Addr,
     /// The per-ISP censoring resolvers (the decentralized baseline).
     pub resolvers: Vec<IspResolver>,
+    /// Chaos links installed by [`VantageLab::apply_fault_plan`], labeled
+    /// `"<vantage>-fwd"` / `"<vantage>-rev"`, for per-link fault stats.
+    pub chaos_links: Vec<(String, MiddleboxHandle<ChaosLink>)>,
 }
 
 /// Addresses of the fixed endpoints.
@@ -111,6 +117,13 @@ impl VantageLab {
     /// deterministic: no simulator state crosses scenario boundaries.
     pub fn build_scan(policy: PolicyHandle) -> VantageLab {
         Self::build_inner(None, policy, true)
+    }
+
+    /// Like [`VantageLab::build_scan`], but with the Table-1 per-device
+    /// failure dice active — chaos reliability campaigns measure the real
+    /// failure rates under fault injection, so they need the dice.
+    pub fn build_scan_table1(policy: PolicyHandle) -> VantageLab {
+        Self::build_inner(None, policy, false)
     }
 
     fn build_inner(universe: Option<&Universe>, policy: PolicyHandle, reliable: bool) -> VantageLab {
@@ -279,7 +292,88 @@ impl VantageLab {
             tor,
             tor_addr: TOR_ENTRY_NODE,
             resolvers,
+            chaos_links: Vec::new(),
         }
+    }
+
+    /// Builds the sweep-worker lab ([`VantageLab::build_scan`]) and wires a
+    /// seeded chaos plan through it — the entry point for chaos sweeps.
+    pub fn build_chaos(policy: PolicyHandle, plan: &FaultPlan) -> VantageLab {
+        let mut lab = Self::build_scan(policy);
+        lab.apply_fault_plan(plan);
+        lab
+    }
+
+    /// Wires a [`FaultPlan`] through the lab: the plan's device faults on
+    /// every TSPU device, and one pair of chaos links per vantage on its
+    /// transit segments — appended to an *existing* route step after every
+    /// device on the forward path and before any device on the reverse
+    /// path. Appending (rather than adding a hop) keeps hop counts and
+    /// TTLs identical, so a zero-rate plan is an exact no-op.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let device_handles: Vec<MiddleboxHandle<TspuDevice>> = self
+            .vantages
+            .iter()
+            .flat_map(|v| std::iter::once(v.sym_device).chain(v.upstream_devices.iter().copied()))
+            .collect();
+        for handle in device_handles {
+            self.net.middlebox_mut(handle).set_device_faults(plan.device.clone());
+        }
+
+        let remotes = [self.us_main, self.us_second, self.paris, self.tor];
+        let vantage_hosts: Vec<(usize, &'static str, HostId)> =
+            self.vantages.iter().enumerate().map(|(i, v)| (i, v.name, v.host)).collect();
+        for (vi, name, host) in vantage_hosts {
+            let fwd = self.net.install_middlebox(ChaosLink::new(
+                plan.forward.clone(),
+                plan.link_seed(vi as u64 * 2),
+            ));
+            let rev = self.net.install_middlebox(ChaosLink::new(
+                plan.reverse.clone(),
+                plan.link_seed(vi as u64 * 2 + 1),
+            ));
+            self.chaos_links.push((format!("{name}-fwd"), fwd));
+            self.chaos_links.push((format!("{name}-rev"), rev));
+            for remote in remotes {
+                let mut forward = self.net.route(host, remote).expect("vantage route").clone();
+                forward.steps.last_mut().expect("non-empty route").devices
+                    .push((fwd.id(), Direction::LocalToRemote));
+                self.net.set_route(host, remote, forward);
+
+                let mut reverse = self.net.route(remote, host).expect("vantage route").clone();
+                reverse.steps.first_mut().expect("non-empty route").devices
+                    .push((rev.id(), Direction::RemoteToLocal));
+                self.net.set_route(remote, host, reverse);
+            }
+        }
+    }
+
+    /// The oracle audit specification covering every TSPU device in the
+    /// lab: each audit shares the device's policy handle and carries its
+    /// applied restart schedule, so the oracle judges captures against
+    /// exactly what the device was configured to do.
+    pub fn oracle_spec(&self) -> OracleSpec {
+        let mut spec = OracleSpec::new(|addr: Ipv4Addr| addr.octets()[0] == 10);
+        for vantage in &self.vantages {
+            let handles = std::iter::once((format!("{}-sym", vantage.name), vantage.sym_device))
+                .chain(
+                    vantage
+                        .upstream_devices
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &h)| (format!("{}-up{}", vantage.name, i), h)),
+                );
+            for (label, handle) in handles {
+                let device = self.net.middlebox(handle);
+                spec.devices.push(audit_for(
+                    handle.id(),
+                    &label,
+                    device.policy().clone(),
+                    restart_times(&device.device_faults().restarts),
+                ));
+            }
+        }
+        spec
     }
 
     /// The vantage by ISP name.
