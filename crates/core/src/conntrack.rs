@@ -255,6 +255,9 @@ pub struct ConnTracker {
     ring: VecDeque<RingSlot>,
     /// Generation counter; tags each inserted entry and its ring slot.
     next_gen: u64,
+    /// Ring slots probed by GC so far — the direct measure of reclamation
+    /// work on the packet path, surfaced as `conntrack.gc_probes`.
+    gc_probes: u64,
 }
 
 impl ConnTracker {
@@ -273,6 +276,7 @@ impl ConnTracker {
             flows: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             ring: VecDeque::with_capacity(capacity),
             next_gen: 0,
+            gc_probes: 0,
         }
     }
 
@@ -410,6 +414,7 @@ impl ConnTracker {
     fn gc_step(&mut self, now: Time) {
         for _ in 0..GC_PROBE_BUDGET.min(self.ring.len()) {
             let Some(slot) = self.ring.pop_front() else { return };
+            self.gc_probes += 1;
             match self.flows.get(&slot.key) {
                 Some(e) if e.gen == slot.gen => {
                     if e.expired(now) {
@@ -421,6 +426,11 @@ impl ConnTracker {
                 _ => {} // stale slot; its entry was removed or replaced
             }
         }
+    }
+
+    /// Ring slots probed by GC since construction (telemetry).
+    pub fn gc_probes(&self) -> u64 {
+        self.gc_probes
     }
 
     /// Number of queued GC probes (tests only).

@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use tspu_netsim::fault::DeviceFaults;
 use tspu_netsim::{Direction, Middlebox, Time, Verdict};
+use tspu_obs::{CounterId, MetricValue, Registry, Snapshot, Tracer};
 use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::{TcpFlags, TcpSegment};
 use tspu_wire::tls::{extract_sni, SniOutcome};
@@ -73,7 +74,10 @@ impl FailureProfile {
     }
 }
 
-/// Counters exposed for experiments and benches.
+/// Counters exposed for experiments and benches. Since the observability
+/// refactor this is a *view* reconstructed from the device's `tspu_obs`
+/// registry by [`TspuDevice::stats`] (all zero in an obs-disabled build);
+/// the storage lives under `device.<label>.*` metric names.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     pub packets_seen: u64,
@@ -95,6 +99,77 @@ pub struct DeviceStats {
     pub restarts: u64,
 }
 
+/// The device's metric registry scope (`device.<label>`) plus one interned
+/// counter id per [`DeviceStats`] field — every increment on the packet
+/// path is an indexed add, no hashing, no allocation. Zero-sized when the
+/// `obs` feature is off.
+struct DeviceMetrics {
+    registry: Registry,
+    tracer: Tracer,
+    packets_seen: CounterId,
+    packets_dropped: CounterId,
+    packets_rewritten: CounterId,
+    triggers_sni1: CounterId,
+    triggers_sni2: CounterId,
+    triggers_sni3: CounterId,
+    triggers_sni4: CounterId,
+    triggers_quic: CounterId,
+    ip_blocked_packets: CounterId,
+    fragments_processed: CounterId,
+    reassembly_bytes: CounterId,
+    synacks_filtered: CounterId,
+    restarts: CounterId,
+    policer_rejects: CounterId,
+}
+
+impl DeviceMetrics {
+    fn new(label: &str) -> DeviceMetrics {
+        let mut registry = Registry::scoped(format!("device.{label}"));
+        DeviceMetrics {
+            packets_seen: registry.counter("packets_seen"),
+            packets_dropped: registry.counter("verdicts.drop"),
+            packets_rewritten: registry.counter("verdicts.rst_rewrite"),
+            triggers_sni1: registry.counter("triggers.sni1"),
+            triggers_sni2: registry.counter("triggers.sni2"),
+            triggers_sni3: registry.counter("triggers.sni3"),
+            triggers_sni4: registry.counter("triggers.sni4"),
+            triggers_quic: registry.counter("triggers.quic"),
+            ip_blocked_packets: registry.counter("ip_blocked"),
+            fragments_processed: registry.counter("fragments_processed"),
+            reassembly_bytes: registry.counter("reassembly_bytes"),
+            synacks_filtered: registry.counter("synacks_filtered"),
+            restarts: registry.counter("restarts"),
+            policer_rejects: registry.counter("policer.rejects"),
+            registry,
+            tracer: Tracer::new(),
+        }
+    }
+
+    #[inline]
+    fn inc(&mut self, id: CounterId) {
+        self.registry.inc(id);
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let v = |id| self.registry.counter_value(id);
+        DeviceStats {
+            packets_seen: v(self.packets_seen),
+            packets_dropped: v(self.packets_dropped),
+            packets_rewritten: v(self.packets_rewritten),
+            triggers_sni1: v(self.triggers_sni1),
+            triggers_sni2: v(self.triggers_sni2),
+            triggers_sni3: v(self.triggers_sni3),
+            triggers_sni4: v(self.triggers_sni4),
+            triggers_quic: v(self.triggers_quic),
+            ip_blocked_packets: v(self.ip_blocked_packets),
+            fragments_processed: v(self.fragments_processed),
+            reassembly_bytes_buffered: v(self.reassembly_bytes),
+            synacks_filtered: v(self.synacks_filtered),
+            restarts: v(self.restarts),
+        }
+    }
+}
+
 /// One TSPU box. Construct with a shared [`PolicyHandle`] (central
 /// control) and attach to routes via `tspu_netsim`.
 pub struct TspuDevice {
@@ -104,7 +179,7 @@ pub struct TspuDevice {
     frag_cache: FragCache,
     rng: SmallRng,
     failure: FailureProfile,
-    stats: DeviceStats,
+    metrics: DeviceMetrics,
     hardening: Hardening,
     faults: DeviceFaults,
     /// Restarts from `faults` already applied (they are sorted).
@@ -134,7 +209,7 @@ impl TspuDevice {
             frag_cache: FragCache::new(FragConfig::default()),
             rng: SmallRng::seed_from_u64(seed),
             failure,
-            stats: DeviceStats::default(),
+            metrics: DeviceMetrics::new(label),
             hardening: Hardening::none(),
             faults: DeviceFaults::default(),
             restarts_applied: 0,
@@ -196,7 +271,7 @@ impl TspuDevice {
             .is_some_and(|&at| at <= since_start)
         {
             self.restarts_applied += 1;
-            self.stats.restarts += 1;
+            self.metrics.inc(self.metrics.restarts);
             self.conntrack.clear();
             self.frag_cache.clear();
         }
@@ -252,9 +327,50 @@ impl TspuDevice {
         TspuDevice::new(label, policy, FailureProfile::none(), 0)
     }
 
-    /// The device's counters.
+    /// The device's counters — a view over its obs registry (all zero in
+    /// an obs-disabled build).
     pub fn stats(&self) -> DeviceStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// Enables or disables virtual-time span tracing on this device
+    /// (`verdict` / `reassembly` spans). Off by default.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.metrics.tracer.set_enabled(enabled);
+    }
+
+    /// The device's metrics (plus its sub-components' intrinsic counters:
+    /// `conntrack.gc_probes`, `frag_cache.evictions`) as a [`Snapshot`]
+    /// under its `device.<label>.*` scope, with any recorded spans drained.
+    pub fn take_obs(&mut self) -> Snapshot {
+        let mut snap = self.obs_snapshot();
+        self.metrics.tracer.drain_into(&mut snap);
+        snap
+    }
+
+    /// Like [`TspuDevice::take_obs`] but without draining spans.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut snap = self.metrics.registry.snapshot();
+        if self.metrics.registry.enabled() {
+            let scope = format!("device.{}", self.label);
+            snap.insert(
+                format!("{scope}.conntrack.gc_probes"),
+                MetricValue::Counter(self.conntrack.gc_probes()),
+            );
+            snap.insert(
+                format!("{scope}.frag_cache.evictions"),
+                MetricValue::Counter(self.frag_cache.evictions()),
+            );
+            snap.insert(
+                format!("{scope}.frag_cache.discarded"),
+                MetricValue::Counter(self.frag_cache.discarded()),
+            );
+            snap.insert(
+                format!("{scope}.frag_cache.flushed"),
+                MetricValue::Counter(self.frag_cache.flushed()),
+            );
+        }
+        snap
     }
 
     /// The shared policy handle.
@@ -292,7 +408,7 @@ impl TspuDevice {
     }
 
     fn drop_packet(&mut self) -> Verdict {
-        self.stats.packets_dropped += 1;
+        self.metrics.inc(self.metrics.packets_dropped);
         Verdict::Drop
     }
 
@@ -314,7 +430,7 @@ impl TspuDevice {
                 && flags.is_syn_ack()
                 && segment.window() < min_window
             {
-                self.stats.synacks_filtered += 1;
+                self.metrics.inc(self.metrics.synacks_filtered);
                 return self.drop_packet();
             }
         }
@@ -332,7 +448,7 @@ impl TspuDevice {
                 let room = REASSEMBLY_CAP.saturating_sub(entry.rx_stream.len());
                 let take = payload_len.min(room);
                 entry.rx_stream.extend_from_slice(&segment.payload()[..take]);
-                self.stats.reassembly_bytes_buffered += take as u64;
+                self.metrics.registry.add(self.metrics.reassembly_bytes, take as u64);
             }
         }
 
@@ -344,7 +460,7 @@ impl TspuDevice {
         if dst_blocked && direction == Direction::LocalToRemote {
             let ip_failure = self.failure.ip;
             if !self.flow_exempt(now, &key, ip_failure) {
-                self.stats.ip_blocked_packets += 1;
+                self.metrics.inc(self.metrics.ip_blocked_packets);
                 // A *response* to a remotely initiated connection is
                 // rewritten to RST/ACK; a locally initiated attempt is
                 // silently dropped (§5.2). The device cannot always see
@@ -362,7 +478,7 @@ impl TspuDevice {
                             .map(|e| e.first_sender == Side::Remote)
                             .unwrap_or(false));
                 if is_response {
-                    self.stats.packets_rewritten += 1;
+                    self.metrics.inc(self.metrics.packets_rewritten);
                     return Verdict::Replace(self.inject_rst(packet));
                 }
                 return self.drop_packet();
@@ -472,10 +588,10 @@ impl TspuDevice {
         }
 
         match kind {
-            BlockKind::RstRewrite => self.stats.triggers_sni1 += 1,
-            BlockKind::DelayedDrop => self.stats.triggers_sni2 += 1,
-            BlockKind::Throttle => self.stats.triggers_sni3 += 1,
-            BlockKind::FullDrop => self.stats.triggers_sni4 += 1,
+            BlockKind::RstRewrite => self.metrics.inc(self.metrics.triggers_sni1),
+            BlockKind::DelayedDrop => self.metrics.inc(self.metrics.triggers_sni2),
+            BlockKind::Throttle => self.metrics.inc(self.metrics.triggers_sni3),
+            BlockKind::FullDrop => self.metrics.inc(self.metrics.triggers_sni4),
             BlockKind::QuicDrop => unreachable!("not an SNI verdict"),
         }
         let allowance = self
@@ -512,7 +628,7 @@ impl TspuDevice {
         match block.kind {
             BlockKind::RstRewrite => {
                 if direction == Direction::RemoteToLocal {
-                    self.stats.packets_rewritten += 1;
+                    self.metrics.inc(self.metrics.packets_rewritten);
                     Verdict::Replace(self.inject_rst(packet))
                 } else {
                     Verdict::Pass
@@ -535,6 +651,7 @@ impl TspuDevice {
                 if admitted {
                     Verdict::Pass
                 } else {
+                    self.metrics.inc(self.metrics.policer_rejects);
                     self.drop_packet()
                 }
             }
@@ -559,7 +676,7 @@ impl TspuDevice {
             self.conntrack.observe_udp(now, key, side);
             let ip_failure = self.failure.ip;
             if !self.flow_exempt(now, &key, ip_failure) {
-                self.stats.ip_blocked_packets += 1;
+                self.metrics.inc(self.metrics.ip_blocked_packets);
                 return self.drop_packet();
             }
         }
@@ -587,7 +704,7 @@ impl TspuDevice {
             self.conntrack.observe_udp(now, key, side);
             let quic_failure = self.failure.quic;
             if !self.flow_exempt(now, &key, quic_failure) {
-                self.stats.triggers_quic += 1;
+                self.metrics.inc(self.metrics.triggers_quic);
                 let throttle = self.policy.read().throttle;
                 if let Some(entry) = self.conntrack.get_mut(now, &key) {
                     entry.block = Some(BlockState::new(BlockKind::QuicDrop, now, 0, throttle));
@@ -609,7 +726,7 @@ impl TspuDevice {
             if self.failure.ip > 0.0 && self.rng.gen_bool(self.failure.ip) {
                 return Verdict::Pass;
             }
-            self.stats.ip_blocked_packets += 1;
+            self.metrics.inc(self.metrics.ip_blocked_packets);
             return self.drop_packet();
         }
         Verdict::Pass
@@ -672,7 +789,7 @@ fn extract_sni_scanning(payload: &[u8], scan: bool) -> Option<String> {
 impl Middlebox for TspuDevice {
     fn process(&mut self, now: Time, direction: Direction, packet: &mut Vec<u8>) -> Verdict {
         self.poll_faults(now);
-        self.stats.packets_seen += 1;
+        self.metrics.inc(self.metrics.packets_seen);
         let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else {
             return Verdict::Pass; // not IPv4: pass
         };
@@ -680,7 +797,7 @@ impl Middlebox for TspuDevice {
         // Fragments interact only with the fragment cache and the IP
         // blocklist — the TSPU neither reassembles nor inspects them.
         if view.is_fragment() {
-            self.stats.fragments_processed += 1;
+            self.metrics.inc(self.metrics.fragments_processed);
             let (src_blocked, dst_blocked) = {
                 let policy = self.policy.read();
                 (
@@ -689,7 +806,7 @@ impl Middlebox for TspuDevice {
                 )
             };
             if dst_blocked && direction == Direction::LocalToRemote {
-                self.stats.ip_blocked_packets += 1;
+                self.metrics.inc(self.metrics.ip_blocked_packets);
                 return self.drop_packet();
             }
             let _ = src_blocked; // inbound from blocked IPs passes (§5.2)
@@ -699,10 +816,11 @@ impl Middlebox for TspuDevice {
             // device). A verdict installed here acts on later packets;
             // a FullDrop/QUIC verdict eats this train too.
             if self.hardening.ip_reassembly && flushed.len() > 1 {
+                self.metrics.tracer.span("reassembly", "device", now.as_micros(), now.as_micros());
                 if let Ok(mut whole) = tspu_wire::frag::reassemble(&flushed) {
                     let inspected = self.process(now, direction, &mut whole);
                     if inspected == Verdict::Drop {
-                        self.stats.packets_dropped += 1;
+                        self.metrics.inc(self.metrics.packets_dropped);
                         return Verdict::Drop;
                     }
                     // If inspection rewrote/verdicted the packet, the
@@ -715,6 +833,10 @@ impl Middlebox for TspuDevice {
             return if flushed.is_empty() { Verdict::Drop } else { Verdict::Fanout(flushed) };
         }
 
+        // Verdict-evaluation span: virtual time does not advance inside
+        // the device, so this is an instant marking *when* the decision
+        // happened — identical across thread counts.
+        self.metrics.tracer.span("verdict", "device", now.as_micros(), now.as_micros());
         match view.protocol() {
             Protocol::Tcp => self.process_tcp(now, direction, packet),
             Protocol::Udp => self.process_udp(now, direction, packet),

@@ -80,6 +80,9 @@ pub struct FragCache {
     discarded: u64,
     /// Full trains flushed so far (stats).
     flushed: u64,
+    /// Trains evicted for capacity (a subset of `discarded`), surfaced as
+    /// `frag_cache.evictions` — the signal a fragment-spray attack moves.
+    evictions: u64,
 }
 
 impl Default for FragCache {
@@ -91,12 +94,17 @@ impl Default for FragCache {
 impl FragCache {
     /// Creates a cache with the given limits.
     pub fn new(config: FragConfig) -> FragCache {
-        FragCache { config, trains: FxHashMap::default(), discarded: 0, flushed: 0 }
+        FragCache { config, trains: FxHashMap::default(), discarded: 0, flushed: 0, evictions: 0 }
     }
 
     /// Trains discarded so far.
     pub fn discarded(&self) -> u64 {
         self.discarded
+    }
+
+    /// Trains evicted for capacity so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Trains flushed so far.
@@ -137,6 +145,7 @@ impl FragCache {
                 .expect("table is non-empty");
             self.trains.remove(&victim);
             self.discarded += 1;
+            self.evictions += 1;
         }
     }
 

@@ -15,6 +15,8 @@ pub struct TokenBucket {
     /// refill arithmetic on the microsecond clock.
     tokens_micro: u64,
     last_refill: Time,
+    /// Packets refused for lack of tokens, surfaced as `policer.rejects`.
+    rejects: u64,
 }
 
 impl TokenBucket {
@@ -25,7 +27,13 @@ impl TokenBucket {
             burst_bytes,
             tokens_micro: burst_bytes * 1_000_000,
             last_refill: now,
+            rejects: 0,
         }
+    }
+
+    /// Packets this bucket has refused so far.
+    pub fn rejects(&self) -> u64 {
+        self.rejects
     }
 
     /// The configured sustained rate.
@@ -49,6 +57,7 @@ impl TokenBucket {
             self.tokens_micro -= need;
             true
         } else {
+            self.rejects += 1;
             false
         }
     }

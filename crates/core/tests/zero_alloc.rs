@@ -3,22 +3,38 @@
 //! / `NormalizedHost::new` must not allocate for hostnames that fit the
 //! 256-byte stack buffer — i.e. every hostname a real SNI carries.
 //!
-//! The counter is process-global, so everything runs in ONE test function
-//! (the libtest harness would otherwise interleave allocations from
-//! concurrent tests into the measured windows).
+//! The counter is per-thread (the libtest harness main thread allocates
+//! at unpredictable times while a test runs, and would otherwise bleed
+//! into the measured windows), and everything runs in ONE test function
+//! so no sibling test shares this thread.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::net::Ipv4Addr;
 
 use tspu_core::policy::{DomainSet, NormalizedHost};
+use tspu_core::{Policy, PolicyHandle, TspuDevice};
+use tspu_netsim::{Direction, Middlebox, Time, Verdict};
+use tspu_wire::ipv4::{Ipv4Repr, Protocol};
+use tspu_wire::tcp::{TcpFlags, TcpRepr};
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    // const-initialized: reading it never allocates, so it is safe to
+    // touch from inside the allocator itself.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    // try_with: TLS is unavailable during thread teardown; allocations
+    // there belong to no measured window anyway.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        count_one();
         unsafe { System.alloc(layout) }
     }
 
@@ -27,7 +43,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        count_one();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -35,11 +51,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Runs `f` and returns how many heap allocations it performed.
+/// Runs `f` and returns how many heap allocations this thread performed.
 fn allocations_during<F: FnOnce() -> R, R>(f: F) -> usize {
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = ALLOCATIONS.with(|c| c.get());
     let result = f();
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    let after = ALLOCATIONS.with(|c| c.get());
     drop(result);
     after - before
 }
@@ -91,4 +107,36 @@ fn matcher_is_allocation_free_on_the_packet_path() {
     let oversized = format!("b{max_host}");
     let n = allocations_during(|| NormalizedHost::new(&oversized).as_bytes().len());
     assert!(n > 0, "counter failed to observe the spill-path allocation");
+
+    // The whole device hop path: a non-triggering TCP data packet through
+    // conntrack, IP blocking, trigger evaluation, and verdict application
+    // must not allocate in steady state — with the `obs` feature enabled
+    // (registry increments are indexed adds on preallocated storage) and
+    // with it disabled (recording compiles to no-ops) alike. This test
+    // runs in CI under both feature configurations.
+    let client = Ipv4Addr::new(10, 1, 1, 1);
+    let server = Ipv4Addr::new(203, 0, 113, 1);
+    let mut tcp = TcpRepr::new(40_000, 443, TcpFlags::PSH_ACK);
+    tcp.payload = vec![0xab; 1000];
+    let segment = tcp.build(client, server);
+    let packet = Ipv4Repr::new(client, server, Protocol::Tcp, segment.len()).build(&segment);
+
+    let mut dev = TspuDevice::reliable("zero-alloc", PolicyHandle::new(Policy::example()));
+    let mut buf = packet;
+    let mut t = 0u64;
+    // Warm up: first packet creates the flow entry and GC ring slot.
+    for _ in 0..16 {
+        t += 1;
+        let _ = dev.process(Time::from_micros(t), Direction::LocalToRemote, &mut buf);
+    }
+    let n = allocations_during(|| {
+        let mut passed = 0u32;
+        for _ in 0..1000 {
+            t += 1;
+            let verdict = dev.process(Time::from_micros(t), Direction::LocalToRemote, &mut buf);
+            passed += u32::from(verdict == Verdict::Pass);
+        }
+        passed
+    });
+    assert_eq!(n, 0, "device hop path allocated {n} times in 1000 packets");
 }

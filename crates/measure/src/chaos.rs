@@ -105,12 +105,19 @@ impl ChaosSweep {
     /// each cell is a pure function of (scenario, seed) and the pool
     /// reassembles results by index.
     pub fn run(&self, pool: &ScanPool) -> Vec<ChaosCell> {
+        self.run_reported(pool).0
+    }
+
+    /// [`ChaosSweep::run`] plus the pool's wall-clock [`PoolReport`] —
+    /// per-worker utilization and the cell-latency histogram for campaign
+    /// dashboards. The cells themselves are unchanged.
+    pub fn run_reported(&self, pool: &ScanPool) -> (Vec<ChaosCell>, crate::sweep::PoolReport) {
         let cells: Vec<(ChaosScenario, u64)> = self
             .scenarios
             .iter()
             .flat_map(|&scenario| self.seeds.iter().map(move |&seed| (scenario, seed)))
             .collect();
-        pool.run(&cells, |_, &(scenario, seed)| self.run_one(scenario, seed))
+        pool.run_reported(&cells, |_, &(scenario, seed)| self.run_one(scenario, seed))
     }
 
     /// Runs one cell: fresh lab, fault plan, reliability measurement,
@@ -131,7 +138,16 @@ impl ChaosSweep {
         let oracle_violations = if self.check_oracle {
             let spec = lab.oracle_spec();
             let captures = lab.net.take_captures();
-            let report = Oracle::new(spec).check(&captures);
+            let mut report = Oracle::new(spec).check(&captures);
+            // Name the counters that moved on the offending device: the
+            // lab is fresh per cell, so its totals ARE the cell's deltas.
+            let device_snapshots = lab.device_snapshots();
+            report.attach_device_counters(|id| {
+                device_snapshots
+                    .iter()
+                    .find(|(device, _)| *device == id)
+                    .map(|(_, snapshot)| snapshot.moved_counters())
+            });
             report.violations.iter().map(|v| v.to_string()).collect()
         } else {
             Vec::new()

@@ -43,4 +43,4 @@ pub mod traceroute;
 pub use behaviors::{classify_behavior, ObservedBehavior};
 pub use chaos::{ChaosCell, ChaosScenario, ChaosSweep};
 pub use harness::{PacketSummary, ProbeSide, ScriptResult, ScriptStep};
-pub use sweep::{ScanPool, SweepSpec};
+pub use sweep::{ObservedSweep, PoolReport, ScanPool, SweepSpec, WorkerReport};

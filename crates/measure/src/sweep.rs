@@ -11,8 +11,10 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use tspu_core::PolicyHandle;
+use tspu_obs::{Histogram, MetricValue, Snapshot};
 use tspu_registry::Universe;
 use tspu_topology::{policy_from_universe, VantageLab};
 
@@ -80,41 +82,109 @@ impl ScanPool {
         Init: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &T) -> R + Sync,
     {
+        self.run_reported_with(items, init, f).0
+    }
+
+    /// Like [`ScanPool::run`], but also returns the wall-clock
+    /// [`PoolReport`]: per-worker utilization, chunk-claim timing, and the
+    /// pooled scenario-latency histogram. The results vector is identical
+    /// to [`ScanPool::run`]'s; only the report is timing-dependent.
+    pub fn run_reported<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, PoolReport)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_reported_with(items, || (), |(), index, item| f(index, item))
+    }
+
+    /// The scheduler: guided self-scheduling over a shared cursor, per-
+    /// worker timing on the side. All timing flows into the returned
+    /// [`PoolReport`] and never into the result values, so results stay a
+    /// pure function of `(index, item)`.
+    pub fn run_reported_with<T, R, S, Init, F>(
+        &self,
+        items: &[T],
+        init: Init,
+        f: F,
+    ) -> (Vec<R>, PoolReport)
+    where
+        T: Sync,
+        R: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let sweep_start = Instant::now();
         if self.threads == 1 || items.len() <= 1 {
             let mut state = init();
-            return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
+            let mut worker = WorkerReport::default();
+            let mut latencies = Histogram::new();
+            let results = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let started = Instant::now();
+                    let result = f(&mut state, i, item);
+                    let elapsed = started.elapsed().as_nanos() as u64;
+                    worker.busy_ns += elapsed;
+                    worker.items += 1;
+                    latencies.record(elapsed);
+                    result
+                })
+                .collect();
+            worker.chunks = usize::from(!items.is_empty());
+            worker.alive_ns = sweep_start.elapsed().as_nanos() as u64;
+            let report = PoolReport {
+                wall_ns: worker.alive_ns,
+                workers: vec![worker],
+                scenario_wall_ns: latencies,
+            };
+            return (results, report);
         }
         let workers = self.threads.min(items.len());
         let total = items.len();
         let cursor = AtomicUsize::new(0);
-        let mut shards: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        type Shard<R> = (Vec<(usize, R)>, WorkerReport, Histogram);
+        let mut shards: Vec<Shard<R>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let born = Instant::now();
                         let mut state = init();
                         let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut worker = WorkerReport::default();
+                        let mut latencies = Histogram::new();
                         loop {
                             // Guided self-scheduling: claim a quarter of
                             // an even share of what's left, so early
                             // chunks are big and the tail rebalances.
+                            let claim_started = Instant::now();
                             let seen = cursor.load(Ordering::Relaxed);
                             if seen >= total {
                                 break;
                             }
                             let chunk = ((total - seen) / (workers * 4)).clamp(1, MAX_CHUNK);
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            worker.claim_ns += claim_started.elapsed().as_nanos() as u64;
                             if start >= total {
                                 break;
                             }
+                            worker.chunks += 1;
                             let end = (start + chunk).min(total);
                             for (index, item) in
                                 items.iter().enumerate().take(end).skip(start)
                             {
+                                let started = Instant::now();
                                 out.push((index, f(&mut state, index, item)));
+                                let elapsed = started.elapsed().as_nanos() as u64;
+                                worker.busy_ns += elapsed;
+                                worker.items += 1;
+                                latencies.record(elapsed);
                             }
                         }
-                        out
+                        worker.alive_ns = born.elapsed().as_nanos() as u64;
+                        (out, worker, latencies)
                     })
                 })
                 .collect();
@@ -122,9 +192,103 @@ impl ScanPool {
                 shards.push(handle.join().expect("sweep worker panicked"));
             }
         });
-        let mut indexed: Vec<(usize, R)> = shards.into_iter().flatten().collect();
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(total);
+        let mut worker_reports = Vec::with_capacity(workers);
+        let mut latencies = Histogram::new();
+        for (shard, worker, shard_latencies) in shards {
+            indexed.extend(shard);
+            worker_reports.push(worker);
+            latencies.merge(&shard_latencies);
+        }
         indexed.sort_by_key(|&(index, _)| index);
-        indexed.into_iter().map(|(_, result)| result).collect()
+        let report = PoolReport {
+            wall_ns: sweep_start.elapsed().as_nanos() as u64,
+            workers: worker_reports,
+            scenario_wall_ns: latencies,
+        };
+        (indexed.into_iter().map(|(_, result)| result).collect(), report)
+    }
+}
+
+/// What one worker did during a pool run. All wall-clock.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerReport {
+    /// Scenarios this worker executed.
+    pub items: usize,
+    /// Chunks it claimed from the shared cursor.
+    pub chunks: usize,
+    /// Nanoseconds inside scenario closures.
+    pub busy_ns: u64,
+    /// Nanoseconds spent claiming chunks (cursor contention).
+    pub claim_ns: u64,
+    /// Nanoseconds from worker start to worker exit.
+    pub alive_ns: u64,
+}
+
+impl WorkerReport {
+    /// Fraction of the worker's lifetime spent doing scenario work.
+    pub fn utilization(&self) -> f64 {
+        if self.alive_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / self.alive_ns as f64
+    }
+}
+
+/// Wall-clock execution report for one pool run.
+///
+/// Wall-clock numbers vary run to run and thread count to thread count,
+/// so they live here and are deliberately NOT part of [`Snapshot`] —
+/// snapshots stay byte-identical across `TSPU_THREADS`; reports do not.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Nanoseconds from sweep start to reassembled results.
+    pub wall_ns: u64,
+    /// One entry per worker, in spawn order.
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock latency of every scenario, pooled across workers.
+    pub scenario_wall_ns: Histogram,
+}
+
+impl PoolReport {
+    /// Total scenarios executed across all workers.
+    pub fn total_items(&self) -> usize {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// A human-readable multi-line summary (for example binaries).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pool: {} scenarios on {} workers in {:.1} ms",
+            self.total_items(),
+            self.workers.len(),
+            self.wall_ns as f64 / 1e6,
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  worker {i}: {} items in {} chunks, {:.1} ms busy ({:.0}% util), {:.2} ms claiming",
+                w.items,
+                w.chunks,
+                w.busy_ns as f64 / 1e6,
+                w.utilization() * 100.0,
+                w.claim_ns as f64 / 1e6,
+            );
+        }
+        if let (Some(min), Some(max)) = (self.scenario_wall_ns.min(), self.scenario_wall_ns.max()) {
+            let _ = writeln!(
+                out,
+                "  scenario latency: min {:.1} us, p50 {:.1} us, p99 {:.1} us, max {:.1} us",
+                min as f64 / 1e3,
+                self.scenario_wall_ns.quantile_lower(0.50) as f64 / 1e3,
+                self.scenario_wall_ns.quantile_lower(0.99) as f64 / 1e3,
+                max as f64 / 1e3,
+            );
+        }
+        out
     }
 }
 
@@ -176,6 +340,61 @@ impl SweepSpec {
             test_domain(&mut lab, domain, scenario_port(index))
         })
     }
+
+    /// [`SweepSpec::run`] with observability: tracing enabled on every
+    /// scenario lab, each scenario's metrics and spans captured, stamped
+    /// with the scenario index, and merged into one campaign [`Snapshot`]
+    /// alongside a `sweep.scenario_us` histogram of *virtual* scenario
+    /// durations. The snapshot is a pure function of the spec — byte-
+    /// identical at every thread count — while the wall-clock side of the
+    /// run lands in the separate [`PoolReport`].
+    pub fn run_observed(&self, pool: &ScanPool) -> ObservedSweep {
+        self.run_observed_sampled(pool, 1)
+    }
+
+    /// [`SweepSpec::run_observed`] with runtime trace sampling: scenario
+    /// indices divisible by `trace_every` record spans, the rest record
+    /// metrics only (`trace_every == 0` disables tracing entirely). A
+    /// 100k-scenario campaign traced at `trace_every = 1000` keeps ~0.1%
+    /// of its spans — enough to see the shape without a gigabyte trace.
+    /// Sampling is a pure function of the scenario index, so it cannot
+    /// break cross-thread-count determinism.
+    pub fn run_observed_sampled(&self, pool: &ScanPool, trace_every: usize) -> ObservedSweep {
+        let (scenarios, report) = pool.run_reported(&self.domains, |index, domain| {
+            let mut lab = VantageLab::build_scan(self.policy.clone());
+            lab.set_tracing(trace_every != 0 && index % trace_every == 0);
+            let verdict = test_domain(&mut lab, domain, scenario_port(index));
+            let virtual_us = lab.net.now().as_micros();
+            let snapshot = lab.take_obs().with_scenario(index as u32);
+            (verdict, virtual_us, snapshot)
+        });
+        let mut verdicts = Vec::with_capacity(scenarios.len());
+        let mut snapshot = Snapshot::new();
+        let mut scenario_us = Histogram::new();
+        // Reassembled scenario order: merging here (not in the workers)
+        // keeps the merge order index-driven, though merge itself is
+        // order-insensitive anyway.
+        for (verdict, virtual_us, scenario_snapshot) in scenarios {
+            verdicts.push(verdict);
+            scenario_us.record(virtual_us);
+            snapshot.merge(&scenario_snapshot);
+        }
+        if tspu_obs::ENABLED {
+            snapshot.insert("sweep.scenarios", MetricValue::Counter(verdicts.len() as u64));
+            snapshot.insert("sweep.scenario_us", MetricValue::Hist(scenario_us));
+        }
+        ObservedSweep { verdicts, snapshot, report }
+    }
+}
+
+/// What [`SweepSpec::run_observed`] returns: the verdicts (identical to
+/// [`SweepSpec::run`]), the deterministic campaign [`Snapshot`], and the
+/// nondeterministic wall-clock [`PoolReport`].
+#[derive(Debug, Clone)]
+pub struct ObservedSweep {
+    pub verdicts: Vec<DomainVerdict>,
+    pub snapshot: Snapshot,
+    pub report: PoolReport,
 }
 
 /// Source port for scenario `index`, a pure function of the index so the

@@ -1,0 +1,60 @@
+//! The observability determinism guarantee, end to end: an observed
+//! registry campaign produces a byte-identical [`Snapshot`] — metrics,
+//! JSON rendering, and Chrome trace — no matter how many worker threads
+//! execute it. Spans carry *virtual* timestamps and scenario indices, so
+//! worker assignment and wall-clock interleaving cannot leak in.
+
+use tspu_measure::{ScanPool, SweepSpec};
+use tspu_registry::Universe;
+
+fn campaign_spec() -> SweepSpec {
+    let universe = Universe::generate(3);
+    let mut domains: Vec<String> = ["twitter.com", "meduza.io", "play.google.com", "nordvpn.com", "wikipedia.org"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    // Enough unlisted scenarios that 8 workers genuinely shard the sweep.
+    for i in 0..59 {
+        domains.push(format!("site-{i}.example"));
+    }
+    SweepSpec::from_universe(&universe, domains)
+}
+
+#[test]
+fn observed_snapshot_is_byte_identical_across_thread_counts() {
+    let spec = campaign_spec();
+    let one = spec.run_observed(&ScanPool::new(1));
+    let eight = spec.run_observed(&ScanPool::new(8));
+
+    assert_eq!(one.verdicts, eight.verdicts, "verdicts diverge across thread counts");
+    assert_eq!(
+        one.snapshot.to_json(),
+        eight.snapshot.to_json(),
+        "metric snapshot diverges across thread counts"
+    );
+    assert_eq!(
+        one.snapshot.chrome_trace_string(),
+        eight.snapshot.chrome_trace_string(),
+        "chrome trace diverges across thread counts"
+    );
+}
+
+#[test]
+fn observed_run_matches_plain_run_and_actually_observes() {
+    let spec = campaign_spec();
+    let observed = spec.run_observed(&ScanPool::new(4));
+    assert_eq!(observed.verdicts, spec.run(&ScanPool::new(4)));
+    assert_eq!(observed.report.total_items(), spec.len());
+
+    if tspu_obs::ENABLED {
+        assert_eq!(observed.snapshot.counter("sweep.scenarios"), spec.len() as u64);
+        let hist = observed.snapshot.histogram("sweep.scenario_us").expect("scenario_us recorded");
+        assert_eq!(hist.count(), spec.len() as u64);
+        assert!(!observed.snapshot.spans().is_empty(), "tracing was on; spans expected");
+        // Every scenario contributed device metrics under its own scope.
+        assert!(observed.snapshot.counter("device.ertelecom-sym.packets_seen") > 0);
+    } else {
+        assert!(observed.snapshot.metrics().is_empty());
+        assert!(observed.snapshot.spans().is_empty());
+    }
+}

@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use tspu_obs::{CounterId, Registry, Snapshot};
 
 use crate::middlebox::{Direction, Middlebox, Verdict};
 use crate::time::Time;
@@ -67,6 +68,63 @@ impl LinkStats {
     /// Every packet this link consumed rather than forwarded.
     pub fn total_dropped(&self) -> u64 {
         self.dropped + self.clamped + self.flapped
+    }
+}
+
+/// The storage behind [`LinkStats`]: a `tspu_obs` registry scope with one
+/// counter per fault dimension. [`LinkStats`] is reconstructed on demand,
+/// so the old accessors keep working while the same numbers surface in
+/// system-wide [`Snapshot`]s under `link.<label>.*`. In an obs-disabled
+/// build this is zero-sized and every count is a no-op.
+struct LinkMetrics {
+    registry: Registry,
+    forwarded: CounterId,
+    dropped: CounterId,
+    injected: CounterId,
+    duplicated: CounterId,
+    reordered: CounterId,
+    delayed: CounterId,
+    clamped: CounterId,
+    flapped: CounterId,
+}
+
+impl LinkMetrics {
+    fn new(label: &str) -> LinkMetrics {
+        let mut registry = Registry::scoped(format!("link.{label}"));
+        LinkMetrics {
+            forwarded: registry.counter("forwarded"),
+            dropped: registry.counter("dropped"),
+            injected: registry.counter("injected"),
+            duplicated: registry.counter("duplicated"),
+            reordered: registry.counter("reordered"),
+            delayed: registry.counter("delayed"),
+            clamped: registry.counter("clamped"),
+            flapped: registry.counter("flapped"),
+            registry,
+        }
+    }
+
+    #[inline]
+    fn inc(&mut self, id: CounterId) {
+        self.registry.inc(id);
+    }
+
+    #[inline]
+    fn add(&mut self, id: CounterId, by: u64) {
+        self.registry.add(id, by);
+    }
+
+    fn stats(&self) -> LinkStats {
+        LinkStats {
+            forwarded: self.registry.counter_value(self.forwarded),
+            dropped: self.registry.counter_value(self.dropped),
+            injected: self.registry.counter_value(self.injected),
+            duplicated: self.registry.counter_value(self.duplicated),
+            reordered: self.registry.counter_value(self.reordered),
+            delayed: self.registry.counter_value(self.delayed),
+            clamped: self.registry.counter_value(self.clamped),
+            flapped: self.registry.counter_value(self.flapped),
+        }
     }
 }
 
@@ -212,12 +270,19 @@ pub struct ChaosLink {
     rng: SmallRng,
     faults: LinkFaults,
     held: Vec<HeldPacket>,
-    stats: LinkStats,
+    metrics: LinkMetrics,
 }
 
 impl ChaosLink {
-    /// Creates a chaos link from a fault plan and a seed.
+    /// Creates a chaos link from a fault plan and a seed. Its metrics
+    /// register under `link.chaos.*`; use [`ChaosLink::labeled`] to scope
+    /// them to a named link.
     pub fn new(faults: LinkFaults, seed: u64) -> ChaosLink {
+        ChaosLink::labeled(faults, seed, "chaos")
+    }
+
+    /// Creates a chaos link whose metrics register under `link.<label>.*`.
+    pub fn labeled(faults: LinkFaults, seed: u64, label: &str) -> ChaosLink {
         assert!((0.0..=1.0).contains(&faults.loss), "loss out of [0,1]");
         assert!((0.0..=1.0).contains(&faults.duplicate), "duplicate out of [0,1]");
         assert!((0.0..=1.0).contains(&faults.reorder), "reorder out of [0,1]");
@@ -225,13 +290,20 @@ impl ChaosLink {
             rng: SmallRng::seed_from_u64(seed),
             faults,
             held: Vec::new(),
-            stats: LinkStats::default(),
+            metrics: LinkMetrics::new(label),
         }
     }
 
-    /// The fault counters so far.
+    /// The fault counters so far — a view over the obs registry (all zero
+    /// in an obs-disabled build).
     pub fn stats(&self) -> LinkStats {
-        self.stats
+        self.metrics.stats()
+    }
+
+    /// This link's metrics as a [`Snapshot`] under its `link.<label>.*`
+    /// scope.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.metrics.registry.snapshot()
     }
 
     /// The plan this link runs.
@@ -270,23 +342,23 @@ impl Middlebox for ChaosLink {
         // Zero-rate fast path: no RNG draw, no hold-queue touch — the
         // no-op plan is *exactly* the absent link.
         if self.faults.is_noop() {
-            self.stats.forwarded += 1;
+            self.metrics.inc(self.metrics.forwarded);
             return Verdict::Pass;
         }
 
         if let Some(flap) = self.faults.flap {
             if flap.is_down(now) {
-                self.stats.flapped += 1;
+                self.metrics.inc(self.metrics.flapped);
                 return Verdict::Drop;
             }
         }
         if self.faults.loss > 0.0 && self.rng.gen_bool(self.faults.loss) {
-            self.stats.dropped += 1;
+            self.metrics.inc(self.metrics.dropped);
             return Verdict::Drop;
         }
         if let Some(mtu) = self.faults.mtu {
             if packet.len() > mtu {
-                self.stats.clamped += 1;
+                self.metrics.inc(self.metrics.clamped);
                 return Verdict::Drop;
             }
         }
@@ -302,28 +374,28 @@ impl Middlebox for ChaosLink {
             // slot still go out now.
             let displacement = self.rng.gen_range(1..=self.faults.max_displacement);
             let released = self.take_released();
-            self.stats.reordered += 1;
+            self.metrics.inc(self.metrics.reordered);
             self.held.push(HeldPacket { remaining: displacement, packet: std::mem::take(packet) });
             if released.is_empty() {
                 return Verdict::Drop;
             }
-            self.stats.forwarded += released.len() as u64;
+            self.metrics.add(self.metrics.forwarded, released.len() as u64);
             return Verdict::Fanout(released);
         }
 
         let released = self.take_released();
         if duplicate {
-            self.stats.duplicated += 1;
-            self.stats.injected += 1;
+            self.metrics.inc(self.metrics.duplicated);
+            self.metrics.inc(self.metrics.injected);
         }
         if released.is_empty() && !duplicate {
             // Common case: the packet continues alone, possibly jittered.
-            self.stats.forwarded += 1;
+            self.metrics.inc(self.metrics.forwarded);
             if self.faults.jitter > Duration::ZERO {
                 let jitter_us = self.faults.jitter.as_micros() as u64;
                 let extra = self.rng.gen_range(0..=jitter_us);
                 if extra > 0 {
-                    self.stats.delayed += 1;
+                    self.metrics.inc(self.metrics.delayed);
                     return Verdict::Delay(Duration::from_micros(extra));
                 }
             }
@@ -337,7 +409,7 @@ impl Middlebox for ChaosLink {
         if duplicate {
             out.push(packet.clone());
         }
-        self.stats.forwarded += out.len() as u64;
+        self.metrics.add(self.metrics.forwarded, out.len() as u64);
         Verdict::Fanout(out)
     }
 
@@ -355,39 +427,40 @@ impl Middlebox for ChaosLink {
 pub struct LossyLink {
     rng: SmallRng,
     loss: f64,
-    stats: LinkStats,
+    metrics: LinkMetrics,
 }
 
 impl LossyLink {
     /// Creates a lossy link with `loss` drop probability in `[0, 1]`.
+    /// Metrics register under `link.lossy.*`.
     pub fn new(loss: f64, seed: u64) -> LossyLink {
         assert!((0.0..=1.0).contains(&loss));
-        LossyLink { rng: SmallRng::seed_from_u64(seed), loss, stats: LinkStats::default() }
+        LossyLink { rng: SmallRng::seed_from_u64(seed), loss, metrics: LinkMetrics::new("lossy") }
     }
 
-    /// The uniform fault counters.
+    /// The uniform fault counters — a view over the obs registry.
     pub fn stats(&self) -> LinkStats {
-        self.stats
+        self.metrics.stats()
     }
 
     /// Packets dropped so far.
     pub fn dropped(&self) -> u64 {
-        self.stats.dropped
+        self.metrics.registry.counter_value(self.metrics.dropped)
     }
 
     /// Packets forwarded so far.
     pub fn forwarded(&self) -> u64 {
-        self.stats.forwarded
+        self.metrics.registry.counter_value(self.metrics.forwarded)
     }
 }
 
 impl Middlebox for LossyLink {
     fn process(&mut self, _now: Time, _direction: Direction, _packet: &mut Vec<u8>) -> Verdict {
         if self.rng.gen_bool(self.loss) {
-            self.stats.dropped += 1;
+            self.metrics.inc(self.metrics.dropped);
             Verdict::Drop
         } else {
-            self.stats.forwarded += 1;
+            self.metrics.inc(self.metrics.forwarded);
             Verdict::Pass
         }
     }

@@ -7,6 +7,7 @@ use std::marker::PhantomData;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
+use tspu_obs::{CounterId, HistogramId, Registry, Snapshot, Tracer};
 use tspu_wire::fasthash::{FxHashMap, FxHasher};
 use tspu_wire::icmpv4::Icmpv4Repr;
 use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
@@ -163,12 +164,23 @@ pub struct Network {
     hop_latency: Duration,
     capture_enabled: bool,
     captures: Vec<CaptureRecord>,
-    events_processed: u64,
+    /// Engine metrics under the `netsim.` scope. In an obs-disabled build
+    /// this (and the tracer) is zero-sized and every recording call below
+    /// compiles away.
+    registry: Registry,
+    tracer: Tracer,
+    c_events: CounterId,
+    c_captures: CounterId,
+    h_queue_depth: HistogramId,
 }
 
 impl Network {
     /// Creates a network with the given per-hop latency.
     pub fn new(hop_latency: Duration) -> Network {
+        let mut registry = Registry::scoped("netsim");
+        let c_events = registry.counter("events_processed");
+        let c_captures = registry.counter("captures_recorded");
+        let h_queue_depth = registry.histogram("queue_depth");
         Network {
             now: Time::ZERO,
             seq: 0,
@@ -182,7 +194,11 @@ impl Network {
             hop_latency,
             capture_enabled: true,
             captures: Vec::new(),
-            events_processed: 0,
+            registry,
+            tracer: Tracer::new(),
+            c_events,
+            c_captures,
+            h_queue_depth,
         }
     }
 
@@ -196,9 +212,34 @@ impl Network {
         self.now
     }
 
-    /// Total events processed so far (for throughput benches).
+    /// Total events processed so far (for throughput benches). A view
+    /// over the `netsim.events_processed` registry counter; reads 0 in an
+    /// obs-disabled build.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.registry.counter_value(self.c_events)
+    }
+
+    /// Enables or disables virtual-time span tracing (`hop` / `deliver`
+    /// spans). Off by default so the event loop pays only a branch.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// Captures the engine's metrics (no spans) as a [`Snapshot`].
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Captures the engine's metrics *and* drains recorded spans.
+    pub fn take_obs(&mut self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        self.tracer.drain_into(&mut snap);
+        snap
+    }
+
+    /// The engine's registry, for attaching extra metrics in tests.
+    pub fn obs_registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
     }
 
     /// Enables or disables packet capture. Large scans disable it to bound
@@ -403,16 +444,34 @@ impl Network {
 
     fn capture(&mut self, point: TracePoint, bytes: &[u8]) {
         if self.capture_enabled {
+            self.registry.inc(self.c_captures);
             self.captures.push(CaptureRecord { time: self.now, point, bytes: bytes.to_vec() });
         }
     }
 
     fn dispatch(&mut self, kind: EventKind) {
-        self.events_processed += 1;
+        self.registry.inc(self.c_events);
+        // Queue depth is sampled 1-in-64 on the event count: the depth
+        // statistic keeps its shape while the histogram record (a
+        // bucket-index computation) leaves the per-event hot path.
+        // Event-count sampling is deterministic — no thread-count leak.
+        if self.registry.counter_value(self.c_events) & 63 == 0 {
+            self.registry.record(self.h_queue_depth, self.queue.len() as u64);
+        }
+        // Spans use virtual time, which does not advance inside a handler,
+        // so hop/deliver spans are instants marking where simulated time
+        // was spent — byte-identical across thread counts by construction.
+        let now_us = self.now.as_micros();
         match kind {
             EventKind::SendFrom { host, packet } => self.do_send(host, packet),
-            EventKind::Hop { src, dst, step, packet } => self.do_hop(src, dst, step, packet),
-            EventKind::Deliver { dst, packet } => self.do_deliver(dst, packet),
+            EventKind::Hop { src, dst, step, packet } => {
+                self.tracer.span("hop", "netsim", now_us, now_us);
+                self.do_hop(src, dst, step, packet);
+            }
+            EventKind::Deliver { dst, packet } => {
+                self.tracer.span("deliver", "netsim", now_us, now_us);
+                self.do_deliver(dst, packet);
+            }
             EventKind::Timer { host } => self.do_timer(host),
         }
     }

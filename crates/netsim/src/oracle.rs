@@ -210,6 +210,12 @@ pub struct ViolationReport {
     pub packet: Vec<u8>,
     /// The full device call: ingress record followed by its egresses.
     pub trace: Vec<CaptureRecord>,
+    /// The device's metric counters that moved over the audited run
+    /// (`(name, delta)` pairs), attached via
+    /// [`OracleReport::attach_device_counters`] so a violation names both
+    /// the packet *and* the counter behind the decision. Empty until
+    /// attached (or in an obs-disabled build).
+    pub counters_moved: Vec<(String, u64)>,
 }
 
 impl fmt::Display for ViolationReport {
@@ -227,6 +233,13 @@ impl fmt::Display for ViolationReport {
                 _ => "  other",
             };
             writeln!(f, "  {direction} {} {}", record.time, summarize_packet(&record.bytes))?;
+        }
+        if !self.counters_moved.is_empty() {
+            write!(f, "  counters moved:")?;
+            for (name, delta) in &self.counters_moved {
+                write!(f, " {name}=+{delta}")?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -254,6 +267,21 @@ impl OracleReport {
     /// Panics with the full violation listing unless the capture is clean.
     pub fn assert_clean(&self) {
         assert!(self.is_clean(), "oracle found {} violation(s):\n{self}", self.violations.len());
+    }
+
+    /// Attaches per-device metric movement to every violation: `lookup`
+    /// maps a device id to its `(name, delta)` counter list (typically a
+    /// `tspu_obs` snapshot delta over the audited run). Violations whose
+    /// device has no entry are left untouched.
+    pub fn attach_device_counters<F>(&mut self, mut lookup: F)
+    where
+        F: FnMut(MiddleboxId) -> Option<Vec<(String, u64)>>,
+    {
+        for violation in &mut self.violations {
+            if let Some(counters) = lookup(violation.device) {
+                violation.counters_moved = counters;
+            }
+        }
     }
 }
 
@@ -708,6 +736,7 @@ impl Oracle {
             time: call.time,
             packet: packet.to_vec(),
             trace: captures[call.ingress_idx..call.end_idx].to_vec(),
+            counters_moved: Vec::new(),
         });
     }
 }

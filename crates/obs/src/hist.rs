@@ -1,0 +1,180 @@
+//! Log-linear histogram: 4 linear sub-buckets per power-of-two octave,
+//! covering the full `u64` range in 252 fixed buckets.
+//!
+//! The layout is the HdrHistogram idea stripped to what a deterministic
+//! simulator needs: recording is a handful of integer ops (no floats, no
+//! allocation), bucket lower bounds are *exact* at powers of two, and
+//! merging is elementwise addition — associative and commutative, so a
+//! sweep can accumulate per-worker histograms in any order and still
+//! produce byte-identical snapshots at every thread count.
+
+/// Bits of linear resolution inside each octave (4 sub-buckets).
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets: values `0..4` map to themselves, then 62 octaves × 4;
+/// `u64::MAX` lands in the last bucket, index 251.
+pub const BUCKETS: usize = 252;
+
+/// The bucket index for `value`. Total and branch-free after the small
+/// `value < 4` case; `u64::MAX` lands in bucket 251, the last one.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = msb - SUB_BITS + 1;
+    let sub = (value >> (msb - SUB_BITS)) & (SUB - 1);
+    (octave as u64 * SUB + sub) as usize
+}
+
+/// The smallest value that maps to bucket `index` — exact at powers of
+/// two: `bucket_lower(bucket_index(1 << k)) == 1 << k` for every `k`.
+pub fn bucket_lower(index: usize) -> u64 {
+    if index < SUB as usize {
+        return index as u64;
+    }
+    let octave = (index as u64) / SUB;
+    let sub = (index as u64) % SUB;
+    (SUB + sub) << (octave - 1)
+}
+
+/// A mergeable log-linear histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    /// `u128` so even `u64::MAX` samples cannot overflow the running sum.
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram { buckets: Box::new([0; BUCKETS]), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample. No allocation, no saturation surprises.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The lower bound of the bucket holding the q-quantile (`0.0..=1.0`)
+    /// of recorded samples — a bucket-resolution percentile.
+    pub fn quantile_lower(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower(index);
+            }
+        }
+        bucket_lower(BUCKETS - 1)
+    }
+
+    /// Elementwise merge — associative and commutative, so accumulation
+    /// order (worker assignment, chunk order) cannot affect the result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lower(i), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_map_to_themselves() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut prev = 0;
+        for v in (0..64).flat_map(|k| [1u64 << k, (1u64 << k) + 1, (1u64 << k) - 1]) {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "value {v} -> bucket {i}");
+            let _ = prev;
+            prev = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let median = h.quantile_lower(0.5);
+        assert!((256..=512).contains(&median), "median bucket lower {median}");
+        assert!(h.quantile_lower(1.0) <= 1000);
+        assert!(h.quantile_lower(0.0) >= 1);
+    }
+}

@@ -1,0 +1,422 @@
+//! The metrics registry and span tracer — the *hot-path* half of the
+//! crate, compiled in two shapes:
+//!
+//! * with the `obs` feature (default): real storage behind `u32` metric
+//!   ids. Registration allocates once (name interning); every increment
+//!   afterwards is an indexed add with no hashing and no allocation.
+//! * without the feature: [`Registry`] and [`Tracer`] are zero-sized and
+//!   every method is an empty `#[inline]` body, so call sites compile to
+//!   nothing and the packet path stays bit-for-bit the unobserved one.
+//!
+//! Both shapes expose the *same* API, so instrumented code never needs
+//! `cfg` of its own.
+
+use crate::snapshot::Snapshot;
+#[cfg(feature = "obs")]
+use crate::snapshot::{MetricValue, SpanRecord};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(#[cfg(feature = "obs")] u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(#[cfg(feature = "obs")] u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(#[cfg(feature = "obs")] u32);
+
+// ---------------------------------------------------------------------------
+// Enabled build: real storage.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use super::*;
+    use crate::hist::Histogram;
+
+    /// A single-owner metrics registry. Each simulation component owns
+    /// one (or a scope of one); sweeps merge per-scenario snapshots.
+    #[derive(Debug, Default)]
+    pub struct Registry {
+        scope: String,
+        names: Vec<String>,
+        counters: Vec<(u32, u64)>,
+        gauges: Vec<(u32, i64)>,
+        histograms: Vec<(u32, Histogram)>,
+    }
+
+    impl Registry {
+        pub fn new() -> Registry {
+            Registry::default()
+        }
+
+        /// A registry whose metric names are prefixed `scope.`, e.g.
+        /// `device.rostelecom-sym`.
+        pub fn scoped(scope: impl Into<String>) -> Registry {
+            Registry { scope: scope.into(), ..Registry::default() }
+        }
+
+        /// Whether recording actually happens in this build.
+        #[inline]
+        pub const fn enabled(&self) -> bool {
+            true
+        }
+
+        fn intern(&mut self, name: &str) -> u32 {
+            let full = if self.scope.is_empty() {
+                name.to_string()
+            } else {
+                let mut s = String::with_capacity(self.scope.len() + 1 + name.len());
+                s.push_str(&self.scope);
+                s.push('.');
+                s.push_str(name);
+                s
+            };
+            if let Some(at) = self.names.iter().position(|n| *n == full) {
+                return at as u32;
+            }
+            self.names.push(full);
+            (self.names.len() - 1) as u32
+        }
+
+        /// Registers (or re-resolves) a counter under `name`.
+        pub fn counter(&mut self, name: &str) -> CounterId {
+            let id = self.intern(name);
+            if !self.counters.iter().any(|(n, _)| *n == id) {
+                self.counters.push((id, 0));
+            }
+            let slot = self.counters.iter().position(|(n, _)| *n == id).unwrap();
+            CounterId(slot as u32)
+        }
+
+        /// Registers (or re-resolves) a gauge under `name`.
+        pub fn gauge(&mut self, name: &str) -> GaugeId {
+            let id = self.intern(name);
+            if !self.gauges.iter().any(|(n, _)| *n == id) {
+                self.gauges.push((id, 0));
+            }
+            let slot = self.gauges.iter().position(|(n, _)| *n == id).unwrap();
+            GaugeId(slot as u32)
+        }
+
+        /// Registers (or re-resolves) a histogram under `name`.
+        pub fn histogram(&mut self, name: &str) -> HistogramId {
+            let id = self.intern(name);
+            if !self.histograms.iter().any(|(n, _)| *n == id) {
+                self.histograms.push((id, Histogram::new()));
+            }
+            let slot = self.histograms.iter().position(|(n, _)| *n == id).unwrap();
+            HistogramId(slot as u32)
+        }
+
+        #[inline]
+        pub fn inc(&mut self, id: CounterId) {
+            self.counters[id.0 as usize].1 += 1;
+        }
+
+        #[inline]
+        pub fn add(&mut self, id: CounterId, by: u64) {
+            self.counters[id.0 as usize].1 += by;
+        }
+
+        /// Current value of a counter (test/report convenience).
+        #[inline]
+        pub fn counter_value(&self, id: CounterId) -> u64 {
+            self.counters[id.0 as usize].1
+        }
+
+        #[inline]
+        pub fn set(&mut self, id: GaugeId, value: i64) {
+            self.gauges[id.0 as usize].1 = value;
+        }
+
+        /// Sets the gauge to `max(current, value)` — high-water marks.
+        #[inline]
+        pub fn set_max(&mut self, id: GaugeId, value: i64) {
+            let g = &mut self.gauges[id.0 as usize].1;
+            *g = (*g).max(value);
+        }
+
+        #[inline]
+        pub fn record(&mut self, id: HistogramId, value: u64) {
+            self.histograms[id.0 as usize].1.record(value);
+        }
+
+        /// Captures every metric into a sorted, sparse [`Snapshot`].
+        pub fn snapshot(&self) -> Snapshot {
+            let mut snap = Snapshot::new();
+            for (name, v) in &self.counters {
+                snap.insert(self.names[*name as usize].clone(), MetricValue::Counter(*v));
+            }
+            for (name, v) in &self.gauges {
+                if *v != 0 {
+                    snap.insert(self.names[*name as usize].clone(), MetricValue::Gauge(*v));
+                }
+            }
+            for (name, h) in &self.histograms {
+                snap.insert(self.names[*name as usize].clone(), MetricValue::Hist(h.clone()));
+            }
+            snap
+        }
+
+        /// Resets all values (ids stay valid; names stay interned).
+        pub fn reset(&mut self) {
+            for (_, v) in &mut self.counters {
+                *v = 0;
+            }
+            for (_, v) in &mut self.gauges {
+                *v = 0;
+            }
+            for (_, h) in &mut self.histograms {
+                *h = Histogram::new();
+            }
+        }
+    }
+
+    /// Virtual-time span recorder. Disabled (sampling off) by default:
+    /// `span()` on a disabled tracer is a branch and nothing else, and
+    /// the ring buffer is only allocated on first enabled record.
+    #[derive(Debug, Default)]
+    pub struct Tracer {
+        enabled: bool,
+        seq: u32,
+        ring: Vec<SpanRecord>,
+        cap: usize,
+    }
+
+    /// Default ring capacity per tracer: enough for a full scenario's
+    /// hops at per-packet granularity without unbounded growth.
+    const DEFAULT_RING: usize = 16 * 1024;
+
+    impl Tracer {
+        pub fn new() -> Tracer {
+            Tracer { enabled: false, seq: 0, ring: Vec::new(), cap: DEFAULT_RING }
+        }
+
+        /// A tracer with a custom ring capacity (oldest spans overwrite).
+        pub fn with_capacity(cap: usize) -> Tracer {
+            Tracer { cap: cap.max(1), ..Tracer::new() }
+        }
+
+        /// Runtime sampling switch; recording is a no-op while disabled.
+        pub fn set_enabled(&mut self, enabled: bool) {
+            self.enabled = enabled;
+        }
+
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            self.enabled
+        }
+
+        /// Records a completed span `[begin_us, end_us]` in virtual time.
+        #[inline]
+        pub fn span(&mut self, name: &'static str, cat: &'static str, begin_us: u64, end_us: u64) {
+            if !self.enabled {
+                return;
+            }
+            let rec = SpanRecord {
+                ts_us: begin_us,
+                dur_us: end_us.saturating_sub(begin_us),
+                name,
+                cat,
+                scenario: 0,
+                seq: self.seq,
+            };
+            self.seq = self.seq.wrapping_add(1);
+            if self.ring.len() < self.cap {
+                if self.ring.capacity() == 0 {
+                    self.ring.reserve(self.cap.min(256));
+                }
+                self.ring.push(rec);
+            } else {
+                // Ring wrap: overwrite oldest. `seq` keeps global order.
+                let at = (rec.seq as usize) % self.cap;
+                self.ring[at] = rec;
+            }
+        }
+
+        /// Spans recorded so far (unsorted; [`Snapshot`] sorts on ingest).
+        pub fn spans(&self) -> &[SpanRecord] {
+            &self.ring
+        }
+
+        /// Drains recorded spans into `snap` and clears the ring.
+        pub fn drain_into(&mut self, snap: &mut Snapshot) {
+            snap.push_spans(self.ring.drain(..));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disabled build: zero-sized no-ops with the identical surface.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use super::*;
+
+    /// Zero-sized stand-in: every method is an empty inlined body.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Registry;
+
+    impl Registry {
+        #[inline]
+        pub fn new() -> Registry {
+            Registry
+        }
+
+        #[inline]
+        pub fn scoped(_scope: impl Into<String>) -> Registry {
+            Registry
+        }
+
+        #[inline]
+        pub const fn enabled(&self) -> bool {
+            false
+        }
+
+        #[inline]
+        pub fn counter(&mut self, _name: &str) -> CounterId {
+            CounterId()
+        }
+
+        #[inline]
+        pub fn gauge(&mut self, _name: &str) -> GaugeId {
+            GaugeId()
+        }
+
+        #[inline]
+        pub fn histogram(&mut self, _name: &str) -> HistogramId {
+            HistogramId()
+        }
+
+        #[inline]
+        pub fn inc(&mut self, _id: CounterId) {}
+
+        #[inline]
+        pub fn add(&mut self, _id: CounterId, _by: u64) {}
+
+        #[inline]
+        pub fn counter_value(&self, _id: CounterId) -> u64 {
+            0
+        }
+
+        #[inline]
+        pub fn set(&mut self, _id: GaugeId, _value: i64) {}
+
+        #[inline]
+        pub fn set_max(&mut self, _id: GaugeId, _value: i64) {}
+
+        #[inline]
+        pub fn record(&mut self, _id: HistogramId, _value: u64) {}
+
+        #[inline]
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot::new()
+        }
+
+        #[inline]
+        pub fn reset(&mut self) {}
+    }
+
+    /// Zero-sized stand-in for the span recorder.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Tracer;
+
+    impl Tracer {
+        #[inline]
+        pub fn new() -> Tracer {
+            Tracer
+        }
+
+        #[inline]
+        pub fn with_capacity(_cap: usize) -> Tracer {
+            Tracer
+        }
+
+        #[inline]
+        pub fn set_enabled(&mut self, _enabled: bool) {}
+
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+
+        #[inline]
+        pub fn span(&mut self, _name: &'static str, _cat: &'static str, _begin: u64, _end: u64) {}
+
+        #[inline]
+        pub fn drain_into(&mut self, _snap: &mut Snapshot) {}
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::{Registry, Tracer};
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::{Registry, Tracer};
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_names_and_values() {
+        let mut r = Registry::scoped("device.lab");
+        let c = r.counter("verdicts.drop");
+        let g = r.gauge("depth");
+        let h = r.histogram("latency_us");
+        r.inc(c);
+        r.add(c, 4);
+        r.set_max(g, 7);
+        r.set_max(g, 3);
+        r.record(h, 100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("device.lab.verdicts.drop"), 5);
+        assert_eq!(snap.gauge("device.lab.depth"), Some(7));
+        assert_eq!(snap.histogram("device.lab.latency_us").unwrap().count(), 1);
+        assert_eq!(r.counter_value(c), 5);
+    }
+
+    #[test]
+    fn re_registration_returns_same_slot() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a);
+        r.inc(b);
+        assert_eq!(r.counter_value(a), 2);
+    }
+
+    #[test]
+    fn tracer_disabled_by_default_and_drains() {
+        let mut t = Tracer::new();
+        t.span("ignored", "test", 0, 1);
+        let mut snap = Snapshot::new();
+        t.drain_into(&mut snap);
+        assert!(snap.spans().is_empty());
+
+        t.set_enabled(true);
+        t.span("hop", "netsim", 10, 12);
+        t.span("hop", "netsim", 5, 6);
+        t.drain_into(&mut snap);
+        assert_eq!(snap.spans().len(), 2);
+        // Sorted by virtual time on ingest.
+        assert_eq!(snap.spans()[0].ts_us, 5);
+    }
+
+    #[test]
+    fn ring_wraps_without_growing() {
+        let mut t = Tracer::with_capacity(4);
+        t.set_enabled(true);
+        for i in 0..10u64 {
+            t.span("s", "c", i, i);
+        }
+        let mut snap = Snapshot::new();
+        t.drain_into(&mut snap);
+        assert_eq!(snap.spans().len(), 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Satellite coverage for the log-linear histogram: exact power-of-two
+//! bucket boundaries, associative/commutative merge (proptest), and no
+//! overflow at `u64::MAX`.
+
+use proptest::prelude::*;
+use tspu_obs::{bucket_index, bucket_lower, Histogram, BUCKETS};
+
+#[test]
+fn power_of_two_boundaries_are_exact() {
+    for k in 0..64u32 {
+        let v = 1u64 << k;
+        let i = bucket_index(v);
+        assert_eq!(bucket_lower(i), v, "1<<{k} must start its own bucket");
+        // The value just below the power of two lands in an earlier bucket.
+        if v > 1 {
+            assert!(bucket_index(v - 1) < i, "{} and {} share a bucket", v - 1, v);
+        }
+    }
+}
+
+#[test]
+fn bucket_lower_is_the_true_lower_bound() {
+    for i in 0..BUCKETS {
+        let lower = bucket_lower(i);
+        assert_eq!(bucket_index(lower), i, "bucket_lower({i}) must map back");
+        if lower > 0 {
+            assert!(bucket_index(lower - 1) < i);
+        }
+    }
+}
+
+#[test]
+fn u64_max_recording_does_not_overflow() {
+    let mut h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(0);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.sum(), 2 * (u64::MAX as u128));
+    assert_eq!(h.max(), Some(u64::MAX));
+    assert_eq!(h.min(), Some(0));
+    assert!(bucket_index(u64::MAX) < BUCKETS);
+    // The top quantile reports the bucket holding u64::MAX.
+    assert_eq!(h.quantile_lower(1.0), bucket_lower(bucket_index(u64::MAX)));
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in proptest::collection::vec(any::<u64>(), 0..64),
+                            b in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(any::<u64>(), 0..32),
+                            b in proptest::collection::vec(any::<u64>(), 0..32),
+                            c in proptest::collection::vec(any::<u64>(), 0..32)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything(a in proptest::collection::vec(any::<u64>(), 0..64),
+                                         b in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let together: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&together));
+    }
+
+    #[test]
+    fn every_value_lands_in_range_and_bounds_hold(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower(i) <= v);
+        if i + 1 < BUCKETS {
+            prop_assert!(v < bucket_lower(i + 1));
+        }
+    }
+}

@@ -24,6 +24,7 @@ use tspu_netsim::fault::{ChaosLink, FaultPlan};
 use tspu_netsim::oracle::OracleSpec;
 use tspu_netsim::{Direction, MiddleboxId, Network, Route, RouteStep};
 use tspu_netsim::{HostId, MiddleboxHandle};
+use tspu_obs::Snapshot;
 use tspu_registry::{stats, Universe};
 
 use crate::policy_build::{policy_from_universe, TOR_ENTRY_NODE};
@@ -324,16 +325,20 @@ impl VantageLab {
         let vantage_hosts: Vec<(usize, &'static str, HostId)> =
             self.vantages.iter().enumerate().map(|(i, v)| (i, v.name, v.host)).collect();
         for (vi, name, host) in vantage_hosts {
-            let fwd = self.net.install_middlebox(ChaosLink::new(
+            let fwd_label = format!("{name}-fwd");
+            let rev_label = format!("{name}-rev");
+            let fwd = self.net.install_middlebox(ChaosLink::labeled(
                 plan.forward.clone(),
                 plan.link_seed(vi as u64 * 2),
+                &fwd_label,
             ));
-            let rev = self.net.install_middlebox(ChaosLink::new(
+            let rev = self.net.install_middlebox(ChaosLink::labeled(
                 plan.reverse.clone(),
                 plan.link_seed(vi as u64 * 2 + 1),
+                &rev_label,
             ));
-            self.chaos_links.push((format!("{name}-fwd"), fwd));
-            self.chaos_links.push((format!("{name}-rev"), rev));
+            self.chaos_links.push((fwd_label, fwd));
+            self.chaos_links.push((rev_label, rev));
             for remote in remotes {
                 let mut forward = self.net.route(host, remote).expect("vantage route").clone();
                 forward.steps.last_mut().expect("non-empty route").devices
@@ -379,6 +384,61 @@ impl VantageLab {
     /// The vantage by ISP name.
     pub fn vantage(&self, name: &str) -> &Vantage {
         self.vantages.iter().find(|v| v.name == name).expect("known vantage")
+    }
+
+    /// Every TSPU device handle in the lab, in vantage order.
+    fn device_handles(&self) -> Vec<MiddleboxHandle<TspuDevice>> {
+        self.vantages
+            .iter()
+            .flat_map(|v| std::iter::once(v.sym_device).chain(v.upstream_devices.iter().copied()))
+            .collect()
+    }
+
+    /// Enables or disables virtual-time span tracing on the engine and on
+    /// every TSPU device (chaos links carry no spans).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.net.set_tracing(enabled);
+        for handle in self.device_handles() {
+            self.net.middlebox_mut(handle).set_tracing(enabled);
+        }
+    }
+
+    /// Per-device metric snapshots keyed by middlebox id — the lookup the
+    /// oracle's `attach_device_counters` wants for naming which counters
+    /// moved alongside a violation.
+    pub fn device_snapshots(&self) -> Vec<(MiddleboxId, Snapshot)> {
+        self.device_handles()
+            .into_iter()
+            .map(|h| (h.id(), self.net.middlebox(h).obs_snapshot()))
+            .collect()
+    }
+
+    /// One merged snapshot of the whole lab: the engine's `netsim.*`
+    /// counters, every device's `device.<label>.*` metrics, and every
+    /// chaos link's `link.<label>.*` counters. Metrics only — spans stay
+    /// in the tracers (use [`VantageLab::take_obs`] to drain them too).
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut snap = self.net.obs_snapshot();
+        for handle in self.device_handles() {
+            snap.merge(&self.net.middlebox(handle).obs_snapshot());
+        }
+        for (_, link) in &self.chaos_links {
+            snap.merge(&self.net.middlebox(*link).obs_snapshot());
+        }
+        snap
+    }
+
+    /// Like [`VantageLab::obs_snapshot`], but also drains the recorded
+    /// spans out of the engine's and every device's tracer.
+    pub fn take_obs(&mut self) -> Snapshot {
+        let mut snap = self.net.take_obs();
+        for handle in self.device_handles() {
+            snap.merge(&self.net.middlebox_mut(handle).take_obs());
+        }
+        for (_, link) in &self.chaos_links {
+            snap.merge(&self.net.middlebox(*link).obs_snapshot());
+        }
+        snap
     }
 }
 

@@ -3,7 +3,11 @@
 # JSON-lines summary — one {"id", "ns_per_iter", "iters"} object per
 # bench — for the cross-PR perf trajectory (BENCH_pr1.json et al.).
 # PR 2 adds the parallel-sweep ids (sweep/registry_100k_{1,N}thread) and
-# netsim/events_per_sec alongside the PR 1 set.
+# netsim/events_per_sec alongside the PR 1 set. PR 4 adds the
+# observability pair: the obs_overhead bench runs twice — default
+# features (instrumented) and --no-default-features (no-op) — and the
+# derived obs/overhead_device_hop record reports the enabled-vs-disabled
+# delta in ns/packet and percent (budget: <= 5%).
 #
 # Usage:
 #   scripts/bench_smoke.sh [OUTPUT]      # quick (~20x shorter) run
@@ -11,16 +15,52 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr4.json}"
 # cargo runs bench binaries from the package dir, so anchor relative
 # output paths to the workspace root.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
 rm -f "$out"
 
+quick_env=(BENCH_QUICK=1)
 if [ "${BENCH_FULL:-0}" = "1" ]; then
-  BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench perf
-else
-  BENCH_QUICK=1 BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench perf
+  quick_env=()
 fi
+
+env "${quick_env[@]}" BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench perf
+env "${quick_env[@]}" BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench obs_overhead
+env "${quick_env[@]}" BENCH_JSON="$out" cargo bench -q -p tspu-bench --bench obs_overhead --no-default-features
+
+# Derive the obs overhead record from the enabled/disabled pair.
+python3 - "$out" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+records = {}
+with open(path) as fh:
+    for line in fh:
+        line = line.strip()
+        if line:
+            rec = json.loads(line)
+            records[rec["id"]] = rec
+
+for metric in ("device_hop", "netsim_event"):
+    enabled = records.get(f"obs/{metric}_enabled")
+    disabled = records.get(f"obs/{metric}_disabled")
+    if not enabled or not disabled:
+        continue
+    delta = enabled["ns_per_iter"] - disabled["ns_per_iter"]
+    percent = 100.0 * delta / disabled["ns_per_iter"] if disabled["ns_per_iter"] else 0.0
+    rec = {
+        "id": f"obs/overhead_{metric}",
+        "ns_per_iter": round(delta, 3),
+        "iters": enabled["iters"],
+        "enabled_ns": enabled["ns_per_iter"],
+        "disabled_ns": disabled["ns_per_iter"],
+        "percent": round(percent, 2),
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(rec) + "\n")
+    print(f"obs overhead {metric}: {delta:+.2f} ns/iter ({percent:+.2f}%)")
+EOF
 
 echo "wrote $(wc -l <"$out") bench records to $out"
