@@ -344,7 +344,7 @@ fn netsim_event_rate(_c: &mut Criterion) {
 /// (ns_per_iter = ns per domain scenario). Verdicts are asserted equal
 /// across thread counts — the speedup must not cost determinism.
 fn sweep_scale(_c: &mut Criterion) {
-    use tspu_measure::sweep::{ScanPool, SweepSpec};
+    use tspu_measure::sweep::{RunOpts, ScanPool, SweepSpec};
     use tspu_registry::Universe;
 
     // Always the full 100k scenarios, even under BENCH_QUICK: at ~30 µs
@@ -367,7 +367,7 @@ fn sweep_scale(_c: &mut Criterion) {
     let timed = |threads: usize| {
         let pool = ScanPool::new(threads);
         let start = std::time::Instant::now();
-        let verdicts = spec.run(&pool);
+        let verdicts = spec.run(&pool, &RunOpts::quick()).verdicts;
         (start.elapsed().as_nanos() as f64, verdicts)
     };
     let (ns_1, verdicts_1) = timed(1);
@@ -376,6 +376,68 @@ fn sweep_scale(_c: &mut Criterion) {
     let n = spec.len().max(1) as u64;
     criterion::report_custom("sweep/registry_100k_1thread", ns_1 / n as f64, n);
     criterion::report_custom("sweep/registry_100k_Nthread", ns_8 / n as f64, n);
+}
+
+/// Registry churn: the incremental-update claim in numbers. Applying a
+/// daily-sized delta to a 100k-domain compiled policy costs time
+/// proportional to the delta; recompiling the blocklist from scratch
+/// costs time proportional to the registry (bench_smoke derives the
+/// ≥50× `churn/delta_vs_recompile_ratio` record from the pair). The
+/// end-to-end record replays a slice of the 2022 escalation and reports
+/// the TSPU's median blocking-convergence latency in virtual
+/// milliseconds — the centralized half of the paper's update-lag
+/// contrast.
+fn churn_convergence(_c: &mut Criterion) {
+    use tspu_core::PolicyDelta;
+    use tspu_measure::{ChurnCampaign, ScanPool};
+    use tspu_registry::Universe;
+
+    let mut policy = Policy::permissive();
+    policy.sni_rst = DomainSet::from_names((0..100_000).map(|i| format!("blocked-{i}.example.ru")));
+
+    // 256 distinct daily-sized deltas (32 additions + a delisting),
+    // applied to the live policy — the steady-state churn path.
+    let delta_iters = 256u64;
+    let deltas: Vec<PolicyDelta> = (0..delta_iters)
+        .map(|k| PolicyDelta {
+            add_rst: (0..32).map(|i| format!("fresh-{k}-{i}.example.net")).collect(),
+            remove_rst: if k > 0 {
+                vec![format!("fresh-{}-0.example.net", k - 1)]
+            } else {
+                Vec::new()
+            },
+            ..PolicyDelta::default()
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    for delta in &deltas {
+        policy.apply_delta(black_box(delta));
+    }
+    let delta_ns = start.elapsed().as_nanos() as f64 / delta_iters as f64;
+    criterion::report_custom("churn/delta_apply_ns", delta_ns, delta_iters);
+
+    // The alternative a delta replaces: recompiling the whole blocklist.
+    let names: Vec<String> = policy.sni_rst.iter().map(str::to_string).collect();
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let recompile_iters: u64 = if quick { 3 } else { 20 };
+    let start = std::time::Instant::now();
+    for _ in 0..recompile_iters {
+        black_box(DomainSet::from_names(names.iter().cloned()));
+    }
+    let recompile_ns = start.elapsed().as_nanos() as f64 / recompile_iters as f64;
+    criterion::report_custom("churn/policy_recompile_ns", recompile_ns, recompile_iters);
+
+    // End-to-end: virtual-time convergence of a replayed escalation slice.
+    let universe = Universe::generate(5);
+    let mut campaign = ChurnCampaign::escalation_2022();
+    campaign.churn.end_day = campaign.churn.start_day + 10;
+    let report = campaign.run(&universe, &ScanPool::new(8));
+    let cells = report.cells.len().max(1) as u64;
+    criterion::report_custom(
+        "churn/convergence_virtual_ms",
+        report.median_convergence_us() as f64 / 1000.0,
+        cells,
+    );
 }
 
 criterion_group!(
@@ -389,6 +451,7 @@ criterion_group!(
     policer,
     netsim_scale,
     netsim_event_rate,
-    sweep_scale
+    sweep_scale,
+    churn_convergence
 );
 criterion_main!(benches);

@@ -22,7 +22,7 @@ use super::{universe, ExperimentReport};
 use crate::env_usize;
 
 fn lab() -> VantageLab {
-    VantageLab::build(&universe(), false, true)
+    VantageLab::builder().universe(&universe()).table1().build()
 }
 
 /// Fig. 2: packet traces of the blocking behaviors, as seen from both

@@ -79,7 +79,7 @@ pub fn fig7() -> ExperimentReport {
 /// Table 3: blocking types per domain.
 pub fn table3() -> ExperimentReport {
     let universe = universe();
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     // The named anchors plus a sample establish each type's membership.
     let probe: Vec<&str> = vec![
         "infox.sg", "tor.eff.org", "theins.ru", "twimg.com", "t.co", "facebook.com",

@@ -68,7 +68,7 @@ pub fn fig8() -> ExperimentReport {
     let mut body = String::new();
 
     // Left: identify upstream-only devices from a vantage point.
-    let mut lab = VantageLab::build(&universe(), false, true);
+    let mut lab = VantageLab::builder().universe(&universe()).table1().build();
     let found = localize::find_upstream_only(&mut lab, "Rostelecom", 57_000, 8);
     body.push_str(concat!(
         "left (from a vantage point): the US machine opens the connection, so

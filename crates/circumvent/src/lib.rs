@@ -135,7 +135,7 @@ impl CircumventionLab {
     /// Builds the harness (QUIC filter on, throttling off: the post-
     /// March-4 policy under which §8 was written).
     pub fn new(universe: &Universe) -> CircumventionLab {
-        CircumventionLab { lab: VantageLab::build(universe, false, true), port: 20_000 }
+        CircumventionLab { lab: VantageLab::builder().universe(universe).table1().build(), port: 20_000 }
     }
 
     /// Builds the harness with every device upgraded to the given

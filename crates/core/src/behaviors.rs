@@ -63,11 +63,18 @@ pub struct BlockState {
     pub allowance: u8,
     /// SNI-III: the policing bucket.
     pub bucket: Option<TokenBucket>,
+    /// The policy epoch this verdict was installed under. A flow keeps
+    /// enforcing its pinned verdict across registry deltas (residual
+    /// blocking, Table 2); the gap between this and the live
+    /// `Policy::epoch` is what the stale-verdict audit counts.
+    pub epoch: u64,
 }
 
 impl BlockState {
     /// Creates a fresh verdict at `now`. For SNI-II, `allowance` packets
     /// (5–8 in the paper) still pass; for SNI-III a policer is attached.
+    /// The verdict starts pinned to epoch 0; installers that know the
+    /// live policy epoch chain [`BlockState::pinned_to`].
     pub fn new(kind: BlockKind, now: Time, allowance: u8, throttle: ThrottleConfig) -> BlockState {
         let bucket = match kind {
             BlockKind::Throttle => Some(TokenBucket::new(
@@ -77,7 +84,13 @@ impl BlockState {
             )),
             _ => None,
         };
-        BlockState { kind, since: now, allowance, bucket }
+        BlockState { kind, since: now, allowance, bucket, epoch: 0 }
+    }
+
+    /// Pins the verdict to the policy epoch it was decided under.
+    pub fn pinned_to(mut self, epoch: u64) -> BlockState {
+        self.epoch = epoch;
+        self
     }
 
     /// Whether the verdict is still in force at `now`.

@@ -305,6 +305,19 @@ impl ConnTracker {
         self.flows.remove(key);
     }
 
+    /// Audits epoch pinning: how many live flows still enforce a verdict
+    /// installed under a policy epoch older than `epoch`. These are the
+    /// residually blocked connections a registry delta does *not* touch —
+    /// Table 2's windows outliving the rule that opened them.
+    pub fn blocks_pinned_before(&self, now: Time, epoch: u64) -> usize {
+        self.flows
+            .values()
+            .filter(|e| !e.expired(now))
+            .filter_map(|e| e.block.as_ref())
+            .filter(|b| b.active(now) && b.epoch < epoch)
+            .count()
+    }
+
     /// Drops every tracked flow — what a device restart does to its state
     /// table. Allocated table and ring capacity is kept, so a restarted
     /// provisioned device still never grows on the packet path.

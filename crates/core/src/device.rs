@@ -97,6 +97,10 @@ pub struct DeviceStats {
     pub synacks_filtered: u64,
     /// Scheduled restarts applied so far (chaos).
     pub restarts: u64,
+    /// Enforcement events on flows whose verdict is pinned to a policy
+    /// epoch older than the live one (residual blocking across registry
+    /// deltas — the epoch audit).
+    pub stale_epoch_verdicts: u64,
 }
 
 /// The device's metric registry scope (`device.<label>`) plus one interned
@@ -120,6 +124,7 @@ struct DeviceMetrics {
     synacks_filtered: CounterId,
     restarts: CounterId,
     policer_rejects: CounterId,
+    stale_epoch_verdicts: CounterId,
 }
 
 impl DeviceMetrics {
@@ -140,6 +145,7 @@ impl DeviceMetrics {
             synacks_filtered: registry.counter("synacks_filtered"),
             restarts: registry.counter("restarts"),
             policer_rejects: registry.counter("policer.rejects"),
+            stale_epoch_verdicts: registry.counter("verdicts.stale_epoch"),
             registry,
             tracer: Tracer::new(),
         }
@@ -166,6 +172,7 @@ impl DeviceMetrics {
             reassembly_bytes_buffered: v(self.reassembly_bytes),
             synacks_filtered: v(self.synacks_filtered),
             restarts: v(self.restarts),
+            stale_epoch_verdicts: v(self.stale_epoch_verdicts),
         }
     }
 }
@@ -383,6 +390,12 @@ impl TspuDevice {
         &self.conntrack
     }
 
+    /// Epoch audit at `now`: live flows on this device still enforcing a
+    /// verdict pinned to a policy epoch older than the current one.
+    pub fn stale_verdict_audit(&self, now: Time) -> usize {
+        self.conntrack.blocks_pinned_before(now, self.policy.read().epoch)
+    }
+
     /// Read access to the fragment cache.
     pub fn frag_cache(&self) -> &FragCache {
         &self.frag_cache
@@ -538,7 +551,7 @@ impl TspuDevice {
         // The hostname is normalized once and the stack-resident result is
         // shared by all four list checks.
         let host = NormalizedHost::new(&hostname);
-        let (in_rst, in_slow, in_throttle, in_backup, throttle_active, throttle_cfg) = {
+        let (in_rst, in_slow, in_throttle, in_backup, throttle_active, throttle_cfg, epoch) = {
             let policy = self.policy.read();
             (
                 policy.sni_rst.matches_normalized(&host),
@@ -547,6 +560,7 @@ impl TspuDevice {
                 policy.sni_backup.matches_normalized(&host),
                 policy.throttle_active,
                 policy.throttle,
+                policy.epoch,
             )
         };
         if !(in_rst || in_slow || (in_throttle && throttle_active) || in_backup) {
@@ -600,8 +614,9 @@ impl TspuDevice {
         if let Some(entry) = self.conntrack.get_mut(now, key) {
             // A re-trigger refreshes the residual window; an existing
             // verdict of a different kind is replaced (SNI-IV backs up
-            // SNI-I exactly this way).
-            entry.block = Some(BlockState::new(kind, now, allowance, throttle_cfg));
+            // SNI-I exactly this way). The verdict pins the policy epoch
+            // it was decided under for the stale-verdict audit.
+            entry.block = Some(BlockState::new(kind, now, allowance, throttle_cfg).pinned_to(epoch));
         }
         action
     }
@@ -624,6 +639,12 @@ impl TspuDevice {
         if !block.active(now) {
             entry.block = None;
             return Verdict::Pass;
+        }
+        // Epoch audit: the flow keeps its pinned verdict even if a registry
+        // delta has since changed the rule that installed it (residual
+        // blocking); count each enforcement under an outdated epoch.
+        if block.epoch < self.policy.read().epoch {
+            self.metrics.inc(self.metrics.stale_epoch_verdicts);
         }
         match block.kind {
             BlockKind::RstRewrite => {
@@ -686,6 +707,9 @@ impl TspuDevice {
         if let Some(entry) = self.conntrack.get_mut(now, &key) {
             if let Some(block) = &entry.block {
                 if block.active(now) {
+                    if block.epoch < self.policy.read().epoch {
+                        self.metrics.inc(self.metrics.stale_epoch_verdicts);
+                    }
                     return self.drop_packet();
                 }
                 entry.block = None;
@@ -705,9 +729,13 @@ impl TspuDevice {
             let quic_failure = self.failure.quic;
             if !self.flow_exempt(now, &key, quic_failure) {
                 self.metrics.inc(self.metrics.triggers_quic);
-                let throttle = self.policy.read().throttle;
+                let (throttle, epoch) = {
+                    let policy = self.policy.read();
+                    (policy.throttle, policy.epoch)
+                };
                 if let Some(entry) = self.conntrack.get_mut(now, &key) {
-                    entry.block = Some(BlockState::new(BlockKind::QuicDrop, now, 0, throttle));
+                    entry.block =
+                        Some(BlockState::new(BlockKind::QuicDrop, now, 0, throttle).pinned_to(epoch));
                 }
                 return self.drop_packet();
             }

@@ -37,6 +37,7 @@ pub mod frag_cache;
 pub mod hardening;
 pub mod policer;
 pub mod policy;
+pub mod updater;
 
 pub use behaviors::{BlockKind, BlockState};
 pub use chaos::ModelViolation;
@@ -45,4 +46,5 @@ pub use device::{DeviceStats, FailureProfile, TspuDevice};
 pub use frag_cache::FragCache;
 pub use hardening::Hardening;
 pub use policer::TokenBucket;
-pub use policy::{DomainSet, NormalizedHost, Policy, PolicyHandle, ThrottleConfig};
+pub use policy::{DomainSet, NormalizedHost, Policy, PolicyDelta, PolicyHandle, ThrottleConfig};
+pub use updater::{DeltaApplication, PolicyUpdater, UpdateLog};

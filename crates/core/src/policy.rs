@@ -11,7 +11,9 @@
 
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+
+use tspu_obs::{CounterId, GaugeId, Registry, Snapshot};
 
 use crate::constants;
 use crate::fasthash::FxHashMap;
@@ -148,9 +150,13 @@ impl DomainSet {
         }
     }
 
-    /// Removes a domain.
+    /// Removes a domain (normalized like [`DomainSet::insert`], so a
+    /// delisting with a trailing dot still finds the stored entry).
     pub fn remove(&mut self, domain: &str) {
-        let d = domain.to_ascii_lowercase();
+        let mut d = domain.to_ascii_lowercase();
+        if d.ends_with('.') {
+            d.pop();
+        }
         let hash = suffix_hash_of(d.as_bytes());
         if let Some(bucket) = self.buckets.get_mut(&hash) {
             if let Some(pos) = bucket.iter().position(|e| **e == *d) {
@@ -274,6 +280,11 @@ pub struct Policy {
     /// Whether SNI-III throttling is currently in force (it was replaced
     /// by SNI-I RST blocking on March 4, 2022).
     pub throttle_active: bool,
+    /// Monotone version counter, bumped on every registry update (each
+    /// [`Policy::apply_delta`] and each [`PolicyHandle::update`]). Flow
+    /// verdicts record the epoch they were installed under, so conntrack
+    /// entries still enforcing a pre-delta decision can be audited.
+    pub epoch: u64,
 }
 
 impl Default for Policy {
@@ -287,6 +298,7 @@ impl Default for Policy {
             blocked_ips: HashSet::new(),
             throttle: ThrottleConfig::hard_2022(),
             throttle_active: false,
+            epoch: 0,
         }
     }
 }
@@ -319,6 +331,148 @@ impl Policy {
         policy.blocked_ips.insert(Ipv4Addr::new(198, 51, 100, 7)); // "Tor entry node"
         policy
     }
+
+    /// Applies a batched registry update in place and bumps the epoch.
+    ///
+    /// Each entry goes through the same [`DomainSet::insert`]/
+    /// [`DomainSet::remove`] bucket maintenance a full compile would use,
+    /// so matcher semantics are identical to rebuilding from scratch —
+    /// the `policy_delta_differential` proptest pins this — but the cost
+    /// is proportional to the delta, not to the ~100k domains already
+    /// loaded (the `churn/delta_apply_ns` bench shows the gap).
+    pub fn apply_delta(&mut self, delta: &PolicyDelta) {
+        self.apply_delta_ops(delta);
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// The mutation half of [`Policy::apply_delta`], without the epoch
+    /// bump — for callers (like [`PolicyHandle::update`]) that account
+    /// for the epoch themselves.
+    fn apply_delta_ops(&mut self, delta: &PolicyDelta) {
+        for (list, names) in [
+            (&mut self.sni_rst, &delta.add_rst),
+            (&mut self.sni_slow, &delta.add_slow),
+            (&mut self.sni_throttle, &delta.add_throttle),
+            (&mut self.sni_backup, &delta.add_backup),
+        ] {
+            for name in names {
+                list.insert(name.as_str());
+            }
+        }
+        for (list, names) in [
+            (&mut self.sni_rst, &delta.remove_rst),
+            (&mut self.sni_slow, &delta.remove_slow),
+            (&mut self.sni_throttle, &delta.remove_throttle),
+            (&mut self.sni_backup, &delta.remove_backup),
+        ] {
+            for name in names {
+                list.remove(name);
+            }
+        }
+        for ip in &delta.block_ips {
+            self.blocked_ips.insert(*ip);
+        }
+        for ip in &delta.unblock_ips {
+            self.blocked_ips.remove(ip);
+        }
+        if let Some(on) = delta.quic_filter {
+            self.quic_filter = on;
+        }
+        if let Some(on) = delta.throttle_active {
+            self.throttle_active = on;
+        }
+    }
+}
+
+/// One batched, incremental registry update — the unit Roskomnadzor
+/// distributes when the blocklist registry churns (§5's add/remove
+/// batches). Applying a delta touches only the named entries; the rest of
+/// the compiled policy (all its suffix-hash buckets) stays in place.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyDelta {
+    /// Domains added to SNI-I (RST/ACK rewrite).
+    pub add_rst: Vec<String>,
+    /// Domains removed from SNI-I.
+    pub remove_rst: Vec<String>,
+    /// Domains added to SNI-II (delayed symmetric drop).
+    pub add_slow: Vec<String>,
+    /// Domains removed from SNI-II.
+    pub remove_slow: Vec<String>,
+    /// Domains added to SNI-III (throttling).
+    pub add_throttle: Vec<String>,
+    /// Domains removed from SNI-III.
+    pub remove_throttle: Vec<String>,
+    /// Domains added to SNI-IV (backup full drop).
+    pub add_backup: Vec<String>,
+    /// Domains removed from SNI-IV.
+    pub remove_backup: Vec<String>,
+    /// IPs added to the address blocklist.
+    pub block_ips: Vec<Ipv4Addr>,
+    /// IPs removed from the address blocklist.
+    pub unblock_ips: Vec<Ipv4Addr>,
+    /// Toggles the QUIC version-1 filter when set.
+    pub quic_filter: Option<bool>,
+    /// Toggles SNI-III throttling when set.
+    pub throttle_active: Option<bool>,
+}
+
+impl PolicyDelta {
+    /// An empty delta (applying it only bumps the epoch).
+    pub fn new() -> PolicyDelta {
+        PolicyDelta::default()
+    }
+
+    /// A delta that moves `domains` onto the SNI-I RST blocklist — the
+    /// most common registry event the paper observes.
+    pub fn add_rst_batch<I, S>(domains: I) -> PolicyDelta
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PolicyDelta {
+            add_rst: domains.into_iter().map(Into::into).collect(),
+            ..PolicyDelta::default()
+        }
+    }
+
+    /// True when the delta carries no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.op_count() == 0 && self.quic_filter.is_none() && self.throttle_active.is_none()
+    }
+
+    /// Number of list/IP operations carried (toggles not counted).
+    pub fn op_count(&self) -> usize {
+        self.add_rst.len()
+            + self.remove_rst.len()
+            + self.add_slow.len()
+            + self.remove_slow.len()
+            + self.add_throttle.len()
+            + self.remove_throttle.len()
+            + self.add_backup.len()
+            + self.remove_backup.len()
+            + self.block_ips.len()
+            + self.unblock_ips.len()
+    }
+}
+
+/// The shared handle's metric storage: a `tspu_obs` registry scope
+/// (`policy.*`) with the update counter and the epoch gauge. Zero-sized
+/// registry in an obs-disabled build.
+struct PolicyMetrics {
+    registry: Registry,
+    delta_applies: CounterId,
+    epoch: GaugeId,
+}
+
+impl PolicyMetrics {
+    fn new() -> PolicyMetrics {
+        let mut registry = Registry::scoped("policy");
+        PolicyMetrics {
+            delta_applies: registry.counter("delta_applies"),
+            epoch: registry.gauge("epoch"),
+            registry,
+        }
+    }
 }
 
 /// A shared handle to the centrally controlled policy.
@@ -329,15 +483,25 @@ impl Policy {
 /// Backed by `Arc<RwLock<…>>` so the handle — and every device holding it —
 /// is `Send`: parallel sweep workers each run their own simulation against
 /// one shared, read-mostly policy without rebuilding the blocklists.
+///
+/// Every mutation through the handle — [`PolicyHandle::update`],
+/// [`PolicyHandle::apply_delta`], the March 4 transition, chaos
+/// hot-reloads — bumps [`Policy::epoch`] and moves the shared
+/// `policy.delta_applies` counter / `policy.epoch` gauge, so central
+/// updates are visible to metrics without any device cooperation.
 #[derive(Clone)]
 pub struct PolicyHandle {
     inner: Arc<RwLock<Policy>>,
+    metrics: Arc<Mutex<PolicyMetrics>>,
 }
 
 impl PolicyHandle {
     /// Wraps a policy for central distribution.
     pub fn new(policy: Policy) -> PolicyHandle {
-        PolicyHandle { inner: Arc::new(RwLock::new(policy)) }
+        PolicyHandle {
+            inner: Arc::new(RwLock::new(policy)),
+            metrics: Arc::new(Mutex::new(PolicyMetrics::new())),
+        }
     }
 
     /// Reads the current policy.
@@ -345,10 +509,50 @@ impl PolicyHandle {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The current policy epoch (without holding the read guard).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
     /// Applies a centrally coordinated update — visible to all devices
-    /// holding this handle, at once.
+    /// holding this handle, at once. Bumps the policy epoch and the
+    /// `policy.delta_applies` counter (one bump per `update` call, however
+    /// much the closure changes).
     pub fn update<F: FnOnce(&mut Policy)>(&self, f: F) {
-        f(&mut self.inner.write().unwrap_or_else(|e| e.into_inner()));
+        let epoch = {
+            let mut policy = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            f(&mut policy);
+            policy.epoch = policy.epoch.wrapping_add(1);
+            policy.epoch
+        };
+        self.note_update(epoch);
+    }
+
+    /// Applies one incremental [`PolicyDelta`] through the shared handle:
+    /// one write-lock hold, one epoch bump, one `policy.delta_applies`
+    /// increment — the distribution event the churn engine replays.
+    pub fn apply_delta(&self, delta: &PolicyDelta) {
+        let epoch = {
+            let mut policy = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            policy.apply_delta(delta);
+            policy.epoch
+        };
+        self.note_update(epoch);
+    }
+
+    fn note_update(&self, epoch: u64) {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let id = metrics.delta_applies;
+        metrics.registry.inc(id);
+        let id = metrics.epoch;
+        metrics.registry.set(id, epoch as i64);
+    }
+
+    /// The handle's metrics (`policy.delta_applies`, `policy.epoch`) as a
+    /// [`Snapshot`] — merged into lab-level snapshots alongside the
+    /// per-device scopes.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).registry.snapshot()
     }
 
     /// The March 4, 2022 transition observed in §5.2: throttling (SNI-III)
@@ -426,6 +630,65 @@ mod tests {
         assert!(policy.quic_filter);
         assert!(policy.sni_rst.matches("fbcdn.net"));
         assert!(policy.sni_rst.matches("cdn.fbcdn.net"));
+    }
+
+    #[test]
+    fn apply_delta_matches_insert_remove_semantics() {
+        let mut policy = Policy::example();
+        let before = policy.epoch;
+        let delta = PolicyDelta {
+            add_rst: vec!["Navalny.COM.".into(), "ovdinfo.org".into()],
+            remove_rst: vec!["dw.com".into()],
+            block_ips: vec![Ipv4Addr::new(203, 0, 113, 9)],
+            quic_filter: Some(false),
+            ..PolicyDelta::default()
+        };
+        policy.apply_delta(&delta);
+        assert_eq!(policy.epoch, before + 1);
+        // Normalization matches DomainSet::insert (lowercase, trailing dot).
+        assert!(policy.sni_rst.matches("www.navalny.com"));
+        assert!(policy.sni_rst.matches("ovdinfo.org"));
+        assert!(!policy.sni_rst.matches("dw.com"));
+        assert!(policy.blocked_ips.contains(&Ipv4Addr::new(203, 0, 113, 9)));
+        assert!(!policy.quic_filter);
+    }
+
+    #[test]
+    fn delta_op_count_and_emptiness() {
+        assert!(PolicyDelta::new().is_empty());
+        let delta = PolicyDelta::add_rst_batch(["a.com", "b.com"]);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.op_count(), 2);
+        let toggle = PolicyDelta { throttle_active: Some(true), ..PolicyDelta::default() };
+        assert!(!toggle.is_empty());
+        assert_eq!(toggle.op_count(), 0);
+    }
+
+    #[test]
+    fn handle_update_bumps_epoch_once_per_call() {
+        let handle = PolicyHandle::new(Policy::example());
+        assert_eq!(handle.epoch(), 0);
+        handle.update(|p| {
+            p.sni_rst.insert("one.example");
+            p.sni_rst.insert("two.example");
+        });
+        assert_eq!(handle.epoch(), 1);
+        handle.apply_delta(&PolicyDelta::add_rst_batch(["three.example"]));
+        assert_eq!(handle.epoch(), 2);
+        handle.march_4_2022_transition();
+        assert_eq!(handle.epoch(), 3);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn handle_metrics_track_updates() {
+        let handle = PolicyHandle::new(Policy::example());
+        let clone = handle.clone(); // a second "device" shares the counter
+        clone.apply_delta(&PolicyDelta::add_rst_batch(["x.example"]));
+        handle.update(|p| p.quic_filter = false);
+        let snap = handle.obs_snapshot();
+        assert_eq!(snap.counter("policy.delta_applies"), 2);
+        assert_eq!(snap.gauge("policy.epoch"), Some(2));
     }
 
     #[test]

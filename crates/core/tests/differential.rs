@@ -277,3 +277,83 @@ proptest! {
         prop_assert_eq!(tracker.len(), 1, "GC left expired entries behind");
     }
 }
+
+/// Insert-side normalization, applied to both sides of the delta
+/// differential's membership model.
+fn normalize(name: &str) -> String {
+    let mut d = name.to_ascii_lowercase();
+    if d.ends_with('.') {
+        d.pop();
+    }
+    d
+}
+
+proptest! {
+    /// Incremental [`Policy::apply_delta`] (plus `DomainSet::remove`) and
+    /// a from-scratch rebuild of the final membership agree exactly —
+    /// same entry set, same matcher verdicts on mixed-case and
+    /// trailing-dot spellings — and the epoch advances once per delta.
+    #[test]
+    fn policy_delta_differential(
+        ops in proptest::collection::vec(
+            (any::<bool>(), arb_domain(), any::<bool>(), any::<bool>()),
+            1..50,
+        ),
+        chunk in 1usize..6,
+    ) {
+        use tspu_core::{Policy, PolicyDelta};
+
+        let mut incremental = Policy::permissive();
+        let mut membership: HashSet<String> = HashSet::new();
+        let mut deltas = 0u64;
+        for batch in ops.chunks(chunk) {
+            // A delta applies all its additions, then all its removals —
+            // mirror that order in the membership model.
+            let mut delta = PolicyDelta::default();
+            for (add, name, upper, dot) in batch {
+                let mut spelled = if *upper { name.to_ascii_uppercase() } else { name.clone() };
+                if *dot {
+                    spelled.push('.');
+                }
+                if *add {
+                    delta.add_rst.push(spelled);
+                } else {
+                    delta.remove_rst.push(spelled);
+                }
+            }
+            for name in &delta.add_rst {
+                membership.insert(normalize(name));
+            }
+            for name in &delta.remove_rst {
+                membership.remove(&normalize(name));
+            }
+            incremental.apply_delta(&delta);
+            deltas += 1;
+        }
+        prop_assert_eq!(incremental.epoch, deltas);
+
+        let rebuilt = DomainSet::from_names(membership.iter().cloned());
+        prop_assert_eq!(incremental.sni_rst.len(), rebuilt.len());
+        let mut churned: Vec<&str> = incremental.sni_rst.iter().collect();
+        let mut scratch: Vec<&str> = rebuilt.iter().collect();
+        churned.sort_unstable();
+        scratch.sort_unstable();
+        prop_assert_eq!(churned, scratch);
+
+        for (_, name, _, _) in &ops {
+            for host in [
+                name.clone(),
+                name.to_ascii_uppercase(),
+                format!("{name}."),
+                format!("sub.{name}"),
+            ] {
+                prop_assert_eq!(
+                    incremental.sni_rst.matches(&host),
+                    rebuilt.matches(&host),
+                    "matchers diverge on {}",
+                    host
+                );
+            }
+        }
+    }
+}

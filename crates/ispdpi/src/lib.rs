@@ -17,6 +17,7 @@
 
 pub mod keyword_dpi;
 pub mod resolver_app;
+pub mod update_lag;
 
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
@@ -25,6 +26,7 @@ use tspu_core::policy::DomainSet;
 
 pub use keyword_dpi::HttpKeywordDpi;
 pub use resolver_app::DnsResolverApp;
+pub use update_lag::UpdateLag;
 
 /// What a resolver answered for a name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -110,7 +110,7 @@ mod tests {
     /// Reliable lab (no failure dice) for behavior classification.
     fn reliable_lab() -> VantageLab {
         let universe = Universe::generate(3);
-        VantageLab::build_reliable(&universe, false, true)
+        VantageLab::builder().universe(&universe).build()
     }
 
     #[test]

@@ -17,7 +17,7 @@ use tspu_netsim::oracle::Oracle;
 use tspu_topology::VantageLab;
 
 use crate::reliability::{run_cell, FailureStats, Mechanism};
-use crate::sweep::ScanPool;
+use crate::sweep::{PoolRun, RunOpts, ScanPool};
 
 /// One scenario of the grid: a vantage × mechanism pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,21 +103,23 @@ impl ChaosSweep {
     /// Runs the grid on the pool. Cells come back in scenario-major,
     /// seed-minor order — byte-identical at every thread count, because
     /// each cell is a pure function of (scenario, seed) and the pool
-    /// reassembles results by index.
+    /// reassembles results by index. Ask for the wall-clock
+    /// [`crate::sweep::PoolReport`] with [`RunOpts::report`].
     pub fn run(&self, pool: &ScanPool) -> Vec<ChaosCell> {
-        self.run_reported(pool).0
+        self.run_opts(pool, &RunOpts::quick()).results
     }
 
-    /// [`ChaosSweep::run`] plus the pool's wall-clock [`PoolReport`] —
-    /// per-worker utilization and the cell-latency histogram for campaign
-    /// dashboards. The cells themselves are unchanged.
-    pub fn run_reported(&self, pool: &ScanPool) -> (Vec<ChaosCell>, crate::sweep::PoolReport) {
+    /// [`ChaosSweep::run`] with explicit [`RunOpts`] — `report` yields the
+    /// per-worker utilization and cell-latency histogram for campaign
+    /// dashboards; `observe` is interpreted by the cells themselves (the
+    /// oracle audit), so the flag is ignored here.
+    pub fn run_opts(&self, pool: &ScanPool, opts: &RunOpts) -> PoolRun<ChaosCell> {
         let cells: Vec<(ChaosScenario, u64)> = self
             .scenarios
             .iter()
             .flat_map(|&scenario| self.seeds.iter().map(move |&seed| (scenario, seed)))
             .collect();
-        pool.run_reported(&cells, |_, &(scenario, seed)| self.run_one(scenario, seed))
+        pool.run(&cells, opts, || (), |(), _, &(scenario, seed)| self.run_one(scenario, seed))
     }
 
     /// Runs one cell: fresh lab, fault plan, reliability measurement,
@@ -129,8 +131,8 @@ impl ChaosSweep {
             reverse: self.reverse.clone(),
             device: self.device.clone(),
         };
-        let mut lab = VantageLab::build_scan_table1(self.policy.clone());
-        lab.apply_fault_plan(&plan);
+        let mut lab =
+            VantageLab::builder().policy(self.policy.clone()).table1().fault_plan(&plan).build();
         if self.check_oracle {
             lab.net.set_capture(true);
         }

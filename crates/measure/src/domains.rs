@@ -183,7 +183,7 @@ mod tests {
 
     fn lab_and_universe() -> (Universe, VantageLab) {
         let universe = Universe::generate(3);
-        let lab = VantageLab::build(&universe, false, true);
+        let lab = VantageLab::builder().universe(&universe).table1().build();
         (universe, lab)
     }
 

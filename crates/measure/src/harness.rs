@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn script_roundtrip_with_blocked_sni() {
         let universe = Universe::generate(3);
-        let mut lab = VantageLab::build(&universe, false, true);
+        let mut lab = VantageLab::builder().universe(&universe).table1().build();
         let vantage = lab.vantage("ER-Telecom");
         let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port: 42000 };
         let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn script_wait_advances_virtual_time() {
         let universe = Universe::generate(3);
-        let mut lab = VantageLab::build(&universe, false, true);
+        let mut lab = VantageLab::builder().universe(&universe).table1().build();
         let vantage = lab.vantage("ER-Telecom");
         let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port: 42001 };
         let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };

@@ -27,6 +27,7 @@
 pub mod behaviors;
 pub mod chaos;
 pub mod chfuzz;
+pub mod churn;
 pub mod domains;
 pub mod echo;
 pub mod fragscan;
@@ -42,5 +43,6 @@ pub mod traceroute;
 
 pub use behaviors::{classify_behavior, ObservedBehavior};
 pub use chaos::{ChaosCell, ChaosScenario, ChaosSweep};
+pub use churn::{churn_delta, ChurnCampaign, ChurnReport, DeltaConvergence};
 pub use harness::{PacketSummary, ProbeSide, ScriptResult, ScriptStep};
-pub use sweep::{ObservedSweep, PoolReport, ScanPool, SweepSpec, WorkerReport};
+pub use sweep::{PoolReport, PoolRun, RunOpts, ScanPool, SweepRun, SweepSpec, WorkerReport};

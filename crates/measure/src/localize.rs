@@ -14,7 +14,7 @@ use tspu_wire::tcp::TcpFlags;
 use tspu_wire::tls::ClientHelloBuilder;
 
 use crate::harness::{run_script, ProbeSide, ScriptEnd, ScriptStep};
-use crate::sweep::ScanPool;
+use crate::sweep::{RunOpts, ScanPool};
 
 /// Result of the TTL sweep: the device lies between `hop` and `hop + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,10 +126,11 @@ pub fn localize_symmetric_pooled(
     pool: &ScanPool,
 ) -> Option<LocalizedDevice> {
     let ttls: Vec<u8> = (1..=max_ttl).collect();
-    let blocked = pool.run(&ttls, |_, &ttl| {
-        let mut lab = VantageLab::build_scan(policy.clone());
+    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), _, &ttl| {
+        let mut lab = VantageLab::builder().policy(policy.clone()).build();
         symmetric_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
     });
+    let blocked = run.results;
     first_onset(&blocked)
 }
 
@@ -161,10 +162,11 @@ pub fn find_upstream_only_pooled(
     pool: &ScanPool,
 ) -> Vec<LocalizedDevice> {
     let ttls: Vec<u8> = (1..=max_ttl).collect();
-    let blocked = pool.run(&ttls, |_, &ttl| {
-        let mut lab = VantageLab::build_scan(policy.clone());
+    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), _, &ttl| {
+        let mut lab = VantageLab::builder().policy(policy.clone()).build();
         upstream_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
     });
+    let blocked = run.results;
     all_onsets(&blocked)
 }
 
@@ -176,7 +178,7 @@ mod tests {
 
     fn lab() -> VantageLab {
         let universe = Universe::generate(3);
-        VantageLab::build(&universe, false, true)
+        VantageLab::builder().universe(&universe).table1().build()
     }
 
     #[test]

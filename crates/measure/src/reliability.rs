@@ -184,7 +184,7 @@ mod tests {
         // uniform-0 devices: easiest is many trials on OBIT QUIC, whose
         // per-device rate is 0.0.
         let universe = Universe::generate(3);
-        let mut lab = VantageLab::build(&universe, false, true);
+        let mut lab = VantageLab::builder().universe(&universe).table1().build();
         let stats = run_cell(&mut lab, "OBIT", Mechanism::Quic, 300);
         assert_eq!(stats.failures, 0);
     }
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn single_device_vantage_fails_more_than_double_device() {
         let universe = Universe::generate(3);
-        let mut lab = VantageLab::build(&universe, false, true);
+        let mut lab = VantageLab::builder().universe(&universe).table1().build();
         // SNI-II per-device rates: ER-Telecom 1.76 % (one device) vs
         // Rostelecom 0.5 % per device squared ≈ 0.0025 %.
         let er = run_cell(&mut lab, "ER-Telecom", Mechanism::Sni2, 1200);
@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn ip_based_blocking_nearly_perfect() {
         let universe = Universe::generate(3);
-        let mut lab = VantageLab::build(&universe, false, true);
+        let mut lab = VantageLab::builder().universe(&universe).table1().build();
         let stats = run_cell(&mut lab, "Rostelecom", Mechanism::IpBased, 300);
         assert_eq!(stats.failures, 0, "Rostelecom IP-based rate is 0.00 %");
     }

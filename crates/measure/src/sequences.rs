@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn exploration_matches_fig4_claims() {
         let universe = Universe::generate(3);
-        let mut lab = VantageLab::build(&universe, false, true);
+        let mut lab = VantageLab::builder().universe(&universe).table1().build();
         let verdicts = explore(&mut lab, 2, "ER-Telecom");
 
         let by_notation = |n: &str| verdicts.iter().find(|v| v.notation == n).unwrap();

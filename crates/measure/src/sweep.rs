@@ -25,6 +25,66 @@ use crate::domains::{test_domain, DomainCampaign, DomainVerdict};
 /// that the shared cursor is touched rarely.
 const MAX_CHUNK: usize = 256;
 
+/// How a pool or sweep run executes — the one config struct behind
+/// [`ScanPool::run`] and [`SweepSpec::run`], replacing the old
+/// `run`/`run_with`/`run_reported`/`run_reported_with` and
+/// `run`/`run_observed`/`run_observed_sampled` variant families.
+///
+/// Every knob is orthogonal and none affects result values: observation
+/// and reporting ride on the side of the same deterministic execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Capture each scenario's metrics and spans and merge them into one
+    /// campaign [`Snapshot`] (sweep-level runs only; pool-level `run`
+    /// leaves interpretation to the closure).
+    pub observe: bool,
+    /// Span-sampling period when observing: scenario indices divisible by
+    /// `trace_every` record spans, the rest record metrics only; `0`
+    /// disables spans entirely. A pure function of the scenario index, so
+    /// it cannot break cross-thread-count determinism.
+    pub trace_every: usize,
+    /// Collect the wall-clock [`PoolReport`] (per-worker utilization,
+    /// chunk-claim timing, scenario-latency histogram). Reports are
+    /// timing-dependent and never part of the deterministic results.
+    pub report: bool,
+}
+
+impl RunOpts {
+    /// Results only: no snapshot, no report. (`RunOpts::default()`.)
+    pub fn quick() -> RunOpts {
+        RunOpts::default()
+    }
+
+    /// Full observation: every scenario traced, campaign snapshot merged,
+    /// wall-clock report collected.
+    pub fn observed() -> RunOpts {
+        RunOpts { observe: true, trace_every: 1, report: true }
+    }
+
+    /// Observation with span sampling: metrics from every scenario, spans
+    /// from every `trace_every`-th. A 100k-scenario campaign traced at
+    /// `trace_every = 1000` keeps ~0.1% of its spans — enough to see the
+    /// shape without a gigabyte trace.
+    pub fn sampled(trace_every: usize) -> RunOpts {
+        RunOpts { observe: true, trace_every, report: true }
+    }
+
+    /// Results plus the wall-clock report, no observation.
+    pub fn reported() -> RunOpts {
+        RunOpts { report: true, ..RunOpts::default() }
+    }
+}
+
+/// What [`ScanPool::run`] returns: reassembled results, plus the
+/// wall-clock report when [`RunOpts::report`] asked for one.
+#[derive(Debug, Clone)]
+pub struct PoolRun<R> {
+    /// One result per item, in item order at every thread count.
+    pub results: Vec<R>,
+    /// `Some` iff the run's [`RunOpts::report`] was set.
+    pub report: Option<PoolReport>,
+}
+
 /// A pool of scan workers. Cheap to construct — threads are spawned per
 /// [`ScanPool::run`] call (scoped), not kept alive between sweeps.
 #[derive(Debug, Clone)]
@@ -59,22 +119,36 @@ impl ScanPool {
         self.threads
     }
 
-    /// Maps `f` over `items`, sharding across the pool. Results come back
-    /// in item order regardless of which worker ran which index.
-    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    /// The single pool entry point: maps `f` over `items`, sharding
+    /// across the pool with guided self-scheduling over a shared cursor.
+    /// Results come back in item order regardless of which worker ran
+    /// which index.
+    ///
+    /// `init` builds per-worker scratch state, called once per worker and
+    /// threaded through its scenarios (pass `|| ()` when stateless). The
+    /// state must not affect results (it is reuse, not memory) — the
+    /// determinism guarantee assumes `f` is a pure function of
+    /// `(index, item)`. Per-worker timing flows only into the report
+    /// (returned iff [`RunOpts::report`]), never into result values.
+    pub fn run<T, R, S, Init, F>(
+        &self,
+        items: &[T],
+        opts: &RunOpts,
+        init: Init,
+        f: F,
+    ) -> PoolRun<R>
     where
         T: Sync,
         R: Send,
-        F: Fn(usize, &T) -> R + Sync,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
     {
-        self.run_with(items, || (), |(), index, item| f(index, item))
+        let (results, report) = self.run_inner(items, init, f);
+        PoolRun { results, report: opts.report.then_some(report) }
     }
 
-    /// Like [`ScanPool::run`] with per-worker scratch state: each worker
-    /// calls `init` once and threads the state through its scenarios.
-    /// The state must not affect results (it is reuse, not memory) — the
-    /// determinism guarantee assumes `f` is a pure function of
-    /// `(index, item)`.
+    /// Per-worker scratch state without opts.
+    #[deprecated(note = "use ScanPool::run(items, &RunOpts::quick(), init, f).results")]
     pub fn run_with<T, R, S, Init, F>(&self, items: &[T], init: Init, f: F) -> Vec<R>
     where
         T: Sync,
@@ -82,32 +156,43 @@ impl ScanPool {
         Init: Fn() -> S + Sync,
         F: Fn(&mut S, usize, &T) -> R + Sync,
     {
-        self.run_reported_with(items, init, f).0
+        self.run(items, &RunOpts::quick(), init, f).results
     }
 
-    /// Like [`ScanPool::run`], but also returns the wall-clock
-    /// [`PoolReport`]: per-worker utilization, chunk-claim timing, and the
-    /// pooled scenario-latency histogram. The results vector is identical
-    /// to [`ScanPool::run`]'s; only the report is timing-dependent.
+    /// Stateless run plus report.
+    #[deprecated(note = "use ScanPool::run(items, &RunOpts::reported(), || (), f)")]
     pub fn run_reported<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, PoolReport)
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        self.run_reported_with(items, || (), |(), index, item| f(index, item))
+        let run =
+            self.run(items, &RunOpts::reported(), || (), |(), index, item| f(index, item));
+        (run.results, run.report.expect("report requested"))
     }
 
-    /// The scheduler: guided self-scheduling over a shared cursor, per-
-    /// worker timing on the side. All timing flows into the returned
-    /// [`PoolReport`] and never into the result values, so results stay a
-    /// pure function of `(index, item)`.
+    /// Stateful run plus report.
+    #[deprecated(note = "use ScanPool::run(items, &RunOpts::reported(), init, f)")]
     pub fn run_reported_with<T, R, S, Init, F>(
         &self,
         items: &[T],
         init: Init,
         f: F,
     ) -> (Vec<R>, PoolReport)
+    where
+        T: Sync,
+        R: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        let run = self.run(items, &RunOpts::reported(), init, f);
+        (run.results, run.report.expect("report requested"))
+    }
+
+    /// The scheduler: guided self-scheduling over a shared cursor, per-
+    /// worker timing on the side.
+    fn run_inner<T, R, S, Init, F>(&self, items: &[T], init: Init, f: F) -> (Vec<R>, PoolReport)
     where
         T: Sync,
         R: Send,
@@ -327,54 +412,47 @@ impl SweepSpec {
         self.domains.is_empty()
     }
 
-    /// Sweeps every domain through [`test_domain`], one fresh scan lab per
-    /// scenario. Returns verdicts parallel to `self.domains`, in domain
-    /// order at every thread count.
+    /// The single sweep entry point: sweeps every domain through
+    /// [`test_domain`], one fresh scan lab per scenario. Verdicts come
+    /// back parallel to `self.domains`, in domain order at every thread
+    /// count.
     ///
     /// Scan labs use reliable devices, so the §3 "repeat >5 times" retry
     /// loop of the sequential campaign is unnecessary here: one attempt
     /// per scenario, on a port derived purely from the scenario index.
-    pub fn run(&self, pool: &ScanPool) -> Vec<DomainVerdict> {
-        pool.run(&self.domains, |index, domain| {
-            let mut lab = VantageLab::build_scan(self.policy.clone());
-            test_domain(&mut lab, domain, scenario_port(index))
-        })
-    }
-
-    /// [`SweepSpec::run`] with observability: tracing enabled on every
-    /// scenario lab, each scenario's metrics and spans captured, stamped
-    /// with the scenario index, and merged into one campaign [`Snapshot`]
-    /// alongside a `sweep.scenario_us` histogram of *virtual* scenario
-    /// durations. The snapshot is a pure function of the spec — byte-
-    /// identical at every thread count — while the wall-clock side of the
-    /// run lands in the separate [`PoolReport`].
-    pub fn run_observed(&self, pool: &ScanPool) -> ObservedSweep {
-        self.run_observed_sampled(pool, 1)
-    }
-
-    /// [`SweepSpec::run_observed`] with runtime trace sampling: scenario
-    /// indices divisible by `trace_every` record spans, the rest record
-    /// metrics only (`trace_every == 0` disables tracing entirely). A
-    /// 100k-scenario campaign traced at `trace_every = 1000` keeps ~0.1%
-    /// of its spans — enough to see the shape without a gigabyte trace.
-    /// Sampling is a pure function of the scenario index, so it cannot
-    /// break cross-thread-count determinism.
-    pub fn run_observed_sampled(&self, pool: &ScanPool, trace_every: usize) -> ObservedSweep {
-        let (scenarios, report) = pool.run_reported(&self.domains, |index, domain| {
-            let mut lab = VantageLab::build_scan(self.policy.clone());
+    ///
+    /// With [`RunOpts::observe`], tracing is enabled on every sampled
+    /// scenario lab, each scenario's metrics and spans are captured,
+    /// stamped with the scenario index, and merged into one campaign
+    /// [`Snapshot`] alongside a `sweep.scenario_us` histogram of
+    /// *virtual* scenario durations. The snapshot is a pure function of
+    /// the spec — byte-identical at every thread count — while the
+    /// wall-clock side lands in the separate [`PoolReport`]
+    /// (with [`RunOpts::report`]).
+    pub fn run(&self, pool: &ScanPool, opts: &RunOpts) -> SweepRun {
+        if !opts.observe {
+            let run = pool.run(&self.domains, opts, || (), |(), index, domain| {
+                let mut lab = VantageLab::builder().policy(self.policy.clone()).build();
+                test_domain(&mut lab, domain, scenario_port(index))
+            });
+            return SweepRun { verdicts: run.results, snapshot: None, report: run.report };
+        }
+        let trace_every = opts.trace_every;
+        let run = pool.run(&self.domains, opts, || (), |(), index, domain| {
+            let mut lab = VantageLab::builder().policy(self.policy.clone()).build();
             lab.set_tracing(trace_every != 0 && index % trace_every == 0);
             let verdict = test_domain(&mut lab, domain, scenario_port(index));
             let virtual_us = lab.net.now().as_micros();
             let snapshot = lab.take_obs().with_scenario(index as u32);
             (verdict, virtual_us, snapshot)
         });
-        let mut verdicts = Vec::with_capacity(scenarios.len());
+        let mut verdicts = Vec::with_capacity(run.results.len());
         let mut snapshot = Snapshot::new();
         let mut scenario_us = Histogram::new();
         // Reassembled scenario order: merging here (not in the workers)
         // keeps the merge order index-driven, though merge itself is
         // order-insensitive anyway.
-        for (verdict, virtual_us, scenario_snapshot) in scenarios {
+        for (verdict, virtual_us, scenario_snapshot) in run.results {
             verdicts.push(verdict);
             scenario_us.record(virtual_us);
             snapshot.merge(&scenario_snapshot);
@@ -383,13 +461,48 @@ impl SweepSpec {
             snapshot.insert("sweep.scenarios", MetricValue::Counter(verdicts.len() as u64));
             snapshot.insert("sweep.scenario_us", MetricValue::Hist(scenario_us));
         }
-        ObservedSweep { verdicts, snapshot, report }
+        SweepRun { verdicts, snapshot: Some(snapshot), report: run.report }
+    }
+
+    /// Observed run, fully traced.
+    #[deprecated(note = "use SweepSpec::run(pool, &RunOpts::observed())")]
+    #[allow(deprecated)]
+    pub fn run_observed(&self, pool: &ScanPool) -> ObservedSweep {
+        self.run(pool, &RunOpts::observed()).into_observed()
+    }
+
+    /// Observed run with span sampling.
+    #[deprecated(note = "use SweepSpec::run(pool, &RunOpts::sampled(trace_every))")]
+    #[allow(deprecated)]
+    pub fn run_observed_sampled(&self, pool: &ScanPool, trace_every: usize) -> ObservedSweep {
+        self.run(pool, &RunOpts::sampled(trace_every)).into_observed()
     }
 }
 
-/// What [`SweepSpec::run_observed`] returns: the verdicts (identical to
-/// [`SweepSpec::run`]), the deterministic campaign [`Snapshot`], and the
-/// nondeterministic wall-clock [`PoolReport`].
+/// What [`SweepSpec::run`] returns: the verdicts, the deterministic
+/// campaign [`Snapshot`] (`Some` iff [`RunOpts::observe`]), and the
+/// nondeterministic wall-clock [`PoolReport`] (`Some` iff
+/// [`RunOpts::report`]).
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    pub verdicts: Vec<DomainVerdict>,
+    pub snapshot: Option<Snapshot>,
+    pub report: Option<PoolReport>,
+}
+
+impl SweepRun {
+    #[allow(deprecated)]
+    fn into_observed(self) -> ObservedSweep {
+        ObservedSweep {
+            verdicts: self.verdicts,
+            snapshot: self.snapshot.expect("observed run"),
+            report: self.report.expect("observed run"),
+        }
+    }
+}
+
+/// What the deprecated observed-run shims return.
+#[deprecated(note = "use SweepSpec::run(pool, opts) and the SweepRun it returns")]
 #[derive(Debug, Clone)]
 pub struct ObservedSweep {
     pub verdicts: Vec<DomainVerdict>,
@@ -415,7 +528,7 @@ where
     I: IntoIterator<Item = &'a str>,
 {
     let spec = SweepSpec::from_universe(universe, domains);
-    let verdicts = spec.run(pool);
+    let verdicts = spec.run(pool, &RunOpts::quick()).verdicts;
 
     let resolvers = tspu_ispdpi::vantage_resolvers(universe);
     let mut campaign = DomainCampaign {
@@ -445,29 +558,39 @@ mod tests {
     fn run_preserves_item_order() {
         let items: Vec<usize> = (0..1000).collect();
         let pool = ScanPool::new(4);
-        let doubled = pool.run(&items, |_, &x| x * 2);
-        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        let run = pool.run(&items, &RunOpts::quick(), || (), |(), _, &x| x * 2);
+        assert_eq!(run.results, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert!(run.report.is_none(), "quick run must not report");
     }
 
     #[test]
-    fn run_with_matches_single_thread() {
+    fn stateful_run_matches_single_thread() {
         let items: Vec<u64> = (0..317).collect();
         let work = |_state: &mut u64, index: usize, item: &u64| {
             *item * 31 + index as u64
         };
-        let sequential = ScanPool::single_thread().run_with(&items, || 0u64, work);
+        let sequential =
+            ScanPool::single_thread().run(&items, &RunOpts::quick(), || 0u64, work).results;
         for threads in [2, 3, 8] {
-            let parallel = ScanPool::new(threads).run_with(&items, || 0u64, work);
-            assert_eq!(parallel, sequential, "{threads} threads");
+            let parallel = ScanPool::new(threads).run(&items, &RunOpts::quick(), || 0u64, work);
+            assert_eq!(parallel.results, sequential, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn reported_run_counts_every_item() {
+        let items: Vec<u64> = (0..100).collect();
+        let run = ScanPool::new(4).run(&items, &RunOpts::reported(), || (), |(), _, &x| x);
+        assert_eq!(run.results, items);
+        assert_eq!(run.report.expect("report requested").total_items(), items.len());
     }
 
     #[test]
     fn empty_and_tiny_inputs() {
         let pool = ScanPool::new(8);
         let empty: Vec<u32> = Vec::new();
-        assert!(pool.run(&empty, |_, &x| x).is_empty());
-        assert_eq!(pool.run(&[7u32], |_, &x| x + 1), vec![8]);
+        assert!(pool.run(&empty, &RunOpts::quick(), || (), |(), _, &x| x).results.is_empty());
+        assert_eq!(pool.run(&[7u32], &RunOpts::quick(), || (), |(), _, &x| x + 1).results, vec![8]);
     }
 
     #[test]
@@ -491,7 +614,7 @@ mod tests {
         let universe = Universe::generate(3);
         let domains = ["meduza.io", "play.google.com", "twitter.com", "wikipedia.org"];
         let spec = SweepSpec::from_universe(&universe, domains);
-        let verdicts = spec.run(&ScanPool::new(2));
+        let verdicts = spec.run(&ScanPool::new(2), &RunOpts::quick()).verdicts;
         assert_eq!(
             verdicts,
             vec![

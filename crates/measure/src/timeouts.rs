@@ -365,7 +365,7 @@ mod tests {
         // constants via binary search, where one failure-dice exemption
         // would flip an observable mid-search.
         let universe = Universe::generate(3);
-        VantageLab::build_reliable(&universe, false, true)
+        VantageLab::builder().universe(&universe).build()
     }
 
     fn close_to(measured: u64, expected: u64) -> bool {

@@ -48,7 +48,7 @@ fn table1_grid_is_byte_identical_across_thread_counts() {
 fn oracle_reports_seeded_wrong_ttl_on_injected_rst() {
     let universe = Universe::generate(3);
     let policy = policy_from_universe(&universe, false, true);
-    let mut lab = VantageLab::build_scan(policy);
+    let mut lab = VantageLab::builder().policy(policy).build();
 
     // Seed the deliberate model violation on ER-Telecom's symmetric
     // device: injected RST/ACKs leave with a fresh TTL instead of the

@@ -1,0 +1,31 @@
+//! The churn campaign's determinism guarantee: per-delta convergence
+//! latencies — and the whole campaign snapshot — are byte-identical no
+//! matter how many worker threads shard the cells. Each cell is a pure
+//! function of (schedule, batch index, config); the pool reassembles
+//! results by index, so worker assignment cannot leak in.
+
+use tspu_measure::{ChurnCampaign, ScanPool};
+use tspu_registry::Universe;
+
+#[test]
+fn churn_campaign_is_byte_identical_across_thread_counts() {
+    let universe = Universe::generate(7);
+    let mut campaign = ChurnCampaign::escalation_2022();
+    // Ten escalation days make enough cells for 8 workers to genuinely
+    // shard the replay.
+    campaign.churn.end_day = campaign.churn.start_day + 10;
+
+    let one = campaign.run(&universe, &ScanPool::new(1));
+    let eight = campaign.run(&universe, &ScanPool::new(8));
+
+    let single: Vec<u64> = one.cells.iter().map(|c| c.convergence_us).collect();
+    let sharded: Vec<u64> = eight.cells.iter().map(|c| c.convergence_us).collect();
+    assert_eq!(single, sharded, "convergence latencies diverge across thread counts");
+
+    assert_eq!(one.cells, eight.cells, "cells diverge across thread counts");
+    assert_eq!(
+        one.snapshot.to_json(),
+        eight.snapshot.to_json(),
+        "campaign snapshot diverges across thread counts"
+    );
+}

@@ -4,7 +4,7 @@
 //! execute it. Spans carry *virtual* timestamps and scenario indices, so
 //! worker assignment and wall-clock interleaving cannot leak in.
 
-use tspu_measure::{ScanPool, SweepSpec};
+use tspu_measure::{RunOpts, ScanPool, SweepSpec};
 use tspu_registry::Universe;
 
 fn campaign_spec() -> SweepSpec {
@@ -23,18 +23,20 @@ fn campaign_spec() -> SweepSpec {
 #[test]
 fn observed_snapshot_is_byte_identical_across_thread_counts() {
     let spec = campaign_spec();
-    let one = spec.run_observed(&ScanPool::new(1));
-    let eight = spec.run_observed(&ScanPool::new(8));
+    let one = spec.run(&ScanPool::new(1), &RunOpts::observed());
+    let eight = spec.run(&ScanPool::new(8), &RunOpts::observed());
 
     assert_eq!(one.verdicts, eight.verdicts, "verdicts diverge across thread counts");
+    let (one_snap, eight_snap) =
+        (one.snapshot.expect("observed run"), eight.snapshot.expect("observed run"));
     assert_eq!(
-        one.snapshot.to_json(),
-        eight.snapshot.to_json(),
+        one_snap.to_json(),
+        eight_snap.to_json(),
         "metric snapshot diverges across thread counts"
     );
     assert_eq!(
-        one.snapshot.chrome_trace_string(),
-        eight.snapshot.chrome_trace_string(),
+        one_snap.chrome_trace_string(),
+        eight_snap.chrome_trace_string(),
         "chrome trace diverges across thread counts"
     );
 }
@@ -42,19 +44,28 @@ fn observed_snapshot_is_byte_identical_across_thread_counts() {
 #[test]
 fn observed_run_matches_plain_run_and_actually_observes() {
     let spec = campaign_spec();
-    let observed = spec.run_observed(&ScanPool::new(4));
-    assert_eq!(observed.verdicts, spec.run(&ScanPool::new(4)));
-    assert_eq!(observed.report.total_items(), spec.len());
+    let observed = spec.run(&ScanPool::new(4), &RunOpts::observed());
+    assert_eq!(observed.verdicts, spec.run(&ScanPool::new(4), &RunOpts::quick()).verdicts);
+    assert_eq!(observed.report.expect("report requested").total_items(), spec.len());
+    let snapshot = observed.snapshot.expect("observed run");
 
     if tspu_obs::ENABLED {
-        assert_eq!(observed.snapshot.counter("sweep.scenarios"), spec.len() as u64);
-        let hist = observed.snapshot.histogram("sweep.scenario_us").expect("scenario_us recorded");
+        assert_eq!(snapshot.counter("sweep.scenarios"), spec.len() as u64);
+        let hist = snapshot.histogram("sweep.scenario_us").expect("scenario_us recorded");
         assert_eq!(hist.count(), spec.len() as u64);
-        assert!(!observed.snapshot.spans().is_empty(), "tracing was on; spans expected");
+        assert!(!snapshot.spans().is_empty(), "tracing was on; spans expected");
         // Every scenario contributed device metrics under its own scope.
-        assert!(observed.snapshot.counter("device.ertelecom-sym.packets_seen") > 0);
+        assert!(snapshot.counter("device.ertelecom-sym.packets_seen") > 0);
     } else {
-        assert!(observed.snapshot.metrics().is_empty());
-        assert!(observed.snapshot.spans().is_empty());
+        assert!(snapshot.metrics().is_empty());
+        assert!(snapshot.spans().is_empty());
     }
+}
+
+#[test]
+fn quick_run_carries_no_snapshot_or_report() {
+    let spec = campaign_spec();
+    let quick = spec.run(&ScanPool::new(2), &RunOpts::quick());
+    assert!(quick.snapshot.is_none());
+    assert!(quick.report.is_none());
 }

@@ -4,7 +4,7 @@
 
 use tspu_measure::domains::DomainVerdict;
 use tspu_measure::localize;
-use tspu_measure::sweep::{registry_campaign, ScanPool, SweepSpec};
+use tspu_measure::sweep::{registry_campaign, RunOpts, ScanPool, SweepSpec};
 use tspu_registry::Universe;
 use tspu_topology::{policy_from_universe, VantageLab};
 
@@ -36,11 +36,11 @@ fn sweep_is_byte_identical_across_thread_counts() {
         .collect();
     let spec = SweepSpec::from_universe(&universe, domains);
 
-    let baseline = spec.run(&ScanPool::new(1));
+    let baseline = spec.run(&ScanPool::new(1), &RunOpts::quick()).verdicts;
     let baseline_bytes = format!("{baseline:?}");
     assert!(baseline.iter().any(|v| *v != DomainVerdict::Open), "sweep found no blocking");
     for threads in [2, 8] {
-        let parallel = spec.run(&ScanPool::new(threads));
+        let parallel = spec.run(&ScanPool::new(threads), &RunOpts::quick()).verdicts;
         assert_eq!(
             format!("{parallel:?}"),
             baseline_bytes,

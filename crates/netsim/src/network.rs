@@ -391,6 +391,14 @@ impl Network {
         self.push_event(self.now, EventKind::SendFrom { host, packet });
     }
 
+    /// Schedules `on_timer` on `host`'s application after `delay` of
+    /// virtual time — the bootstrap for self-driving applications (e.g. a
+    /// policy updater firing registry deltas at scheduled timestamps)
+    /// that otherwise only wake on their own requested timers.
+    pub fn arm_timer(&mut self, host: HostId, delay: Duration) {
+        self.push_event(self.now + delay, EventKind::Timer { host });
+    }
+
     /// Drains the packets delivered to `host` so far.
     pub fn take_inbox(&mut self, host: HostId) -> Vec<(Time, Vec<u8>)> {
         std::mem::take(&mut self.hosts[host.0].inbox)

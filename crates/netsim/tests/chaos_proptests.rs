@@ -210,7 +210,7 @@ proptest! {
             "example.com",      // open
         ];
         let policy = tspu_core::PolicyHandle::new(tspu_core::Policy::example());
-        let mut lab = tspu_topology::VantageLab::build_scan(policy);
+        let mut lab = tspu_topology::VantageLab::builder().policy(policy).build();
         lab.net.set_capture(true);
         for (i, &(vantage, domain)) in volleys.iter().enumerate() {
             let sport = 2048 + (i as u16) * 7;

@@ -17,12 +17,14 @@
 //! classifier standing in for LDA. Every constant that comes from the
 //! paper is named in [`stats`].
 
+pub mod churn;
 pub mod classifier;
 pub mod export;
 pub mod stats;
 pub mod timeline;
 pub mod universe;
 
+pub use churn::{ChurnBatch, ChurnConfig, ChurnSchedule};
 pub use classifier::{classify_html, synthesize_html, FetchOutcome};
 pub use timeline::{day, PolicyTimeline};
 pub use universe::{Category, Domain, ListKind, Universe};

@@ -28,7 +28,9 @@ pub mod client;
 pub mod conn;
 pub mod craft;
 pub mod server;
+pub mod steady;
 
 pub use client::{ClientOutcome, ClientReport, QuicClient, TcpClient, TcpClientConfig};
 pub use conn::{ConnEvent, HandshakeMode, TcpConnection, TcpState};
 pub use server::{PortBehavior, ServerApp, ServerPort};
+pub use steady::{ProbeLog, ProbeRecord, SteadyProbe, SteadyProbeConfig};

@@ -88,43 +88,158 @@ fn profile(rates: &[f64; 5]) -> FailureProfile {
     }
 }
 
+/// The one way to configure a [`VantageLab`] — replaces the old
+/// `build`/`build_reliable`/`build_with_policy`/`build_scan`/
+/// `build_scan_table1`/`build_chaos` constructor family.
+///
+/// Axes:
+///
+/// * **Universe** ([`LabBuilder::universe`]) — attaches the per-ISP
+///   resolvers and lets the policy be derived. Without one, the lab is
+///   the minimal sweep-worker shape: no resolvers, policy required.
+/// * **Policy** — either an explicit shared handle
+///   ([`LabBuilder::policy`], the cheap per-scenario path: blocklists
+///   built once, shared behind the handle) or derived from the universe
+///   with the [`LabBuilder::throttle_active`] / [`LabBuilder::quic_filter`]
+///   toggles.
+/// * **Failure dice** — devices are perfectly reliable by default
+///   ([`LabBuilder::reliable`] restates it); [`LabBuilder::table1`] arms
+///   the per-device Table-1 failure dice for reliability campaigns.
+/// * **Chaos** ([`LabBuilder::fault_plan`]) — wires a seeded fault plan
+///   through every vantage path and device after construction.
+///
+/// ```
+/// # use tspu_registry::Universe;
+/// # use tspu_topology::VantageLab;
+/// let universe = Universe::generate(1);
+/// let lab = VantageLab::builder().universe(&universe).table1().build();
+/// assert_eq!(lab.vantages.len(), 3);
+/// ```
+#[derive(Default)]
+#[must_use = "a LabBuilder does nothing until .build()"]
+pub struct LabBuilder<'a> {
+    universe: Option<&'a Universe>,
+    policy: Option<PolicyHandle>,
+    throttle_active: bool,
+    quic_filter: Option<bool>,
+    table1: bool,
+    fault_plan: Option<&'a FaultPlan>,
+}
+
+impl<'a> LabBuilder<'a> {
+    /// Attaches a universe: per-ISP resolvers are built from it, and it
+    /// becomes the policy source unless [`LabBuilder::policy`] overrides.
+    pub fn universe(mut self, universe: &'a Universe) -> LabBuilder<'a> {
+        self.universe = Some(universe);
+        self
+    }
+
+    /// Uses an explicit shared policy handle instead of deriving one from
+    /// the universe. This is what makes per-scenario labs cheap: the
+    /// expensive blocklists live once behind the handle.
+    pub fn policy(mut self, policy: PolicyHandle) -> LabBuilder<'a> {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Derived-policy toggle: SNI-III throttling in force (default off).
+    pub fn throttle_active(mut self, on: bool) -> LabBuilder<'a> {
+        self.throttle_active = on;
+        self
+    }
+
+    /// Derived-policy toggle: the QUIC version-1 filter (default on).
+    pub fn quic_filter(mut self, on: bool) -> LabBuilder<'a> {
+        self.quic_filter = Some(on);
+        self
+    }
+
+    /// Perfectly reliable devices — the default; kept for call sites that
+    /// want the choice visible (state-machine and timeout experiments,
+    /// where one unlucky exemption roll corrupts a binary search).
+    pub fn reliable(mut self) -> LabBuilder<'a> {
+        self.table1 = false;
+        self
+    }
+
+    /// Arms the Table-1 per-device failure dice — for reliability
+    /// campaigns that measure the real failure rates.
+    pub fn table1(mut self) -> LabBuilder<'a> {
+        self.table1 = true;
+        self
+    }
+
+    /// Wires a seeded chaos plan through the built lab (device faults on
+    /// every TSPU device, chaos links on every vantage path).
+    pub fn fault_plan(mut self, plan: &'a FaultPlan) -> LabBuilder<'a> {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builds the lab.
+    ///
+    /// # Panics
+    /// Panics if neither a policy nor a universe to derive one from was
+    /// given.
+    pub fn build(self) -> VantageLab {
+        let policy = self.policy.unwrap_or_else(|| {
+            let universe = self
+                .universe
+                .expect("LabBuilder: give .policy(...) or .universe(...) to derive one");
+            policy_from_universe(universe, self.throttle_active, self.quic_filter.unwrap_or(true))
+        });
+        let mut lab = VantageLab::build_inner(self.universe, policy, !self.table1);
+        if let Some(plan) = self.fault_plan {
+            lab.apply_fault_plan(plan);
+        }
+        lab
+    }
+}
+
 impl VantageLab {
+    /// Starts a [`LabBuilder`] — the single construction path.
+    pub fn builder<'a>() -> LabBuilder<'a> {
+        LabBuilder::default()
+    }
+
     /// Builds the lab over a fresh universe with the given policy toggles.
+    #[deprecated(note = "use VantageLab::builder().universe(u).throttle_active(..).quic_filter(..).table1().build()")]
     pub fn build(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
-        let policy = policy_from_universe(universe, throttle_active, quic_filter);
-        Self::build_with_policy(universe, policy)
+        Self::builder()
+            .universe(universe)
+            .throttle_active(throttle_active)
+            .quic_filter(quic_filter)
+            .table1()
+            .build()
     }
 
     /// Builds the lab with perfectly reliable devices (no Table 1 failure
-    /// dice) — for state-machine and timeout experiments, where a single
-    /// unlucky exemption roll would corrupt a binary search over sleeps.
+    /// dice).
+    #[deprecated(note = "use VantageLab::builder().universe(u).throttle_active(..).quic_filter(..).build()")]
     pub fn build_reliable(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
-        let policy = policy_from_universe(universe, throttle_active, quic_filter);
-        Self::build_inner(Some(universe), policy, true)
+        Self::builder()
+            .universe(universe)
+            .throttle_active(throttle_active)
+            .quic_filter(quic_filter)
+            .build()
     }
 
-    /// Builds the lab with an explicit policy handle (e.g. perfectly
-    /// reliable devices for state-machine experiments).
+    /// Builds the lab with an explicit policy handle.
+    #[deprecated(note = "use VantageLab::builder().universe(u).policy(p).table1().build()")]
     pub fn build_with_policy(universe: &Universe, policy: PolicyHandle) -> VantageLab {
-        Self::build_inner(Some(universe), policy, false)
+        Self::builder().universe(universe).policy(policy).table1().build()
     }
 
-    /// Builds the minimal lab a sweep worker needs: perfectly reliable
-    /// devices sharing a pre-built `policy`, and no per-ISP resolvers
-    /// (sweep aggregation does resolver lookups itself). The expensive
-    /// part of a lab — the policy's blocklists — is shared behind the
-    /// handle, so this is cheap enough to construct *per scenario*. A
-    /// fresh simulator per scenario is also what makes parallel sweeps
-    /// deterministic: no simulator state crosses scenario boundaries.
+    /// Builds the minimal sweep-worker lab.
+    #[deprecated(note = "use VantageLab::builder().policy(p).build()")]
     pub fn build_scan(policy: PolicyHandle) -> VantageLab {
-        Self::build_inner(None, policy, true)
+        Self::builder().policy(policy).build()
     }
 
-    /// Like [`VantageLab::build_scan`], but with the Table-1 per-device
-    /// failure dice active — chaos reliability campaigns measure the real
-    /// failure rates under fault injection, so they need the dice.
+    /// Builds the sweep-worker lab with the Table-1 failure dice active.
+    #[deprecated(note = "use VantageLab::builder().policy(p).table1().build()")]
     pub fn build_scan_table1(policy: PolicyHandle) -> VantageLab {
-        Self::build_inner(None, policy, false)
+        Self::builder().policy(policy).table1().build()
     }
 
     fn build_inner(universe: Option<&Universe>, policy: PolicyHandle, reliable: bool) -> VantageLab {
@@ -297,12 +412,10 @@ impl VantageLab {
         }
     }
 
-    /// Builds the sweep-worker lab ([`VantageLab::build_scan`]) and wires a
-    /// seeded chaos plan through it — the entry point for chaos sweeps.
+    /// Builds the sweep-worker lab and wires a seeded chaos plan through it.
+    #[deprecated(note = "use VantageLab::builder().policy(p).fault_plan(&plan).build()")]
     pub fn build_chaos(policy: PolicyHandle, plan: &FaultPlan) -> VantageLab {
-        let mut lab = Self::build_scan(policy);
-        lab.apply_fault_plan(plan);
-        lab
+        Self::builder().policy(policy).fault_plan(plan).build()
     }
 
     /// Wires a [`FaultPlan`] through the lab: the plan's device faults on
@@ -425,6 +538,7 @@ impl VantageLab {
         for (_, link) in &self.chaos_links {
             snap.merge(&self.net.middlebox(*link).obs_snapshot());
         }
+        snap.merge(&self.policy.obs_snapshot());
         snap
     }
 
@@ -438,6 +552,7 @@ impl VantageLab {
         for (_, link) in &self.chaos_links {
             snap.merge(&self.net.middlebox(*link).obs_snapshot());
         }
+        snap.merge(&self.policy.obs_snapshot());
         snap
     }
 }
@@ -498,8 +613,7 @@ mod tests {
     fn lab() -> (Universe, VantageLab) {
         let universe = Universe::generate(11);
         let policy = policy_from_universe(&universe, false, true);
-        // Make devices perfectly reliable for the structural tests.
-        let lab = VantageLab::build_with_policy(&universe, policy);
+        let lab = VantageLab::builder().universe(&universe).policy(policy).table1().build();
         (universe, lab)
     }
 

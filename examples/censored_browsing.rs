@@ -16,7 +16,7 @@ use tspu_wire::tls::ClientHelloBuilder;
 
 fn main() {
     let universe = Universe::generate(2022);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
 
     // Each ISP runs a blockpage web server; DNS-censored sites land there.
     let mut blockpage_hosts = std::collections::HashMap::new();

@@ -20,7 +20,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use tspu_measure::domains::DomainVerdict;
-use tspu_measure::{ScanPool, SweepSpec};
+use tspu_measure::{RunOpts, ScanPool, SweepSpec};
 use tspu_registry::Universe;
 
 /// Trace one scenario in a thousand: a 100k-domain campaign keeps ~100
@@ -50,7 +50,7 @@ fn main() {
         spec.len(),
         pool.threads()
     );
-    let observed = spec.run_observed_sampled(&pool, TRACE_EVERY);
+    let observed = spec.run(&pool, &RunOpts::sampled(TRACE_EVERY));
 
     // --- Verdict tally -------------------------------------------------
     let mut tally = [0usize; 5];
@@ -70,10 +70,10 @@ fn main() {
     );
 
     // --- Pool report (wall clock — the nondeterministic half) ----------
-    println!("\n{}", observed.report.summary());
+    println!("\n{}", observed.report.as_ref().expect("report requested").summary());
 
     // --- Snapshot highlights (deterministic) ---------------------------
-    let snapshot = &observed.snapshot;
+    let snapshot = observed.snapshot.as_ref().expect("observed run");
     println!("snapshot: {} metrics, {} spans", snapshot.metrics().len(), snapshot.spans().len());
     let mut counters = snapshot.moved_counters();
     counters.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));

@@ -25,7 +25,7 @@ fn main() {
 
     // ───────────────────────── §5 HOW does the TSPU block? ─────────────────────────
     println!("§5 HOW — probing from the ER-Telecom vantage point:");
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     for (domain, note) in [
         ("meduza.io", "news site"),
         ("play.google.com", "out-registry Google service"),

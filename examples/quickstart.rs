@@ -15,7 +15,7 @@ fn main() {
     // and the Fig. 1 topology: three residential vantage points with TSPU
     // devices on their paths, measurement machines outside Russia.
     let universe = Universe::generate(2022);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
 
     // The US measurement machine serves HTTPS for any SNI.
     lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));

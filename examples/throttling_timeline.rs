@@ -32,7 +32,7 @@ fn main() {
 
     for (day_number, label) in dates {
         let epoch = timeline.epoch(day_number);
-        let mut lab = VantageLab::build(&universe, epoch.throttle_active, epoch.quic_filter);
+        let mut lab = VantageLab::builder().universe(&universe).throttle_active(epoch.throttle_active).quic_filter(epoch.quic_filter).table1().build();
         if day_number < tspu_registry::day::MAR_4 {
             // Before Mar 4 the social-media domains were not RST-blocked:
             // before Feb 26 they were simply open; Feb 26 – Mar 4 they

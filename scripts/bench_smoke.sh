@@ -7,7 +7,11 @@
 # observability pair: the obs_overhead bench runs twice — default
 # features (instrumented) and --no-default-features (no-op) — and the
 # derived obs/overhead_device_hop record reports the enabled-vs-disabled
-# delta in ns/packet and percent (budget: <= 5%).
+# delta in ns/packet and percent (budget: <= 5%). PR 5 adds the churn
+# trio (churn/delta_apply_ns, churn/policy_recompile_ns,
+# churn/convergence_virtual_ms) and derives
+# churn/delta_vs_recompile_ratio, asserting the incremental path beats a
+# full recompile by >= 50x.
 #
 # Usage:
 #   scripts/bench_smoke.sh [OUTPUT]      # quick (~20x shorter) run
@@ -15,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 # cargo runs bench binaries from the package dir, so anchor relative
 # output paths to the workspace root.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
@@ -61,6 +65,23 @@ for metric in ("device_hop", "netsim_event"):
     with open(path, "a") as fh:
         fh.write(json.dumps(rec) + "\n")
     print(f"obs overhead {metric}: {delta:+.2f} ns/iter ({percent:+.2f}%)")
+
+# Derive the churn delta-vs-recompile ratio (acceptance: >= 50x).
+apply = records.get("churn/delta_apply_ns")
+recompile = records.get("churn/policy_recompile_ns")
+if apply and recompile:
+    ratio = recompile["ns_per_iter"] / apply["ns_per_iter"] if apply["ns_per_iter"] else 0.0
+    rec = {
+        "id": "churn/delta_vs_recompile_ratio",
+        "ns_per_iter": round(ratio, 1),
+        "iters": apply["iters"],
+        "delta_apply_ns": apply["ns_per_iter"],
+        "policy_recompile_ns": recompile["ns_per_iter"],
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(rec) + "\n")
+    print(f"churn delta vs recompile: {ratio:.1f}x")
+    assert ratio >= 50.0, f"incremental delta only {ratio:.1f}x faster than recompile"
 EOF
 
 echo "wrote $(wc -l <"$out") bench records to $out"

@@ -25,7 +25,7 @@
 //!
 //! // The paper's Fig. 1 setup, generated deterministically.
 //! let universe = Universe::generate(2022);
-//! let mut lab = VantageLab::build(&universe, false, true);
+//! let mut lab = VantageLab::builder().universe(&universe).table1().build();
 //! lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
 //!
 //! // Fetch a blocked domain from the ER-Telecom vantage point.

@@ -32,7 +32,7 @@ fn blocking_is_uniform_across_isps() {
     // §5.1's attribution criterion: the TSPU blocks the same list, the
     // same way, at every ISP — unlike ISP resolvers.
     let universe = Universe::generate(77);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
 
     for (i, vantage) in ["Rostelecom", "ER-Telecom", "OBIT"].iter().enumerate() {
@@ -67,7 +67,7 @@ fn central_policy_update_applies_everywhere_at_once() {
     // The March 2022 pattern: Roskomnadzor adds a domain and every device
     // in the country enforces it immediately.
     let universe = Universe::generate(78);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
 
     assert_eq!(fetch(&mut lab, "OBIT", 31_000, "newsite.example"), ClientOutcome::GotData);
@@ -82,7 +82,7 @@ fn residual_censorship_and_fresh_ports() {
     // §3: tests reuse fresh source ports because verdicts stick to the
     // 5-tuple for their residual duration.
     let universe = Universe::generate(79);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
 
     assert_eq!(fetch(&mut lab, "ER-Telecom", 32_000, "meduza.io"), ClientOutcome::Reset);
@@ -101,7 +101,7 @@ fn datacenter_style_path_sees_no_censorship() {
     // censorship" — the Paris machine (no TSPU on its path to the US)
     // fetches blocked domains freely.
     let universe = Universe::generate(80);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
     let (app, report, syn) = TcpClient::start(TcpClientConfig::new(
         lab.paris_addr,
@@ -122,7 +122,7 @@ fn server_side_strategies_help_unmodified_clients() {
     // blocked site when the server uses the split handshake or a small
     // window.
     let universe = Universe::generate(81);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     for (port_cfg, client_port) in [
         (ServerPort::new(443, PortBehavior::TlsServer).split_handshake(), 34_000u16),
         (ServerPort::new(443, PortBehavior::TlsServer).small_window(64), 34_001),
@@ -143,7 +143,7 @@ fn two_devices_on_path_compound_reliability() {
     // mechanism both can enforce (SNI-II upstream drops) fails only when
     // both roll a failure.
     let universe = Universe::generate(82);
-    let mut lab = VantageLab::build(&universe, false, true);
+    let mut lab = VantageLab::builder().universe(&universe).table1().build();
     let er = tspu::measure::reliability::run_cell(
         &mut lab,
         "ER-Telecom",

@@ -6,7 +6,7 @@ use tspu::registry::Universe;
 use tspu::topology::VantageLab;
 
 fn lab(seed: u64) -> VantageLab {
-    VantageLab::build(&Universe::generate(seed), false, true)
+    VantageLab::builder().universe(&Universe::generate(seed)).table1().build()
 }
 
 #[test]
@@ -100,7 +100,7 @@ fn claim_out_registry_blocking_exists() {
     // §5.2/§6.3: the TSPU blocks resources absent from any ISP list
     // (play.google.com, the Tor node's IP).
     let universe = Universe::generate(93);
-    let lab = VantageLab::build(&universe, false, true);
+    let lab = VantageLab::builder().universe(&universe).table1().build();
     for resolver in &lab.resolvers {
         assert!(!resolver.lists("play.google.com"));
         assert!(!resolver.lists("nordvpn.com"));
@@ -113,7 +113,7 @@ fn claim_out_registry_blocking_exists() {
 #[test]
 fn claim_march4_transition_was_central_and_instant() {
     let universe = Universe::generate(94);
-    let lab = VantageLab::build(&universe, true, false);
+    let lab = VantageLab::builder().universe(&universe).throttle_active(true).quic_filter(false).table1().build();
     // Before: throttling active, no QUIC filter.
     assert!(lab.policy.read().throttle_active);
     assert!(!lab.policy.read().quic_filter);
