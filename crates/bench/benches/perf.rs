@@ -343,9 +343,20 @@ fn netsim_event_rate(_c: &mut Criterion) {
 /// sweep is the unit of work, so these report through `report_custom`
 /// (ns_per_iter = ns per domain scenario). Verdicts are asserted equal
 /// across thread counts — the speedup must not cost determinism.
+///
+/// `SweepSpec::run` builds the warm lab image once and forks a private
+/// lab per scenario, so `registry_100k_{1,N}thread` measure the forked
+/// path; the same numbers are also recorded under the explicit
+/// `registry_100k_forked_{1,N}thread` ids. `registry_100k_fresh_1thread`
+/// keeps the old build-per-scenario loop alive as the reference the
+/// fork is measured against (bench_smoke derives
+/// `sweep/forked_vs_fresh_ratio` and asserts it ≥2.5×), and
+/// `lab_fork_ns` prices one `LabImage::fork` on its own.
 fn sweep_scale(_c: &mut Criterion) {
-    use tspu_measure::sweep::{RunOpts, ScanPool, SweepSpec};
+    use tspu_measure::domains::test_domain;
+    use tspu_measure::sweep::{scenario_port, RunOpts, ScanPool, SweepSpec};
     use tspu_registry::Universe;
+    use tspu_topology::VantageLab;
 
     // Always the full 100k scenarios, even under BENCH_QUICK: at ~30 µs
     // per scenario the whole sweep costs seconds, and the id promises the
@@ -376,6 +387,35 @@ fn sweep_scale(_c: &mut Criterion) {
     let n = spec.len().max(1) as u64;
     criterion::report_custom("sweep/registry_100k_1thread", ns_1 / n as f64, n);
     criterion::report_custom("sweep/registry_100k_Nthread", ns_8 / n as f64, n);
+    criterion::report_custom("sweep/registry_100k_forked_1thread", ns_1 / n as f64, n);
+    criterion::report_custom("sweep/registry_100k_forked_Nthread", ns_8 / n as f64, n);
+
+    // The reference the fork replaced: one fresh builder().build() per
+    // scenario, single-thread, same verdicts (asserted) — what
+    // `registry_100k_1thread` measured before lab images existed.
+    let pool = ScanPool::single_thread();
+    let start = std::time::Instant::now();
+    let fresh = pool.run(&spec.domains, &RunOpts::quick(), || (), |(), index, domain| {
+        let mut lab = VantageLab::builder().policy(spec.policy.clone()).build();
+        test_domain(&mut lab, domain, scenario_port(index))
+    });
+    let fresh_ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(fresh.results, verdicts_1, "forked sweep must match build-per-scenario sweep");
+    criterion::report_custom("sweep/registry_100k_fresh_1thread", fresh_ns / n as f64, n);
+
+    // One fork, priced alone: the warm image amortizes construction, so
+    // this is the whole per-scenario setup bill.
+    let image = VantageLab::builder().policy(spec.policy.clone()).image();
+    let fork_iters = 20_000u64;
+    let start = std::time::Instant::now();
+    for i in 0..fork_iters {
+        black_box(image.fork(i as usize));
+    }
+    criterion::report_custom(
+        "sweep/lab_fork_ns",
+        start.elapsed().as_nanos() as f64 / fork_iters as f64,
+        fork_iters,
+    );
 }
 
 /// Registry churn: the incremental-update claim in numbers. Applying a

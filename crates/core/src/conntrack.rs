@@ -168,6 +168,11 @@ pub struct FlowEntry {
     /// Accumulated local→remote stream bytes, kept only when the device
     /// runs with TCP-reassembly hardening (see `crate::hardening`).
     pub rx_stream: Vec<u8>,
+    /// Cached IP-blocklist verdict for the flow's remote endpoint, tagged
+    /// with the policy epoch it was looked up under. A registry delta
+    /// bumps the epoch and thereby invalidates every flow's cache, so a
+    /// hit is exactly equivalent to re-probing the blocklist.
+    pub remote_ip_blocked: Option<(u64, bool)>,
     /// Incarnation tag assigned by the tracker at insertion; see
     /// [`ConnTracker`]'s GC ring.
     gen: u64,
@@ -187,6 +192,7 @@ impl FlowEntry {
             exempt: false,
             exemption_decided: false,
             rx_stream: Vec::new(),
+            remote_ip_blocked: None,
             gen: 0,
         }
     }

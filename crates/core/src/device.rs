@@ -13,11 +13,13 @@
 //! 4. UDP packets to port 443 are checked against the QUIC fingerprint.
 
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use tspu_netsim::fault::DeviceFaults;
-use tspu_netsim::{Direction, Middlebox, Time, Verdict};
+use tspu_netsim::{Direction, Middlebox, MiddleboxImage, Time, Verdict};
 use tspu_obs::{CounterId, MetricValue, Registry, Snapshot, Tracer};
 use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::{TcpFlags, TcpSegment};
@@ -156,6 +158,31 @@ impl DeviceMetrics {
         self.registry.inc(id);
     }
 
+    /// A zeroed copy for a forked device: same scope and counter slots,
+    /// shared interned names, all values zero, fresh tracer with the
+    /// sampling switch preserved.
+    fn fork(&self) -> DeviceMetrics {
+        DeviceMetrics {
+            registry: self.registry.fork_reset(),
+            tracer: self.tracer.fork_reset(),
+            packets_seen: self.packets_seen,
+            packets_dropped: self.packets_dropped,
+            packets_rewritten: self.packets_rewritten,
+            triggers_sni1: self.triggers_sni1,
+            triggers_sni2: self.triggers_sni2,
+            triggers_sni3: self.triggers_sni3,
+            triggers_sni4: self.triggers_sni4,
+            triggers_quic: self.triggers_quic,
+            ip_blocked_packets: self.ip_blocked_packets,
+            fragments_processed: self.fragments_processed,
+            reassembly_bytes: self.reassembly_bytes,
+            synacks_filtered: self.synacks_filtered,
+            restarts: self.restarts,
+            policer_rejects: self.policer_rejects,
+            stale_epoch_verdicts: self.stale_epoch_verdicts,
+        }
+    }
+
     fn stats(&self) -> DeviceStats {
         let v = |id| self.registry.counter_value(id);
         DeviceStats {
@@ -180,14 +207,22 @@ impl DeviceMetrics {
 /// One TSPU box. Construct with a shared [`PolicyHandle`] (central
 /// control) and attach to routes via `tspu_netsim`.
 pub struct TspuDevice {
-    label: String,
+    /// Shared with [`DeviceConfig`] clones: forking a lab cell
+    /// re-instantiates every device, so the label is refcounted rather
+    /// than re-allocated.
+    label: Arc<str>,
     policy: PolicyHandle,
     conntrack: ConnTracker,
     frag_cache: FragCache,
     rng: SmallRng,
+    /// The construction seed, kept so [`TspuDevice::config`] can rebuild
+    /// a device whose failure dice replay from the start.
+    seed: u64,
     failure: FailureProfile,
     metrics: DeviceMetrics,
     hardening: Hardening,
+    /// Pre-provisioned flow-table capacity ([`TspuDevice::with_flow_capacity`]).
+    flow_capacity: Option<usize>,
     faults: DeviceFaults,
     /// Restarts from `faults` already applied (they are sorted).
     restarts_applied: usize,
@@ -210,19 +245,49 @@ impl TspuDevice {
     /// `seed` drives the (deterministic) failure dice.
     pub fn new(label: &str, policy: PolicyHandle, failure: FailureProfile, seed: u64) -> TspuDevice {
         TspuDevice {
-            label: label.to_string(),
+            label: Arc::from(label),
             policy,
             conntrack: ConnTracker::new(),
             frag_cache: FragCache::new(FragConfig::default()),
             rng: SmallRng::seed_from_u64(seed),
+            seed,
             failure,
             metrics: DeviceMetrics::new(label),
             hardening: Hardening::none(),
+            flow_capacity: None,
             faults: DeviceFaults::default(),
             restarts_applied: 0,
             reload_applied: false,
             violation: None,
         }
+    }
+
+    /// Snapshots this device's immutable configuration as a
+    /// [`DeviceConfig`]. [`DeviceConfig::instantiate`] then rebuilds a
+    /// pristine device — empty conntrack and fragment cache, RNG reseeded
+    /// from the construction seed, zeroed metrics with the same interned
+    /// layout — byte-identical in behavior to constructing this device
+    /// from scratch with the same parameters.
+    pub fn config(&self) -> DeviceConfig {
+        DeviceConfig {
+            label: self.label.clone(),
+            policy: self.policy.clone(),
+            failure: self.failure,
+            seed: self.seed,
+            hardening: self.hardening,
+            flow_capacity: self.flow_capacity,
+            faults: self.faults.clone(),
+            violation: self.violation,
+            metrics: self.metrics.fork(),
+        }
+    }
+
+    /// Swaps the shared policy handle — used when forking a lab cell that
+    /// enforces its own per-cell policy (churn campaigns). The conntrack,
+    /// RNG, and metrics are untouched, so a fork followed by `set_policy`
+    /// equals a fresh build against that handle.
+    pub fn set_policy(&mut self, policy: PolicyHandle) {
+        self.policy = policy;
     }
 
     /// Schedules deterministic device-level faults from a chaos plan:
@@ -315,6 +380,7 @@ impl TspuDevice {
     /// O(table) latency event (hash-table growth rehashes).
     pub fn with_flow_capacity(mut self, flows: usize) -> TspuDevice {
         self.conntrack = ConnTracker::with_capacity(flows);
+        self.flow_capacity = Some(flows);
         self
     }
 
@@ -448,7 +514,15 @@ impl TspuDevice {
             }
         }
 
-        self.conntrack.observe_tcp(now, key, side, flags, payload_len);
+        // One flow lookup covers the state transition plus everything the
+        // common path needs afterwards: the cached blocklist verdict and
+        // whether a block verdict is in force (observe has already cleared
+        // lapsed ones). The data-packet steady state touches the flow
+        // table exactly once.
+        let (cached_ip, has_block) = {
+            let entry = self.conntrack.observe_tcp(now, key, side, flags, payload_len);
+            (entry.remote_ip_blocked, entry.block.is_some())
+        };
 
         // Hardening: accumulate the local→remote stream for reassembled
         // inspection (bounded per flow).
@@ -466,11 +540,24 @@ impl TspuDevice {
         }
 
         // --- IP-based blocking (§5.2) ---
-        let (dst_blocked, src_blocked) = {
-            let policy = self.policy.read();
-            (policy.blocked_ips.contains(&dst_addr), policy.blocked_ips.contains(&src_addr))
+        // Both checks below test the flow's *remote* endpoint (outbound
+        // destination, inbound source), and the flow key is
+        // direction-normalized, so the verdict is a per-flow constant
+        // until a policy delta changes the blocklist. Cache it on the
+        // entry, validated by the lock-free epoch: steady-state packets
+        // skip the policy read-lock and the blocklist probe entirely.
+        let epoch = self.policy.epoch();
+        let remote_blocked = match cached_ip {
+            Some((cached_epoch, blocked)) if cached_epoch == epoch => blocked,
+            _ => {
+                let blocked = self.policy.read().blocked_ips.contains(&key.remote_addr);
+                if let Some(entry) = self.conntrack.get_mut(now, &key) {
+                    entry.remote_ip_blocked = Some((epoch, blocked));
+                }
+                blocked
+            }
         };
-        if dst_blocked && direction == Direction::LocalToRemote {
+        if remote_blocked && direction == Direction::LocalToRemote {
             let ip_failure = self.failure.ip;
             if !self.flow_exempt(now, &key, ip_failure) {
                 self.metrics.inc(self.metrics.ip_blocked_packets);
@@ -497,7 +584,7 @@ impl TspuDevice {
                 return self.drop_packet();
             }
         }
-        if src_blocked && direction == Direction::RemoteToLocal {
+        if remote_blocked && direction == Direction::RemoteToLocal {
             // Requests from the blocked IP pass through (§5.2).
             return Verdict::Pass;
         }
@@ -507,6 +594,12 @@ impl TspuDevice {
             TriggerAction::PassNow => return Verdict::Pass,
             TriggerAction::DropNow => return self.drop_packet(),
             TriggerAction::None => {}
+        }
+        // A trigger that installs a verdict returns PassNow/DropNow above,
+        // so on the None path the flow carries a block only if it already
+        // had one at observe time — no need to look it up again.
+        if !has_block {
+            return Verdict::Pass;
         }
         self.apply_block(now, direction, &key, packet, payload_len)
     }
@@ -643,7 +736,7 @@ impl TspuDevice {
         // Epoch audit: the flow keeps its pinned verdict even if a registry
         // delta has since changed the rule that installed it (residual
         // blocking); count each enforcement under an outdated epoch.
-        if block.epoch < self.policy.read().epoch {
+        if block.epoch < self.policy.epoch() {
             self.metrics.inc(self.metrics.stale_epoch_verdicts);
         }
         match block.kind {
@@ -707,7 +800,7 @@ impl TspuDevice {
         if let Some(entry) = self.conntrack.get_mut(now, &key) {
             if let Some(block) = &entry.block {
                 if block.active(now) {
-                    if block.epoch < self.policy.read().epoch {
+                    if block.epoch < self.policy.epoch() {
                         self.metrics.inc(self.metrics.stale_epoch_verdicts);
                     }
                     return self.drop_packet();
@@ -874,6 +967,61 @@ impl Middlebox for TspuDevice {
     }
 
     fn label(&self) -> String {
-        self.label.clone()
+        self.label.to_string()
+    }
+
+    fn image(&self) -> Option<Box<dyn MiddleboxImage>> {
+        Some(Box::new(self.config()))
+    }
+}
+
+/// The immutable half of a [`TspuDevice`], split out so lab images can
+/// share it across forked scenario cells: label, shared policy handle,
+/// failure profile and its RNG seed, hardening, fault schedule, and the
+/// pristine metric layout. Everything mutable — conntrack, fragment
+/// cache, RNG position, policer buckets, counter values — is rebuilt per
+/// [`DeviceConfig::instantiate`].
+pub struct DeviceConfig {
+    label: Arc<str>,
+    policy: PolicyHandle,
+    failure: FailureProfile,
+    seed: u64,
+    hardening: Hardening,
+    flow_capacity: Option<usize>,
+    faults: DeviceFaults,
+    violation: Option<ModelViolation>,
+    metrics: DeviceMetrics,
+}
+
+impl DeviceConfig {
+    /// Builds a pristine device from this configuration. The result is
+    /// byte-identical in behavior to `TspuDevice::new` with the same
+    /// parameters followed by the same builder calls.
+    pub fn instantiate(&self) -> TspuDevice {
+        TspuDevice {
+            label: self.label.clone(),
+            policy: self.policy.clone(),
+            conntrack: match self.flow_capacity {
+                Some(flows) => ConnTracker::with_capacity(flows),
+                None => ConnTracker::new(),
+            },
+            frag_cache: FragCache::new(FragConfig::default()),
+            rng: SmallRng::seed_from_u64(self.seed),
+            seed: self.seed,
+            failure: self.failure,
+            metrics: self.metrics.fork(),
+            hardening: self.hardening,
+            flow_capacity: self.flow_capacity,
+            faults: self.faults.clone(),
+            restarts_applied: 0,
+            reload_applied: false,
+            violation: self.violation,
+        }
+    }
+}
+
+impl MiddleboxImage for DeviceConfig {
+    fn instantiate(&self) -> Box<dyn Middlebox> {
+        Box::new(DeviceConfig::instantiate(self))
     }
 }

@@ -42,7 +42,7 @@ pub mod updater;
 pub use behaviors::{BlockKind, BlockState};
 pub use chaos::ModelViolation;
 pub use conntrack::{ConnState, ConnTracker, FlowKey, Side};
-pub use device::{DeviceStats, FailureProfile, TspuDevice};
+pub use device::{DeviceConfig, DeviceStats, FailureProfile, TspuDevice};
 pub use frag_cache::FragCache;
 pub use hardening::Hardening;
 pub use policer::TokenBucket;

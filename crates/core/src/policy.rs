@@ -11,6 +11,7 @@
 
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use tspu_obs::{CounterId, GaugeId, Registry, Snapshot};
@@ -492,14 +493,20 @@ impl PolicyMetrics {
 #[derive(Clone)]
 pub struct PolicyHandle {
     inner: Arc<RwLock<Policy>>,
+    /// Mirror of [`Policy::epoch`], readable without the lock. The packet
+    /// path validates per-flow verdict caches against the live epoch on
+    /// every packet, so this must not cost a read-lock acquisition.
+    epoch: Arc<AtomicU64>,
     metrics: Arc<Mutex<PolicyMetrics>>,
 }
 
 impl PolicyHandle {
     /// Wraps a policy for central distribution.
     pub fn new(policy: Policy) -> PolicyHandle {
+        let epoch = policy.epoch;
         PolicyHandle {
             inner: Arc::new(RwLock::new(policy)),
+            epoch: Arc::new(AtomicU64::new(epoch)),
             metrics: Arc::new(Mutex::new(PolicyMetrics::new())),
         }
     }
@@ -509,9 +516,9 @@ impl PolicyHandle {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// The current policy epoch (without holding the read guard).
+    /// The current policy epoch (lock-free).
     pub fn epoch(&self) -> u64 {
-        self.read().epoch
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Applies a centrally coordinated update — visible to all devices
@@ -525,6 +532,7 @@ impl PolicyHandle {
             policy.epoch = policy.epoch.wrapping_add(1);
             policy.epoch
         };
+        self.epoch.store(epoch, Ordering::Release);
         self.note_update(epoch);
     }
 
@@ -537,6 +545,7 @@ impl PolicyHandle {
             policy.apply_delta(delta);
             policy.epoch
         };
+        self.epoch.store(epoch, Ordering::Release);
         self.note_update(epoch);
     }
 

@@ -58,6 +58,7 @@ impl Resolution {
 /// `blockpage_addr`. The paper also finds resolvers answer identically to
 /// queries from inside and outside the ISP, which holds here trivially:
 /// resolution does not depend on the querier.
+#[derive(Clone)]
 pub struct IspResolver {
     isp: String,
     blocklist: DomainSet,

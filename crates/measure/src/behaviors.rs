@@ -28,6 +28,21 @@ pub enum ObservedBehavior {
     Throttled,
 }
 
+/// Volley payload table: packet `i` is `LEN` copies of `base + i`, so each
+/// packet in a volley is distinguishable in captures.
+const fn volley<const LEN: usize, const N: usize>(base: u8) -> [[u8; LEN]; N] {
+    let mut out = [[0u8; LEN]; N];
+    let mut i = 0;
+    while i < N {
+        out[i] = [base + i as u8; LEN];
+        i += 1;
+    }
+    out
+}
+
+static REMOTE_VOLLEY: [[u8; 120]; 8] = volley(0xd0);
+static LOCAL_VOLLEY: [[u8; 60]; 2] = volley(0xe0);
+
 /// Probes one flow: plays `prefix`, then the `trigger` payload from the
 /// local side, then a scripted response volley (8 remote data packets,
 /// 2 local data packets), and classifies what the endpoints saw.
@@ -44,18 +59,20 @@ pub fn classify_behavior(
     let mut steps = prefix.to_vec();
     let trigger_marker = trigger.len();
     steps.push(ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK).payload(trigger));
-    // Remote "ServerHello"-ish reply plus data volley.
-    for i in 0..8u8 {
+    // Remote "ServerHello"-ish reply plus data volley. The payloads are
+    // compile-time constants: a domain sweep replays this volley once per
+    // scenario, so they are borrowed, never re-allocated.
+    for payload in &REMOTE_VOLLEY {
         steps.push(
             ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK)
-                .payload(vec![0xd0 + i; 120])
+                .payload(&payload[..])
                 .after(Duration::from_millis(50)),
         );
     }
-    for i in 0..2u8 {
+    for payload in &LOCAL_VOLLEY {
         steps.push(
             ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK)
-                .payload(vec![0xe0 + i; 60])
+                .payload(&payload[..])
                 .after(Duration::from_millis(50)),
         );
     }

@@ -4,10 +4,11 @@
 //! thread count, every cell's capture replayed through the trace-invariant
 //! oracle.
 //!
-//! Each cell is a self-contained simulation: a fresh Table-1 lab, the
-//! cell's [`FaultPlan`] wired through it, one reliability cell measured,
-//! then — when `check_oracle` is on — the full capture audited against
-//! the paper's model invariants. A fault schedule that provokes a model
+//! Each cell is a self-contained simulation: a private Table-1 lab
+//! forked from a warm image built once per run, the cell's [`FaultPlan`]
+//! wired through it at fork time, one reliability cell measured, then —
+//! when `check_oracle` is on — the full capture audited against the
+//! paper's model invariants. A fault schedule that provokes a model
 //! violation therefore fails the sweep loudly with the offending packet
 //! and trace, instead of quietly skewing a failure percentage.
 
@@ -119,20 +120,33 @@ impl ChaosSweep {
             .iter()
             .flat_map(|&scenario| self.seeds.iter().map(move |&seed| (scenario, seed)))
             .collect();
-        pool.run(&cells, opts, || (), |(), _, &(scenario, seed)| self.run_one(scenario, seed))
+        // The warm Table-1 lab is built once; each cell forks it and wires
+        // its own seeded fault plan through the fork. A cell stays a pure
+        // function of (scenario, seed) — the fork is byte-identical to the
+        // fresh build the old per-cell path did.
+        let image = VantageLab::builder().policy(self.policy.clone()).table1().image();
+        pool.run(&cells, opts, || (), |(), index, &(scenario, seed)| {
+            self.run_one(&image, index, scenario, seed)
+        })
     }
 
-    /// Runs one cell: fresh lab, fault plan, reliability measurement,
+    /// Runs one cell: forked lab, fault plan, reliability measurement,
     /// oracle audit.
-    fn run_one(&self, scenario: ChaosScenario, seed: u64) -> ChaosCell {
+    fn run_one(
+        &self,
+        image: &tspu_topology::LabImage,
+        index: usize,
+        scenario: ChaosScenario,
+        seed: u64,
+    ) -> ChaosCell {
         let plan = FaultPlan {
             seed,
             forward: self.forward.clone(),
             reverse: self.reverse.clone(),
             device: self.device.clone(),
         };
-        let mut lab =
-            VantageLab::builder().policy(self.policy.clone()).table1().fault_plan(&plan).build();
+        let mut lab = image.fork(index);
+        lab.apply_fault_plan(&plan);
         if self.check_oracle {
             lab.net.set_capture(true);
         }

@@ -15,8 +15,9 @@
 //! lags dwarf the TSPU's round-trip convergence by construction.
 //!
 //! Every cell is a pure function of `(schedule, batch index, campaign
-//! config)` — fresh lab, fresh policy handle, virtual clock — so the
-//! campaign is byte-identical at any worker-thread count.
+//! config)` — a private lab forked from a warm image built once per
+//! campaign, fresh policy handle swapped in at fork time, virtual clock —
+//! so the campaign is byte-identical at any worker-thread count.
 
 use std::net::Ipv4Addr;
 use std::time::Duration;
@@ -112,8 +113,15 @@ impl ChurnCampaign {
             .filter(|(_, batch)| !batch.add.is_empty())
             .map(|(index, _)| index)
             .collect();
-        let run =
-            pool.run(&cells, &RunOpts::quick(), || (), |(), _, &pos| self.run_cell(schedule, pos));
+        // Warm image built once against a placeholder handle; each cell
+        // forks it and swaps in its own day's policy handle. Forked state
+        // (conntrack, clocks, RNG, instruments) is pristine, so this is
+        // byte-identical to the fresh per-cell build it replaces.
+        let image =
+            VantageLab::builder().policy(PolicyHandle::new(Policy::permissive())).image();
+        let run = pool.run(&cells, &RunOpts::quick(), || (), |(), index, &pos| {
+            self.run_cell(&image, index, schedule, pos)
+        });
         let mut convergence = Histogram::new();
         let mut snapshot = Snapshot::new();
         let mut out = Vec::with_capacity(run.results.len());
@@ -137,7 +145,13 @@ impl ChurnCampaign {
 
     /// One cell: replay day `pos` of the schedule and time its delta's
     /// convergence.
-    fn run_cell(&self, schedule: &ChurnSchedule, pos: usize) -> (DeltaConvergence, Snapshot) {
+    fn run_cell(
+        &self,
+        image: &tspu_topology::LabImage,
+        index: usize,
+        schedule: &ChurnSchedule,
+        pos: usize,
+    ) -> (DeltaConvergence, Snapshot) {
         let batches = schedule.batches();
         let batch = &batches[pos];
 
@@ -148,7 +162,8 @@ impl ChurnCampaign {
             policy.apply_delta(&churn_delta(prior));
         }
         let handle = PolicyHandle::new(policy);
-        let mut lab = VantageLab::builder().policy(handle.clone()).build();
+        let mut lab = image.fork(index);
+        lab.set_policy(handle.clone());
         lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(lab.us_main_addr)));
 
         // Steady traffic toward the day's first (sorted) addition.

@@ -3,6 +3,8 @@
 //! different types of traffic — often with triggers — while capturing
 //! traffic from both ends for analysis").
 
+use std::borrow::Cow;
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -26,7 +28,9 @@ pub enum ProbeSide {
 pub struct ScriptStep {
     pub from: ProbeSide,
     pub flags: TcpFlags,
-    pub payload: Vec<u8>,
+    /// Borrowed for the constant volley payloads the scan hot path replays
+    /// thousands of times per sweep; owned for per-scenario triggers.
+    pub payload: Cow<'static, [u8]>,
     /// Virtual time to let pass *before* sending this packet.
     pub wait_before: Duration,
     /// TTL override (TTL-limited probing).
@@ -36,12 +40,13 @@ pub struct ScriptStep {
 impl ScriptStep {
     /// A flags-only packet from a side.
     pub fn new(from: ProbeSide, flags: TcpFlags) -> ScriptStep {
-        ScriptStep { from, flags, payload: Vec::new(), wait_before: Duration::ZERO, ttl: None }
+        ScriptStep { from, flags, payload: Cow::Borrowed(&[]), wait_before: Duration::ZERO, ttl: None }
     }
 
-    /// Adds a payload (PSH/ACK data, triggers).
-    pub fn payload(mut self, payload: Vec<u8>) -> ScriptStep {
-        self.payload = payload;
+    /// Adds a payload (PSH/ACK data, triggers). Accepts owned bytes or a
+    /// `'static` slice (the scripted volleys are compile-time constants).
+    pub fn payload(mut self, payload: impl Into<Cow<'static, [u8]>>) -> ScriptStep {
+        self.payload = payload.into();
         self
     }
 
@@ -76,10 +81,36 @@ pub struct ScriptResult {
     pub at_remote: Vec<PacketSummary>,
 }
 
+thread_local! {
+    /// Recycled packet buffers: crafted packets travel through the
+    /// simulator into an inbox, come back via [`summarize`], and their
+    /// allocations are reused by the next scripted step. Contents are
+    /// fully overwritten on every build, so pooling is invisible to
+    /// results — it only spares the scan hot path a malloc per packet.
+    static PACKET_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pool cap: enough for one scenario's packets in flight, small enough
+/// that an unusual burst does not pin memory.
+const PACKET_POOL_CAP: usize = 32;
+
+fn pooled_packet() -> Vec<u8> {
+    PACKET_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn recycle_packet(buf: Vec<u8>) {
+    PACKET_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < PACKET_POOL_CAP {
+            pool.push(buf);
+        }
+    });
+}
+
 fn summarize(inbox: Vec<(tspu_netsim::Time, Vec<u8>)>) -> Vec<PacketSummary> {
-    inbox
-        .into_iter()
-        .filter_map(|(time, bytes)| {
+    let mut out = Vec::with_capacity(inbox.len());
+    for (time, bytes) in inbox {
+        let summary = (|| {
             let ip = Ipv4Packet::new_checked(&bytes[..]).ok()?;
             if ip.protocol() != Protocol::Tcp || ip.is_fragment() {
                 return None;
@@ -95,8 +126,11 @@ fn summarize(inbox: Vec<(tspu_netsim::Time, Vec<u8>)>) -> Vec<PacketSummary> {
                 sni: extract_sni(payload).hostname().map(str::to_string),
                 src: ip.src_addr(),
             })
-        })
-        .collect()
+        })();
+        recycle_packet(bytes);
+        out.extend(summary);
+    }
+    out
 }
 
 /// Endpoint descriptor for script runs.
@@ -138,11 +172,13 @@ pub fn run_script(
                 TcpPacketSpec::new(remote.addr, remote.port, local.addr, local.port, step.flags),
             ),
         };
-        let mut spec = spec.payload(step.payload.clone());
+        let mut spec = spec;
         if let Some(ttl) = step.ttl {
             spec = spec.ttl(ttl);
         }
-        net.send_from(src_host, spec.build());
+        let mut packet = pooled_packet();
+        spec.build_into(&step.payload, &mut packet);
+        net.send_from(src_host, packet);
         // Let this packet (and anything it provokes) propagate before the
         // next scripted step, as the paper's sequential tests do.
         net.run_for(Duration::from_millis(200));

@@ -116,8 +116,8 @@ pub fn localize_symmetric(
 }
 
 /// [`localize_symmetric`] sharded TTL-per-scenario across the pool, each
-/// trial on a fresh scan lab built from the shared policy. Identical
-/// results at any thread count.
+/// trial on a private lab forked from a warm scan image built once.
+/// Identical results at any thread count.
 pub fn localize_symmetric_pooled(
     policy: &PolicyHandle,
     vantage_name: &str,
@@ -126,8 +126,9 @@ pub fn localize_symmetric_pooled(
     pool: &ScanPool,
 ) -> Option<LocalizedDevice> {
     let ttls: Vec<u8> = (1..=max_ttl).collect();
-    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), _, &ttl| {
-        let mut lab = VantageLab::builder().policy(policy.clone()).build();
+    let image = VantageLab::builder().policy(policy.clone()).image();
+    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), index, &ttl| {
+        let mut lab = image.fork(index);
         symmetric_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
     });
     let blocked = run.results;
@@ -162,8 +163,9 @@ pub fn find_upstream_only_pooled(
     pool: &ScanPool,
 ) -> Vec<LocalizedDevice> {
     let ttls: Vec<u8> = (1..=max_ttl).collect();
-    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), _, &ttl| {
-        let mut lab = VantageLab::builder().policy(policy.clone()).build();
+    let image = VantageLab::builder().policy(policy.clone()).image();
+    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), index, &ttl| {
+        let mut lab = image.fork(index);
         upstream_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
     });
     let blocked = run.results;

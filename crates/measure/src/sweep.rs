@@ -4,10 +4,13 @@
 //!
 //! The design exploits the measurement structure of the paper: every
 //! scenario (vantage × target × technique) is a self-contained simulation.
-//! Workers build their own `VantageLab` per scenario from a shared
-//! immutable [`SweepSpec`]; the only shared state is the read-only policy
-//! behind its `RwLock`, so no ordering between scenarios can influence a
-//! verdict and determinism survives parallelism by construction.
+//! The warm lab is built once per run into a shared immutable
+//! `LabImage`; workers fork a private `VantageLab` per scenario
+//! (sub-microsecond: the compiled policy, topology, and route arena are
+//! `Arc`-shared, only the mutable cell — conntrack, clocks, RNG,
+//! instruments — is rebuilt). A fork is byte-identical to a fresh build,
+//! so no ordering between scenarios can influence a verdict and
+//! determinism survives parallelism by construction.
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -145,49 +148,6 @@ impl ScanPool {
     {
         let (results, report) = self.run_inner(items, init, f);
         PoolRun { results, report: opts.report.then_some(report) }
-    }
-
-    /// Per-worker scratch state without opts.
-    #[deprecated(note = "use ScanPool::run(items, &RunOpts::quick(), init, f).results")]
-    pub fn run_with<T, R, S, Init, F>(&self, items: &[T], init: Init, f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        Init: Fn() -> S + Sync,
-        F: Fn(&mut S, usize, &T) -> R + Sync,
-    {
-        self.run(items, &RunOpts::quick(), init, f).results
-    }
-
-    /// Stateless run plus report.
-    #[deprecated(note = "use ScanPool::run(items, &RunOpts::reported(), || (), f)")]
-    pub fn run_reported<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, PoolReport)
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(usize, &T) -> R + Sync,
-    {
-        let run =
-            self.run(items, &RunOpts::reported(), || (), |(), index, item| f(index, item));
-        (run.results, run.report.expect("report requested"))
-    }
-
-    /// Stateful run plus report.
-    #[deprecated(note = "use ScanPool::run(items, &RunOpts::reported(), init, f)")]
-    pub fn run_reported_with<T, R, S, Init, F>(
-        &self,
-        items: &[T],
-        init: Init,
-        f: F,
-    ) -> (Vec<R>, PoolReport)
-    where
-        T: Sync,
-        R: Send,
-        Init: Fn() -> S + Sync,
-        F: Fn(&mut S, usize, &T) -> R + Sync,
-    {
-        let run = self.run(items, &RunOpts::reported(), init, f);
-        (run.results, run.report.expect("report requested"))
     }
 
     /// The scheduler: guided self-scheduling over a shared cursor, per-
@@ -378,8 +338,8 @@ impl PoolReport {
 }
 
 /// Shared immutable description of a registry sweep: one scenario per
-/// domain, all against the same central policy. Workers clone the policy
-/// handle (an `Arc`) and build a fresh scan lab per scenario.
+/// domain, all against the same central policy. The run builds the warm
+/// scan-lab image once; workers fork a private lab per scenario.
 #[derive(Clone)]
 pub struct SweepSpec {
     pub policy: PolicyHandle,
@@ -413,9 +373,9 @@ impl SweepSpec {
     }
 
     /// The single sweep entry point: sweeps every domain through
-    /// [`test_domain`], one fresh scan lab per scenario. Verdicts come
-    /// back parallel to `self.domains`, in domain order at every thread
-    /// count.
+    /// [`test_domain`], one private lab per scenario forked from a warm
+    /// image built once up front. Verdicts come back parallel to
+    /// `self.domains`, in domain order at every thread count.
     ///
     /// Scan labs use reliable devices, so the §3 "repeat >5 times" retry
     /// loop of the sequential campaign is unnecessary here: one attempt
@@ -430,16 +390,17 @@ impl SweepSpec {
     /// wall-clock side lands in the separate [`PoolReport`]
     /// (with [`RunOpts::report`]).
     pub fn run(&self, pool: &ScanPool, opts: &RunOpts) -> SweepRun {
+        let image = VantageLab::builder().policy(self.policy.clone()).image();
         if !opts.observe {
             let run = pool.run(&self.domains, opts, || (), |(), index, domain| {
-                let mut lab = VantageLab::builder().policy(self.policy.clone()).build();
+                let mut lab = image.fork(index);
                 test_domain(&mut lab, domain, scenario_port(index))
             });
             return SweepRun { verdicts: run.results, snapshot: None, report: run.report };
         }
         let trace_every = opts.trace_every;
         let run = pool.run(&self.domains, opts, || (), |(), index, domain| {
-            let mut lab = VantageLab::builder().policy(self.policy.clone()).build();
+            let mut lab = image.fork(index);
             lab.set_tracing(trace_every != 0 && index % trace_every == 0);
             let verdict = test_domain(&mut lab, domain, scenario_port(index));
             let virtual_us = lab.net.now().as_micros();
@@ -463,20 +424,6 @@ impl SweepSpec {
         }
         SweepRun { verdicts, snapshot: Some(snapshot), report: run.report }
     }
-
-    /// Observed run, fully traced.
-    #[deprecated(note = "use SweepSpec::run(pool, &RunOpts::observed())")]
-    #[allow(deprecated)]
-    pub fn run_observed(&self, pool: &ScanPool) -> ObservedSweep {
-        self.run(pool, &RunOpts::observed()).into_observed()
-    }
-
-    /// Observed run with span sampling.
-    #[deprecated(note = "use SweepSpec::run(pool, &RunOpts::sampled(trace_every))")]
-    #[allow(deprecated)]
-    pub fn run_observed_sampled(&self, pool: &ScanPool, trace_every: usize) -> ObservedSweep {
-        self.run(pool, &RunOpts::sampled(trace_every)).into_observed()
-    }
 }
 
 /// What [`SweepSpec::run`] returns: the verdicts, the deterministic
@@ -488,26 +435,6 @@ pub struct SweepRun {
     pub verdicts: Vec<DomainVerdict>,
     pub snapshot: Option<Snapshot>,
     pub report: Option<PoolReport>,
-}
-
-impl SweepRun {
-    #[allow(deprecated)]
-    fn into_observed(self) -> ObservedSweep {
-        ObservedSweep {
-            verdicts: self.verdicts,
-            snapshot: self.snapshot.expect("observed run"),
-            report: self.report.expect("observed run"),
-        }
-    }
-}
-
-/// What the deprecated observed-run shims return.
-#[deprecated(note = "use SweepSpec::run(pool, opts) and the SweepRun it returns")]
-#[derive(Debug, Clone)]
-pub struct ObservedSweep {
-    pub verdicts: Vec<DomainVerdict>,
-    pub snapshot: Snapshot,
-    pub report: PoolReport,
 }
 
 /// Source port for scenario `index`, a pure function of the index so the

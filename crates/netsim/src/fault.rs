@@ -29,7 +29,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tspu_obs::{CounterId, Registry, Snapshot};
 
-use crate::middlebox::{Direction, Middlebox, Verdict};
+use crate::middlebox::{Direction, Middlebox, MiddleboxImage, Verdict};
 use crate::time::Time;
 
 /// Derives an independent RNG seed from a plan seed and a salt (a link
@@ -124,6 +124,22 @@ impl LinkMetrics {
             delayed: self.registry.counter_value(self.delayed),
             clamped: self.registry.counter_value(self.clamped),
             flapped: self.registry.counter_value(self.flapped),
+        }
+    }
+
+    /// A zeroed copy for a forked link: same scope and counter slots,
+    /// shared interned names, all values zero.
+    fn fork(&self) -> LinkMetrics {
+        LinkMetrics {
+            registry: self.registry.fork_reset(),
+            forwarded: self.forwarded,
+            dropped: self.dropped,
+            injected: self.injected,
+            duplicated: self.duplicated,
+            reordered: self.reordered,
+            delayed: self.delayed,
+            clamped: self.clamped,
+            flapped: self.flapped,
         }
     }
 }
@@ -268,6 +284,7 @@ struct HeldPacket {
 /// the flow ends).
 pub struct ChaosLink {
     rng: SmallRng,
+    seed: u64,
     faults: LinkFaults,
     held: Vec<HeldPacket>,
     metrics: LinkMetrics,
@@ -288,6 +305,7 @@ impl ChaosLink {
         assert!((0.0..=1.0).contains(&faults.reorder), "reorder out of [0,1]");
         ChaosLink {
             rng: SmallRng::seed_from_u64(seed),
+            seed,
             faults,
             held: Vec::new(),
             metrics: LinkMetrics::new(label),
@@ -420,6 +438,35 @@ impl Middlebox for ChaosLink {
             self.faults.duplicate * 100.0,
             self.faults.reorder * 100.0
         )
+    }
+
+    fn image(&self) -> Option<Box<dyn MiddleboxImage>> {
+        Some(Box::new(ChaosLinkImage {
+            faults: self.faults.clone(),
+            seed: self.seed,
+            metrics: self.metrics.fork(),
+        }))
+    }
+}
+
+/// The immutable configuration of a [`ChaosLink`]: fault plan, RNG seed,
+/// and metric layout. Instantiation reseeds the RNG from scratch, so a
+/// forked link replays the exact fault sequence of a freshly built one.
+struct ChaosLinkImage {
+    faults: LinkFaults,
+    seed: u64,
+    metrics: LinkMetrics,
+}
+
+impl MiddleboxImage for ChaosLinkImage {
+    fn instantiate(&self) -> Box<dyn Middlebox> {
+        Box::new(ChaosLink {
+            rng: SmallRng::seed_from_u64(self.seed),
+            seed: self.seed,
+            faults: self.faults.clone(),
+            held: Vec::new(),
+            metrics: self.metrics.fork(),
+        })
     }
 }
 

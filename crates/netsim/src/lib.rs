@@ -46,6 +46,6 @@ pub use app::{Application, Output};
 pub use fault::{ChaosLink, DeviceFaults, FaultPlan, FlapSpec, LinkFaults, LinkStats};
 pub use oracle::{ArmCandidate, ArmKind, DeviceAudit, Oracle, OracleReport, OracleSpec};
 pub use capture::{CaptureRecord, TracePoint};
-pub use middlebox::{AsAny, Direction, Middlebox, MiddleboxId, Verdict};
-pub use network::{HostId, MiddleboxHandle, Network, Route, RouteId, RouteStep};
+pub use middlebox::{AsAny, Direction, Middlebox, MiddleboxId, MiddleboxImage, Verdict};
+pub use network::{HostId, MiddleboxHandle, Network, NetworkImage, Route, RouteId, RouteStep};
 pub use time::Time;

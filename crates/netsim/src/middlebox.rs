@@ -113,6 +113,28 @@ pub trait Middlebox: Send + AsAny {
     fn label(&self) -> String {
         "middlebox".to_string()
     }
+
+    /// The device's immutable configuration as a shareable image, if it
+    /// supports forking. [`crate::Network::image`] requires every
+    /// installed middlebox to return `Some`; ad-hoc test middleboxes can
+    /// keep the `None` default and simply opt out of snapshotting.
+    fn image(&self) -> Option<Box<dyn MiddleboxImage>> {
+        None
+    }
+}
+
+/// The immutable half of a fork-able middlebox: everything needed to
+/// rebuild a pristine instance (configuration, seeds, interned metric
+/// names), none of the per-run state (flow tables, RNG position, metric
+/// values).
+///
+/// `Send + Sync` is the point: a [`crate::NetworkImage`] holding these can
+/// be shared by reference across sweep worker threads even though the
+/// instantiated `Box<dyn Middlebox>` is only `Send`.
+pub trait MiddleboxImage: Send + Sync {
+    /// Builds a fresh middlebox, byte-identical in behavior to the one
+    /// the image was taken from at construction time.
+    fn instantiate(&self) -> Box<dyn Middlebox>;
 }
 
 #[cfg(test)]

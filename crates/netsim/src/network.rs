@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use tspu_obs::{CounterId, HistogramId, Registry, Snapshot, Tracer};
@@ -14,7 +15,7 @@ use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
 
 use crate::app::{Application, Output};
 use crate::capture::{CaptureRecord, TracePoint};
-use crate::middlebox::{Direction, Middlebox, MiddleboxId, Verdict};
+use crate::middlebox::{Direction, Middlebox, MiddleboxId, MiddleboxImage, Verdict};
 use crate::time::Time;
 
 /// Index of a host registered with a [`Network`].
@@ -150,16 +151,23 @@ impl Ord for Event {
 }
 
 /// The deterministic simulator. See the crate docs for the model.
+///
+/// The topology half — address map, route table, interned route arena —
+/// lives behind [`Arc`]s so [`Network::image`]/[`NetworkImage::fork`] can
+/// share it across forked copies without rebuilding it. Mutation goes
+/// through [`Arc::make_mut`], so a network that never forks (or a fork
+/// that re-routes after forking) behaves exactly as before, paying one
+/// copy-on-write clone of the touched table.
 pub struct Network {
     now: Time,
     seq: u64,
     queue: BinaryHeap<Reverse<Event>>,
     hosts: Vec<HostState>,
-    addr_map: FxHashMap<Ipv4Addr, HostId>,
-    routes: FxHashMap<(HostId, HostId), RouteId>,
-    route_arena: Vec<Route>,
+    addr_map: Arc<FxHashMap<Ipv4Addr, HostId>>,
+    routes: Arc<FxHashMap<(HostId, HostId), RouteId>>,
+    route_arena: Arc<Vec<Route>>,
     /// Route hash → arena slots with that hash, for interning dedup.
-    route_intern: FxHashMap<u64, Vec<RouteId>>,
+    route_intern: Arc<FxHashMap<u64, Vec<RouteId>>>,
     middleboxes: Vec<Box<dyn Middlebox>>,
     hop_latency: Duration,
     capture_enabled: bool,
@@ -186,10 +194,10 @@ impl Network {
             seq: 0,
             queue: BinaryHeap::new(),
             hosts: Vec::new(),
-            addr_map: FxHashMap::default(),
-            routes: FxHashMap::default(),
-            route_arena: Vec::new(),
-            route_intern: FxHashMap::default(),
+            addr_map: Arc::default(),
+            routes: Arc::default(),
+            route_arena: Arc::default(),
+            route_intern: Arc::default(),
             middleboxes: Vec::new(),
             hop_latency,
             capture_enabled: true,
@@ -254,7 +262,7 @@ impl Network {
     /// Panics if the address is already registered.
     pub fn add_host(&mut self, addr: Ipv4Addr) -> HostId {
         let id = HostId(self.hosts.len());
-        let prev = self.addr_map.insert(addr, id);
+        let prev = Arc::make_mut(&mut self.addr_map).insert(addr, id);
         assert!(prev.is_none(), "duplicate host address {addr}");
         self.hosts.push(HostState { addr, inbox: Vec::new(), app: None });
         id
@@ -341,8 +349,8 @@ impl Network {
             }
         }
         let id = RouteId(u32::try_from(self.route_arena.len()).expect("route arena overflow"));
-        self.route_arena.push(route);
-        self.route_intern.entry(key).or_default().push(id);
+        Arc::make_mut(&mut self.route_arena).push(route);
+        Arc::make_mut(&mut self.route_intern).entry(key).or_default().push(id);
         id
     }
 
@@ -354,7 +362,7 @@ impl Network {
     /// Installs the directed route from `src` to `dst`.
     pub fn set_route(&mut self, src: HostId, dst: HostId, route: Route) {
         let id = self.intern_route(route);
-        self.routes.insert((src, dst), id);
+        Arc::make_mut(&mut self.routes).insert((src, dst), id);
     }
 
     /// Installs the same (mirrored) route in both directions: the reverse
@@ -370,8 +378,9 @@ impl Network {
         }
         let forward = self.intern_route(route);
         let backward = self.intern_route(reverse);
-        self.routes.insert((a, b), forward);
-        self.routes.insert((b, a), backward);
+        let routes = Arc::make_mut(&mut self.routes);
+        routes.insert((a, b), forward);
+        routes.insert((b, a), backward);
     }
 
     /// The route from `src` to `dst`, if installed.
@@ -381,13 +390,28 @@ impl Network {
 
     /// Removes the route between two hosts (both directions).
     pub fn clear_routes(&mut self, a: HostId, b: HostId) {
-        self.routes.remove(&(a, b));
-        self.routes.remove(&(b, a));
+        let routes = Arc::make_mut(&mut self.routes);
+        routes.remove(&(a, b));
+        routes.remove(&(b, a));
     }
 
     /// Queues a packet for transmission from `host` at the current time.
     /// The destination is taken from the packet's IPv4 destination field.
     pub fn send_from(&mut self, host: HostId, packet: Vec<u8>) {
+        // Fast path: when nothing is pending at the current instant the
+        // send event would be dispatched next anyway, so run it inline and
+        // skip the heap round-trip. Any queued event at `now` (an earlier
+        // same-instant send) must keep its seq-order priority, so the
+        // slow path stays for that case — and for capture/tracing runs,
+        // where the event itself is observable.
+        let head_later = match self.queue.peek() {
+            None => true,
+            Some(Reverse(event)) => event.time > self.now,
+        };
+        if head_later && self.fast_path() {
+            self.do_send(host, packet);
+            return;
+        }
         self.push_event(self.now, EventKind::SendFrom { host, packet });
     }
 
@@ -499,6 +523,16 @@ impl Network {
             return;
         };
         let time = self.now + self.hop_latency;
+        if self.fast_path() {
+            if let Some(&rid) = self.routes.get(&(host, dst)) {
+                self.schedule_walk(host, dst, rid, 0, time, packet);
+                return;
+            }
+            // No installed route: the hop handler's direct delivery, one
+            // hop of latency later, without the intermediate event.
+            self.push_event(time, EventKind::Deliver { dst, packet });
+            return;
+        }
         self.push_event(time, EventKind::Hop { src: host, dst, step: 0, packet });
     }
 
@@ -592,7 +626,15 @@ impl Network {
         }
         let Some(in_flight) = fanout else {
             let time = self.now + self.hop_latency + extra_delay;
-            self.push_event(time, EventKind::Hop { src, dst, step: step + 1, packet });
+            if self.fast_path() {
+                self.schedule_walk(src, dst, rid, step + 1, time, packet);
+                return;
+            }
+            if step + 1 >= self.route_arena[rid.0 as usize].steps.len() {
+                self.push_event(time, EventKind::Deliver { dst, packet });
+            } else {
+                self.push_event(time, EventKind::Hop { src, dst, step: step + 1, packet });
+            }
             return;
         };
         let mut in_flight: Vec<(Vec<u8>, Duration)> =
@@ -643,12 +685,82 @@ impl Network {
         }
     }
 
+    /// Whether the engine may collapse device-free hop runs into a single
+    /// scheduled event. Captures and span tracing both observe individual
+    /// hops (`Dropped { step }` records on TTL death, per-event `hop`
+    /// spans), so the collapse only engages when neither is watching.
+    fn fast_path(&self) -> bool {
+        !self.capture_enabled && !self.tracer.is_enabled()
+    }
+
+    /// Fast-path scheduler: the packet arrives at route step `step` at
+    /// `time`. Walks the run of device-free steps from there — each one is
+    /// pure bookkeeping, a TTL decrement at a known instant — and pushes
+    /// the single event that ends the run: the first device-bearing hop, a
+    /// TTL death, or final delivery. Arrival times, TTL deaths, and device
+    /// processing instants are identical to the per-event path; only the
+    /// internal event count shrinks, which is why callers must check
+    /// [`Network::fast_path`] first.
+    fn schedule_walk(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        rid: RouteId,
+        step: usize,
+        mut time: Time,
+        mut packet: Vec<u8>,
+    ) {
+        let route = &self.route_arena[rid.0 as usize];
+        let total = route.steps.len();
+        let mut next = step;
+        while next < total && route.steps[next].devices.is_empty() {
+            next += 1;
+        }
+        let skipped = next - step;
+        if skipped > 0 {
+            if let Ok(mut view) = Ipv4Packet::new_checked(&mut packet[..]) {
+                let ttl = usize::from(view.ttl());
+                if ttl <= skipped {
+                    // Dies mid-walk, exactly where the per-event path
+                    // would kill it: at the hop reached with TTL 1.
+                    let die_step = step + ttl - 1;
+                    let die_time = time + self.hop_latency * (ttl as u32 - 1);
+                    let hop_addr = route.steps[die_step].hop_addr;
+                    let orig_src = view.src_addr();
+                    self.emit_time_exceeded_at(die_time, hop_addr, orig_src, die_step);
+                    return;
+                }
+                view.set_ttl((ttl - skipped) as u8);
+                view.fill_checksum();
+                time += self.hop_latency * skipped as u32;
+            }
+        }
+        if next >= total {
+            self.push_event(time, EventKind::Deliver { dst, packet });
+        } else {
+            self.push_event(time, EventKind::Hop { src, dst, step: next, packet });
+        }
+    }
+
     /// Sends an ICMP time-exceeded from a router back to the probe source.
     /// The reply is delivered directly (after a latency proportional to the
     /// distance) rather than routed hop-by-hop: the reverse path of an ICMP
     /// error is irrelevant to every experiment modeled here, and routers
     /// are not hosts.
     fn emit_time_exceeded(&mut self, hop_addr: Ipv4Addr, orig_src: Ipv4Addr, steps_back: usize) {
+        self.emit_time_exceeded_at(self.now, hop_addr, orig_src, steps_back);
+    }
+
+    /// [`Network::emit_time_exceeded`] from an explicit TTL-death instant
+    /// — the fast-forwarded hop walk kills packets at virtual times ahead
+    /// of the event being dispatched.
+    fn emit_time_exceeded_at(
+        &mut self,
+        at: Time,
+        hop_addr: Ipv4Addr,
+        orig_src: Ipv4Addr,
+        steps_back: usize,
+    ) {
         let Some(&src_host) = self.addr_map.get(&orig_src) else {
             return;
         };
@@ -656,7 +768,7 @@ impl Network {
         let repr = Ipv4Repr::new(hop_addr, orig_src, Protocol::Icmp, icmp.len());
         let packet = repr.build(&icmp);
         let delay = Duration::from_micros(self.hop_latency.as_micros() as u64 * (steps_back as u64 + 1));
-        let time = self.now + delay;
+        let time = at + delay;
         self.push_event(time, EventKind::Deliver { dst: src_host, packet });
     }
 
@@ -692,6 +804,102 @@ impl Network {
                     self.push_event(time, EventKind::Timer { host });
                 }
             }
+        }
+    }
+
+    /// Snapshots this network's immutable configuration as a shareable
+    /// [`NetworkImage`]. The image captures hosts (addresses only — not
+    /// inboxes or applications), routes, middlebox configuration, and
+    /// instrument layout; [`NetworkImage::fork`] then stamps out pristine
+    /// copies without re-interning routes or metric names.
+    ///
+    /// # Panics
+    /// Panics if any installed middlebox does not implement
+    /// [`Middlebox::image`].
+    pub fn image(&self) -> NetworkImage {
+        let middleboxes = self
+            .middleboxes
+            .iter()
+            .map(|mb| {
+                mb.image().unwrap_or_else(|| {
+                    panic!("middlebox '{}' does not support snapshotting", mb.label())
+                })
+            })
+            .collect();
+        NetworkImage {
+            host_addrs: self.hosts.iter().map(|h| h.addr).collect(),
+            addr_map: Arc::clone(&self.addr_map),
+            routes: Arc::clone(&self.routes),
+            route_arena: Arc::clone(&self.route_arena),
+            route_intern: Arc::clone(&self.route_intern),
+            middleboxes,
+            hop_latency: self.hop_latency,
+            capture_enabled: self.capture_enabled,
+            registry: self.registry.fork_reset(),
+            tracer: self.tracer.fork_reset(),
+            c_events: self.c_events,
+            c_captures: self.c_captures,
+            h_queue_depth: self.h_queue_depth,
+        }
+    }
+}
+
+/// The immutable, shareable half of a [`Network`]: topology, middlebox
+/// configuration, and instrument layout, with none of the per-run state.
+///
+/// Unlike `Network` (whose boxed middleboxes are only `Send`), an image is
+/// `Send + Sync`, so sweep workers can fork from one `&NetworkImage`
+/// concurrently. Forking shares the address map, route table, and interned
+/// route arena by [`Arc`] and rebuilds only the small mutable cell: event
+/// queue, host inboxes, middlebox state, captures, and instruments.
+///
+/// Applications are not captured: a forked network starts with no apps
+/// attached, exactly like a freshly built one, and drivers re-attach their
+/// per-cell applications after forking.
+pub struct NetworkImage {
+    host_addrs: Vec<Ipv4Addr>,
+    addr_map: Arc<FxHashMap<Ipv4Addr, HostId>>,
+    routes: Arc<FxHashMap<(HostId, HostId), RouteId>>,
+    route_arena: Arc<Vec<Route>>,
+    route_intern: Arc<FxHashMap<u64, Vec<RouteId>>>,
+    middleboxes: Vec<Box<dyn MiddleboxImage>>,
+    hop_latency: Duration,
+    capture_enabled: bool,
+    registry: Registry,
+    tracer: Tracer,
+    c_events: CounterId,
+    c_captures: CounterId,
+    h_queue_depth: HistogramId,
+}
+
+impl NetworkImage {
+    /// Builds a pristine network from the image: virtual time zero, empty
+    /// queue and inboxes, freshly instantiated middleboxes, zeroed
+    /// instruments — byte-identical in behavior to the network the image
+    /// was taken from as it stood at construction time.
+    pub fn fork(&self) -> Network {
+        Network {
+            now: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            hosts: self
+                .host_addrs
+                .iter()
+                .map(|&addr| HostState { addr, inbox: Vec::new(), app: None })
+                .collect(),
+            addr_map: Arc::clone(&self.addr_map),
+            routes: Arc::clone(&self.routes),
+            route_arena: Arc::clone(&self.route_arena),
+            route_intern: Arc::clone(&self.route_intern),
+            middleboxes: self.middleboxes.iter().map(|img| img.instantiate()).collect(),
+            hop_latency: self.hop_latency,
+            capture_enabled: self.capture_enabled,
+            captures: Vec::new(),
+            registry: self.registry.fork_reset(),
+            tracer: self.tracer.fork_reset(),
+            c_events: self.c_events,
+            c_captures: self.c_captures,
+            h_queue_depth: self.h_queue_depth,
         }
     }
 }
@@ -916,6 +1124,83 @@ mod tests {
     fn network_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Network>();
+    }
+
+    #[test]
+    fn network_image_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetworkImage>();
+    }
+
+    #[derive(Default)]
+    struct CountAll {
+        seen: usize,
+    }
+    impl Middlebox for CountAll {
+        fn process(&mut self, _now: Time, _dir: Direction, _packet: &mut Vec<u8>) -> Verdict {
+            self.seen += 1;
+            Verdict::Pass
+        }
+        fn image(&self) -> Option<Box<dyn MiddleboxImage>> {
+            Some(Box::new(CountAllImage))
+        }
+    }
+    struct CountAllImage;
+    impl MiddleboxImage for CountAllImage {
+        fn instantiate(&self) -> Box<dyn Middlebox> {
+            Box::new(CountAll::default())
+        }
+    }
+
+    #[test]
+    fn forked_networks_share_topology_but_not_state() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let counter = net.install_middlebox(CountAll::default());
+        net.set_route_symmetric(a, b, Route {
+            steps: vec![RouteStep::with_device(R1, counter.id(), Direction::LocalToRemote)],
+        });
+        let image = net.image();
+
+        // Dirty the original and one fork; a second fork stays pristine.
+        net.send_from(a, packet(A, B, 64, b"orig"));
+        net.run_until_idle();
+        let mut fork_a = image.fork();
+        fork_a.send_from(a, packet(A, B, 64, b"fork"));
+        fork_a.run_until_idle();
+        let fork_b = image.fork();
+
+        assert_eq!(net.middlebox(counter).seen, 1);
+        assert_eq!(fork_a.middlebox(counter).seen, 1);
+        assert_eq!(fork_b.middlebox(counter).seen, 0);
+        assert_eq!(fork_b.now(), Time::ZERO);
+        assert_eq!(fork_b.events_processed(), 0);
+        assert!(fork_b.captures().is_empty());
+        // Shared topology: same routes without re-interning.
+        assert_eq!(fork_a.interned_routes(), net.interned_routes());
+        assert_eq!(fork_a.route(a, b).unwrap().steps[0].hop_addr, R1);
+    }
+
+    #[test]
+    fn post_fork_route_mutation_does_not_leak_into_siblings() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        net.set_route_symmetric(a, b, Route::through(&[R1]));
+        let image = net.image();
+
+        let mut fork_a = image.fork();
+        let fork_b = image.fork();
+        fork_a.set_route(a, b, Route::through(&[R1, R2]));
+        let c = fork_a.add_host(Ipv4Addr::new(203, 0, 113, 9));
+
+        // Fork A sees its own changes; fork B and the original don't.
+        assert_eq!(fork_a.route(a, b).unwrap().steps.len(), 2);
+        assert_eq!(fork_a.host_by_addr(Ipv4Addr::new(203, 0, 113, 9)), Some(c));
+        assert_eq!(fork_b.route(a, b).unwrap().steps.len(), 1);
+        assert_eq!(fork_b.host_by_addr(Ipv4Addr::new(203, 0, 113, 9)), None);
+        assert_eq!(net.route(a, b).unwrap().steps.len(), 1);
     }
 
     #[test]

@@ -33,15 +33,25 @@ pub struct HistogramId(#[cfg(feature = "obs")] u32);
 
 #[cfg(feature = "obs")]
 mod enabled {
+    use std::sync::Arc;
+
     use super::*;
     use crate::hist::Histogram;
 
     /// A single-owner metrics registry. Each simulation component owns
     /// one (or a scope of one); sweeps merge per-scenario snapshots.
+    ///
+    /// Interned names live behind an [`Arc`] so [`Registry::fork_reset`]
+    /// can hand a zeroed copy to a forked lab cell without re-running
+    /// the string formatting and interning that dominates registry
+    /// construction.
     #[derive(Debug, Default)]
     pub struct Registry {
-        scope: String,
-        names: Vec<String>,
+        /// `Arc<str>` rather than `String`: [`Registry::fork_reset`] runs
+        /// once per device per forked lab cell, and sharing the scope
+        /// keeps the fork allocation-free.
+        scope: Arc<str>,
+        names: Arc<Vec<String>>,
         counters: Vec<(u32, u64)>,
         gauges: Vec<(u32, i64)>,
         histograms: Vec<(u32, Histogram)>,
@@ -55,7 +65,7 @@ mod enabled {
         /// A registry whose metric names are prefixed `scope.`, e.g.
         /// `device.rostelecom-sym`.
         pub fn scoped(scope: impl Into<String>) -> Registry {
-            Registry { scope: scope.into(), ..Registry::default() }
+            Registry { scope: Arc::from(scope.into()), ..Registry::default() }
         }
 
         /// Whether recording actually happens in this build.
@@ -77,8 +87,9 @@ mod enabled {
             if let Some(at) = self.names.iter().position(|n| *n == full) {
                 return at as u32;
             }
-            self.names.push(full);
-            (self.names.len() - 1) as u32
+            let names = Arc::make_mut(&mut self.names);
+            names.push(full);
+            (names.len() - 1) as u32
         }
 
         /// Registers (or re-resolves) a counter under `name`.
@@ -173,6 +184,22 @@ mod enabled {
                 *h = Histogram::new();
             }
         }
+
+        /// A pristine copy for a forked lab cell: the slot layout (and
+        /// therefore every previously returned [`CounterId`]/[`GaugeId`]/
+        /// [`HistogramId`]) is preserved, all values are zero, and the
+        /// interned name table is shared rather than rebuilt. Snapshots
+        /// of the fork are byte-identical to those of a freshly
+        /// constructed registry that registered the same names.
+        pub fn fork_reset(&self) -> Registry {
+            Registry {
+                scope: Arc::clone(&self.scope),
+                names: Arc::clone(&self.names),
+                counters: self.counters.iter().map(|(n, _)| (*n, 0)).collect(),
+                gauges: self.gauges.iter().map(|(n, _)| (*n, 0)).collect(),
+                histograms: self.histograms.iter().map(|(n, _)| (*n, Histogram::new())).collect(),
+            }
+        }
     }
 
     /// Virtual-time span recorder. Disabled (sampling off) by default:
@@ -245,6 +272,12 @@ mod enabled {
         /// Drains recorded spans into `snap` and clears the ring.
         pub fn drain_into(&mut self, snap: &mut Snapshot) {
             snap.push_spans(self.ring.drain(..));
+        }
+
+        /// A fresh tracer for a forked lab cell: empty ring, `seq` 0,
+        /// same capacity and sampling switch as `self`.
+        pub fn fork_reset(&self) -> Tracer {
+            Tracer { enabled: self.enabled, seq: 0, ring: Vec::new(), cap: self.cap }
         }
     }
 }
@@ -319,6 +352,11 @@ mod disabled {
 
         #[inline]
         pub fn reset(&mut self) {}
+
+        #[inline]
+        pub fn fork_reset(&self) -> Registry {
+            Registry
+        }
     }
 
     /// Zero-sized stand-in for the span recorder.
@@ -349,6 +387,11 @@ mod disabled {
 
         #[inline]
         pub fn drain_into(&mut self, _snap: &mut Snapshot) {}
+
+        #[inline]
+        pub fn fork_reset(&self) -> Tracer {
+            Tracer
+        }
     }
 }
 
@@ -389,6 +432,33 @@ mod tests {
         r.inc(a);
         r.inc(b);
         assert_eq!(r.counter_value(a), 2);
+    }
+
+    #[test]
+    fn fork_reset_preserves_slots_and_zeroes_values() {
+        let mut r = Registry::scoped("device.lab");
+        let c = r.counter("verdicts.drop");
+        let g = r.gauge("depth");
+        let h = r.histogram("latency_us");
+        r.add(c, 9);
+        r.set_max(g, 4);
+        r.record(h, 50);
+
+        let mut f = r.fork_reset();
+        // Old ids resolve to the same names in the fork, values start at 0.
+        assert_eq!(f.counter_value(c), 0);
+        f.inc(c);
+        f.set(g, 2);
+        f.record(h, 7);
+        let snap = f.snapshot();
+        assert_eq!(snap.counter("device.lab.verdicts.drop"), 1);
+        assert_eq!(snap.gauge("device.lab.depth"), Some(2));
+        assert_eq!(snap.histogram("device.lab.latency_us").unwrap().count(), 1);
+        // The source registry is untouched.
+        assert_eq!(r.counter_value(c), 9);
+        // Re-registration in the fork resolves to the same slot without
+        // perturbing the shared name table.
+        assert_eq!(f.counter("verdicts.drop"), c);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::net::Ipv4Addr;
 
 use tspu_wire::icmpv4::Icmpv4Repr;
 use tspu_wire::ipv4::{Ipv4Repr, Protocol};
-use tspu_wire::tcp::{TcpFlags, TcpRepr};
+use tspu_wire::tcp::{TcpFlags, TcpSegment};
 use tspu_wire::udp::UdpRepr;
 
 /// Everything needed to emit one TCP segment inside an IPv4 packet.
@@ -75,16 +75,45 @@ impl TcpPacketSpec {
 
     /// Builds the full IPv4 packet bytes.
     pub fn build(&self) -> Vec<u8> {
-        let mut tcp = TcpRepr::new(self.src_port, self.dst_port, self.flags);
-        tcp.seq_number = self.seq;
-        tcp.ack_number = self.ack;
-        tcp.window = self.window;
-        tcp.payload = self.payload.clone();
-        let segment = tcp.build(self.src, self.dst);
-        let mut ip = Ipv4Repr::new(self.src, self.dst, Protocol::Tcp, segment.len());
+        self.build_with(&self.payload)
+    }
+
+    /// [`TcpPacketSpec::build`] with `payload` in place of `self.payload`:
+    /// one buffer allocation, headers and checksums written in place. The
+    /// probe hot path crafts thousands of volley packets per scan, so the
+    /// spec borrows the scripted payload instead of owning a copy.
+    pub fn build_with(&self, payload: &[u8]) -> Vec<u8> {
+        let mut buffer = Vec::new();
+        self.build_into(payload, &mut buffer);
+        buffer
+    }
+
+    /// [`TcpPacketSpec::build_with`] into a caller-provided buffer, so scan
+    /// loops can recycle packet allocations. The buffer is cleared and
+    /// resized; every byte of the result is written.
+    pub fn build_into(&self, payload: &[u8], buffer: &mut Vec<u8>) {
+        use tspu_wire::{ipv4, tcp};
+        let tcp_len = tcp::HEADER_LEN + payload.len();
+        buffer.clear();
+        buffer.resize(ipv4::HEADER_LEN + tcp_len, 0);
+        buffer[ipv4::HEADER_LEN + tcp::HEADER_LEN..].copy_from_slice(payload);
+        {
+            let mut segment = TcpSegment::new_unchecked(&mut buffer[ipv4::HEADER_LEN..]);
+            segment.set_src_port(self.src_port);
+            segment.set_dst_port(self.dst_port);
+            segment.set_seq_number(self.seq);
+            segment.set_ack_number(self.ack);
+            segment.set_header_len(tcp::HEADER_LEN);
+            segment.set_flags(self.flags);
+            segment.set_window(self.window);
+            segment.set_urgent(0);
+            segment.fill_checksum(self.src, self.dst);
+        }
+        let mut ip = Ipv4Repr::new(self.src, self.dst, Protocol::Tcp, tcp_len);
         ip.ttl = self.ttl;
         ip.ident = self.ident;
-        ip.build(&segment)
+        let mut packet = tspu_wire::ipv4::Ipv4Packet::new_unchecked(&mut buffer[..]);
+        ip.emit(&mut packet);
     }
 }
 

@@ -30,6 +30,7 @@ use tspu_registry::{stats, Universe};
 use crate::policy_build::{policy_from_universe, TOR_ENTRY_NODE};
 
 /// One in-country vantage point.
+#[derive(Clone)]
 pub struct Vantage {
     pub name: &'static str,
     pub city: &'static str,
@@ -194,6 +195,20 @@ impl<'a> LabBuilder<'a> {
         }
         lab
     }
+
+    /// Builds the lab once and returns its warm [`LabImage`] for
+    /// fork-per-cell campaigns. A [`LabBuilder::fault_plan`] is *not*
+    /// baked into the shared image — it is stored alongside and wired
+    /// through each fork at [`LabImage::fork`] time, so every chaos cell
+    /// starts its fault schedule from scratch exactly like a freshly
+    /// built lab.
+    pub fn image(self) -> LabImage {
+        let fault_plan = self.fault_plan.cloned();
+        let plain = LabBuilder { fault_plan: None, ..self };
+        let mut image = plain.build().snapshot();
+        image.fault_plan = fault_plan;
+        image
+    }
 }
 
 impl VantageLab {
@@ -202,48 +217,14 @@ impl VantageLab {
         LabBuilder::default()
     }
 
-    /// Builds the lab over a fresh universe with the given policy toggles.
-    #[deprecated(note = "use VantageLab::builder().universe(u).throttle_active(..).quic_filter(..).table1().build()")]
-    pub fn build(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
-        Self::builder()
-            .universe(universe)
-            .throttle_active(throttle_active)
-            .quic_filter(quic_filter)
-            .table1()
-            .build()
-    }
-
-    /// Builds the lab with perfectly reliable devices (no Table 1 failure
-    /// dice).
-    #[deprecated(note = "use VantageLab::builder().universe(u).throttle_active(..).quic_filter(..).build()")]
-    pub fn build_reliable(universe: &Universe, throttle_active: bool, quic_filter: bool) -> VantageLab {
-        Self::builder()
-            .universe(universe)
-            .throttle_active(throttle_active)
-            .quic_filter(quic_filter)
-            .build()
-    }
-
-    /// Builds the lab with an explicit policy handle.
-    #[deprecated(note = "use VantageLab::builder().universe(u).policy(p).table1().build()")]
-    pub fn build_with_policy(universe: &Universe, policy: PolicyHandle) -> VantageLab {
-        Self::builder().universe(universe).policy(policy).table1().build()
-    }
-
-    /// Builds the minimal sweep-worker lab.
-    #[deprecated(note = "use VantageLab::builder().policy(p).build()")]
-    pub fn build_scan(policy: PolicyHandle) -> VantageLab {
-        Self::builder().policy(policy).build()
-    }
-
-    /// Builds the sweep-worker lab with the Table-1 failure dice active.
-    #[deprecated(note = "use VantageLab::builder().policy(p).table1().build()")]
-    pub fn build_scan_table1(policy: PolicyHandle) -> VantageLab {
-        Self::builder().policy(policy).table1().build()
-    }
-
     fn build_inner(universe: Option<&Universe>, policy: PolicyHandle, reliable: bool) -> VantageLab {
         let mut net = Network::with_default_latency();
+        // Scan labs default capture-off: the sweep drivers read verdicts
+        // from host inboxes, not packet captures, and capture-off lets the
+        // engine collapse device-free hop runs into a single event. The
+        // consumers that do replay captures (chaos oracle, pcap export,
+        // differential tests) opt back in with `set_capture(true)`.
+        net.set_capture(false);
 
         let us_main = net.add_host(US_MAIN);
         let us_second = net.add_host(US_SECOND);
@@ -412,12 +393,6 @@ impl VantageLab {
         }
     }
 
-    /// Builds the sweep-worker lab and wires a seeded chaos plan through it.
-    #[deprecated(note = "use VantageLab::builder().policy(p).fault_plan(&plan).build()")]
-    pub fn build_chaos(policy: PolicyHandle, plan: &FaultPlan) -> VantageLab {
-        Self::builder().policy(policy).fault_plan(plan).build()
-    }
-
     /// Wires a [`FaultPlan`] through the lab: the plan's device faults on
     /// every TSPU device, and one pair of chaos links per vantage on its
     /// transit segments — appended to an *existing* route step after every
@@ -554,6 +529,105 @@ impl VantageLab {
         }
         snap.merge(&self.policy.obs_snapshot());
         snap
+    }
+
+    /// Snapshots the lab's immutable configuration as a [`LabImage`]:
+    /// the network image (shared topology, middlebox configurations),
+    /// the shared policy handle, vantage/endpoint handles, and resolvers.
+    /// Per-run state — conntrack, fragment caches, RNG positions, clocks,
+    /// captures, metric values — is *not* captured; forks start pristine.
+    pub fn snapshot(&self) -> LabImage {
+        LabImage {
+            net: self.net.image(),
+            policy: self.policy.clone(),
+            vantages: self.vantages.clone(),
+            us_main: self.us_main,
+            us_main_addr: self.us_main_addr,
+            us_second: self.us_second,
+            us_second_addr: self.us_second_addr,
+            paris: self.paris,
+            paris_addr: self.paris_addr,
+            tor: self.tor,
+            tor_addr: self.tor_addr,
+            resolvers: self.resolvers.clone(),
+            chaos_links: self.chaos_links.clone(),
+            fault_plan: None,
+        }
+    }
+
+    /// Swaps the shared policy on the lab *and* on every TSPU device —
+    /// used by churn campaigns, where each forked cell enforces its own
+    /// [`PolicyHandle`]. Device state (conntrack, RNG, metrics) is
+    /// untouched, so forking and then calling `set_policy` is
+    /// behaviorally identical to building the lab against that handle.
+    pub fn set_policy(&mut self, policy: PolicyHandle) {
+        for handle in self.device_handles() {
+            self.net.middlebox_mut(handle).set_policy(policy.clone());
+        }
+        self.policy = policy;
+    }
+}
+
+/// The warm half of a [`VantageLab`], shared across forked scenario
+/// cells: network topology behind `Arc`s, compiled policy behind the
+/// shared [`PolicyHandle`], device and chaos-link configurations, interned
+/// metric-name tables. `Send + Sync` — sweep workers fork from one
+/// `&LabImage` concurrently.
+pub struct LabImage {
+    net: tspu_netsim::NetworkImage,
+    policy: PolicyHandle,
+    vantages: Vec<Vantage>,
+    us_main: HostId,
+    us_main_addr: Ipv4Addr,
+    us_second: HostId,
+    us_second_addr: Ipv4Addr,
+    paris: HostId,
+    paris_addr: Ipv4Addr,
+    tor: HostId,
+    tor_addr: Ipv4Addr,
+    resolvers: Vec<IspResolver>,
+    chaos_links: Vec<(String, MiddleboxHandle<ChaosLink>)>,
+    /// A fault plan to wire through each fork ([`LabBuilder::image`]).
+    fault_plan: Option<FaultPlan>,
+}
+
+impl LabImage {
+    /// Stamps out one pristine lab cell. The result is byte-identical in
+    /// behavior to building the same lab from scratch: virtual time zero,
+    /// empty conntrack/fragment caches, device RNGs reseeded, zeroed
+    /// metrics with the same interned layout, and — if the image carries
+    /// a fault plan — the plan freshly applied.
+    ///
+    /// `index` is the cell's scenario coordinate. It does not perturb the
+    /// forked state (byte-identity with a fresh build demands that);
+    /// drivers derive per-cell ports and seeds from the same index, as
+    /// they always have.
+    pub fn fork(&self, index: usize) -> VantageLab {
+        let _ = index;
+        let mut lab = VantageLab {
+            net: self.net.fork(),
+            policy: self.policy.clone(),
+            vantages: self.vantages.clone(),
+            us_main: self.us_main,
+            us_main_addr: self.us_main_addr,
+            us_second: self.us_second,
+            us_second_addr: self.us_second_addr,
+            paris: self.paris,
+            paris_addr: self.paris_addr,
+            tor: self.tor,
+            tor_addr: self.tor_addr,
+            resolvers: self.resolvers.clone(),
+            chaos_links: self.chaos_links.clone(),
+        };
+        if let Some(plan) = &self.fault_plan {
+            lab.apply_fault_plan(plan);
+        }
+        lab
+    }
+
+    /// The shared policy handle this image's forks enforce.
+    pub fn policy(&self) -> &PolicyHandle {
+        &self.policy
     }
 }
 
@@ -712,6 +786,46 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<VantageLab>();
         assert_send::<Vantage>();
+    }
+
+    #[test]
+    fn lab_image_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LabImage>();
+    }
+
+    #[test]
+    fn forked_lab_matches_fresh_build() {
+        let universe = Universe::generate(11);
+        let policy = policy_from_universe(&universe, false, true);
+        let image =
+            VantageLab::builder().universe(&universe).policy(policy.clone()).table1().image();
+
+        let run = |mut lab: VantageLab| {
+            lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(US_MAIN)));
+            let v = lab.vantage("Rostelecom");
+            let (host, addr) = (v.host, v.addr);
+            let ch = ClientHelloBuilder::new("twitter.com").build();
+            let (app, report, syn) =
+                TcpClient::start(TcpClientConfig::new(addr, 49000, US_MAIN, 443, ch));
+            lab.net.set_app(host, Box::new(app));
+            lab.net.send_from(host, syn);
+            lab.net.run_until_idle();
+            (report.outcome(), format!("{:?}", lab.obs_snapshot()))
+        };
+
+        let fresh = VantageLab::builder()
+            .universe(&universe)
+            .policy(policy.clone())
+            .table1()
+            .build();
+        let from_image = image.fork(7);
+        assert_eq!(run(from_image), run(fresh));
+
+        // Forking is repeatable: a cell dirtied by traffic leaves the
+        // image untouched.
+        let again = image.fork(0);
+        assert_eq!(again.obs_snapshot().counter("netsim.events_processed"), 0);
     }
 
     #[test]

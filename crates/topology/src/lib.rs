@@ -20,6 +20,6 @@ pub mod lab;
 pub mod policy_build;
 pub mod runet;
 
-pub use lab::{LabBuilder, Vantage, VantageLab};
+pub use lab::{LabBuilder, LabImage, Vantage, VantageLab};
 pub use policy_build::{policy_from_universe, TOR_ENTRY_NODE};
 pub use runet::{AsInfo, AsKind, Coverage, Endpoint, PlacementModel, Runet, RunetConfig};
