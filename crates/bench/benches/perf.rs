@@ -480,6 +480,81 @@ fn churn_convergence(_c: &mut Criterion) {
     );
 }
 
+/// Timer-wheel scheduling at population depth: steady-state push+pop with
+/// tens of thousands of pending events, the regime the wheel's O(1)
+/// buckets exist for (a binary heap pays O(log n) per op here).
+fn wheel_schedule(_c: &mut Criterion) {
+    use tspu_netsim::TimerWheel;
+
+    let depth: u64 = 50_000;
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    // Spread the standing population over a few milliseconds so both the
+    // near-future buckets and the overflow heap stay exercised.
+    for i in 0..depth {
+        wheel.push(Time::from_micros(1 + i % 8_192), i);
+    }
+    let iters: u64 = 2_000_000;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        let (now, item) = wheel.pop().expect("standing population");
+        // Reschedule relative to the popped time: keeps depth constant
+        // and the timestamp stream monotone, like re-armed flow timers.
+        wheel.push(now + Duration::from_micros(1 + (item & 4_095)), item);
+        black_box(item);
+    }
+    criterion::report_custom(
+        "netsim/wheel_schedule_ns",
+        start.elapsed().as_nanos() as f64 / iters as f64,
+        iters,
+    );
+}
+
+/// The million-flow soak: population-scale load through one sharded-table
+/// device. Reports the headline sustained packets/sec, wall latency
+/// percentiles per scheduler event, and conntrack bytes per tracked flow.
+/// Under BENCH_QUICK the population shrinks (like the gc_churn ids) but
+/// the table stays provisioned for a million flows.
+fn load_engine(_c: &mut Criterion) {
+    use tspu_load::gen::LoadProfile;
+    use tspu_load::soak::{build_lab, SoakConfig};
+
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let flows: usize = if quick { 100_000 } else { 1_000_000 };
+    let lab = build_lab(SoakConfig {
+        profile: LoadProfile {
+            flows,
+            clients: 64,
+            universe_domains: 100_000,
+            span: Duration::from_secs(240),
+            ..LoadProfile::default()
+        },
+        flow_capacity: 1_048_576,
+        shards: Some(16),
+        slice: Duration::from_millis(200),
+    });
+    let report = lab.run();
+    assert_eq!(report.stats.flows_completed, flows as u64, "population did not drain");
+    assert_eq!(report.stats.oracle_mismatches, 0, "enforcement wrong under load");
+    assert!(report.gc_within_budget(), "conntrack GC over budget");
+
+    let packets = report.device_packets;
+    // Value is packets/sec (higher is better); bench_smoke asserts the
+    // floor directly on the value.
+    criterion::report_custom("load/sustained_pps_1m_flows", report.sustained_pps, packets);
+    criterion::report_custom("load/p50_hop_ns_1m_flows", report.p50_event_ns as f64, report.events);
+    criterion::report_custom("load/p99_hop_ns_1m_flows", report.p99_event_ns as f64, report.events);
+    criterion::report_custom(
+        "load/p999_hop_ns_1m_flows",
+        report.p999_event_ns as f64,
+        report.events,
+    );
+    criterion::report_custom(
+        "load/bytes_per_flow",
+        report.bytes_per_flow,
+        report.peak_tracked_flows as u64,
+    );
+}
+
 criterion_group!(
     benches,
     conntrack_throughput,
@@ -491,7 +566,9 @@ criterion_group!(
     policer,
     netsim_scale,
     netsim_event_rate,
+    wheel_schedule,
     sweep_scale,
-    churn_convergence
+    churn_convergence,
+    load_engine
 );
 criterion_main!(benches);

@@ -238,8 +238,9 @@ struct RingSlot {
 
 /// How many ring slots each observation probes. Reclamation keeps pace
 /// with creation as long as this is > 1 (each packet creates at most one
-/// entry and pushes at most one slot).
-const GC_PROBE_BUDGET: usize = 4;
+/// entry and pushes at most one slot). Public so load drivers can assert
+/// the per-packet GC bound they were promised.
+pub const GC_PROBE_BUDGET: usize = 4;
 
 /// The flow table.
 ///
@@ -277,13 +278,41 @@ impl ConnTracker {
     /// on the packet path, so flow insertion latency stays flat (growth
     /// rehashes are the one remaining O(table) event; see the
     /// `conntrack/gc_churn_*` tail-latency benches).
+    ///
+    /// The map reserves exactly `capacity` live entries (the std guarantee
+    /// already includes load-factor headroom). The ring reserves 2×: under
+    /// expiry churn it briefly holds a stale slot alongside the fresh slot
+    /// for a replaced key, and without the headroom a full table doubles
+    /// the ring on the packet path — the reallocation cliff this
+    /// constructor exists to prevent.
     pub fn with_capacity(capacity: usize) -> ConnTracker {
         ConnTracker {
             flows: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
-            ring: VecDeque::with_capacity(capacity),
+            ring: VecDeque::with_capacity(capacity.saturating_mul(2)),
             next_gen: 0,
             gc_probes: 0,
         }
+    }
+
+    /// Allocated table capacity in entries (provisioning telemetry; the
+    /// capacity-stability regression test watches this across churn).
+    pub fn table_capacity(&self) -> usize {
+        self.flows.capacity()
+    }
+
+    /// Allocated GC-ring capacity in slots.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Estimated bytes held by the tracker's table and ring allocations.
+    /// An estimate: hashbrown's control bytes and allocation rounding are
+    /// not modeled, only `capacity × entry size`. Load soaks divide this by
+    /// the tracked-flow count for a bytes-per-flow figure.
+    pub fn memory_bytes_estimate(&self) -> usize {
+        use std::mem::size_of;
+        self.flows.capacity() * (size_of::<FlowKey>() + size_of::<FlowEntry>())
+            + self.ring.capacity() * size_of::<RingSlot>()
     }
 
     /// Number of live entries (including expired-but-unswept).
@@ -772,6 +801,37 @@ mod tests {
         }
         assert_eq!(t.len(), 1);
         assert!(t.ring_len() <= 8, "ring grew unboundedly: {}", t.ring_len());
+    }
+
+    #[test]
+    fn provisioned_capacity_stable_across_churn() {
+        // A table provisioned for N flows must never rehash (and its ring
+        // must never reallocate) before N live inserts — including under
+        // expiry churn, which replaces entries in place and briefly queues
+        // a stale ring slot next to each fresh one.
+        const N: usize = 4096;
+        let mut t = ConnTracker::with_capacity(N);
+        let table_cap = t.table_capacity();
+        let ring_cap = t.ring_capacity();
+        assert!(table_cap >= N);
+        assert!(ring_cap >= N * 2);
+        // Three generations of the full population: each round expires the
+        // last (Loose timeout 180 s), so live count tops out at N while
+        // total inserts run to 3N.
+        for round in 0..3u64 {
+            let now = Time::from_secs(round * 300);
+            for i in 0..N {
+                let k = FlowKey {
+                    local_port: (i % 60000) as u16,
+                    local_addr: Ipv4Addr::new(10, 0, (i / 60000) as u8, 1),
+                    ..key()
+                };
+                t.observe_tcp(now, k, L, TcpFlags::PSH_ACK, 10);
+            }
+            assert!(t.len() <= N);
+        }
+        assert_eq!(t.table_capacity(), table_cap, "flow table rehashed during churn");
+        assert_eq!(t.ring_capacity(), ring_cap, "GC ring reallocated during churn");
     }
 
     #[test]

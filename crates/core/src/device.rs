@@ -28,7 +28,8 @@ use tspu_wire::udp::UdpDatagram;
 
 use crate::behaviors::{BlockKind, BlockState};
 use crate::chaos::ModelViolation;
-use crate::conntrack::{ConnTracker, FlowKey, Side};
+use crate::conntrack::{FlowKey, Side};
+use crate::sharded::ShardedConnTracker;
 use crate::constants;
 use crate::frag_cache::{FragCache, FragConfig};
 use crate::hardening::{Hardening, REASSEMBLY_CAP};
@@ -212,7 +213,7 @@ pub struct TspuDevice {
     /// than re-allocated.
     label: Arc<str>,
     policy: PolicyHandle,
-    conntrack: ConnTracker,
+    conntrack: ShardedConnTracker,
     frag_cache: FragCache,
     rng: SmallRng,
     /// The construction seed, kept so [`TspuDevice::config`] can rebuild
@@ -223,6 +224,9 @@ pub struct TspuDevice {
     hardening: Hardening,
     /// Pre-provisioned flow-table capacity ([`TspuDevice::with_flow_capacity`]).
     flow_capacity: Option<usize>,
+    /// Explicit shard count ([`TspuDevice::with_flow_shards`]); `None`
+    /// auto-derives from capacity.
+    flow_shards: Option<usize>,
     faults: DeviceFaults,
     /// Restarts from `faults` already applied (they are sorted).
     restarts_applied: usize,
@@ -247,7 +251,7 @@ impl TspuDevice {
         TspuDevice {
             label: Arc::from(label),
             policy,
-            conntrack: ConnTracker::new(),
+            conntrack: ShardedConnTracker::new(),
             frag_cache: FragCache::new(FragConfig::default()),
             rng: SmallRng::seed_from_u64(seed),
             seed,
@@ -255,6 +259,7 @@ impl TspuDevice {
             metrics: DeviceMetrics::new(label),
             hardening: Hardening::none(),
             flow_capacity: None,
+            flow_shards: None,
             faults: DeviceFaults::default(),
             restarts_applied: 0,
             reload_applied: false,
@@ -276,6 +281,7 @@ impl TspuDevice {
             seed: self.seed,
             hardening: self.hardening,
             flow_capacity: self.flow_capacity,
+            flow_shards: self.flow_shards,
             faults: self.faults.clone(),
             violation: self.violation,
             metrics: self.metrics.fork(),
@@ -379,8 +385,18 @@ impl TspuDevice {
     /// grows its table on the packet path, removing the one remaining
     /// O(table) latency event (hash-table growth rehashes).
     pub fn with_flow_capacity(mut self, flows: usize) -> TspuDevice {
-        self.conntrack = ConnTracker::with_capacity(flows);
+        self.conntrack = ShardedConnTracker::with_capacity(flows);
         self.flow_capacity = Some(flows);
+        self
+    }
+
+    /// [`TspuDevice::with_flow_capacity`] with the shard count explicit
+    /// instead of auto-derived — benches pin it to isolate shard-count
+    /// effects from capacity effects.
+    pub fn with_flow_shards(mut self, flows: usize, shards: usize) -> TspuDevice {
+        self.conntrack = ShardedConnTracker::with_capacity_and_shards(flows, shards);
+        self.flow_capacity = Some(flows);
+        self.flow_shards = Some(shards);
         self
     }
 
@@ -452,7 +468,7 @@ impl TspuDevice {
     }
 
     /// Read access to the connection tracker (tests, experiments).
-    pub fn conntrack(&self) -> &ConnTracker {
+    pub fn conntrack(&self) -> &ShardedConnTracker {
         &self.conntrack
     }
 
@@ -988,6 +1004,7 @@ pub struct DeviceConfig {
     seed: u64,
     hardening: Hardening,
     flow_capacity: Option<usize>,
+    flow_shards: Option<usize>,
     faults: DeviceFaults,
     violation: Option<ModelViolation>,
     metrics: DeviceMetrics,
@@ -1001,9 +1018,12 @@ impl DeviceConfig {
         TspuDevice {
             label: self.label.clone(),
             policy: self.policy.clone(),
-            conntrack: match self.flow_capacity {
-                Some(flows) => ConnTracker::with_capacity(flows),
-                None => ConnTracker::new(),
+            conntrack: match (self.flow_capacity, self.flow_shards) {
+                (Some(flows), Some(shards)) => {
+                    ShardedConnTracker::with_capacity_and_shards(flows, shards)
+                }
+                (Some(flows), None) => ShardedConnTracker::with_capacity(flows),
+                (None, _) => ShardedConnTracker::new(),
             },
             frag_cache: FragCache::new(FragConfig::default()),
             rng: SmallRng::seed_from_u64(self.seed),
@@ -1012,6 +1032,7 @@ impl DeviceConfig {
             metrics: self.metrics.fork(),
             hardening: self.hardening,
             flow_capacity: self.flow_capacity,
+            flow_shards: self.flow_shards,
             faults: self.faults.clone(),
             restarts_applied: 0,
             reload_applied: false,

@@ -37,6 +37,7 @@ pub mod frag_cache;
 pub mod hardening;
 pub mod policer;
 pub mod policy;
+pub mod sharded;
 pub mod updater;
 
 pub use behaviors::{BlockKind, BlockState};
@@ -47,4 +48,5 @@ pub use frag_cache::FragCache;
 pub use hardening::Hardening;
 pub use policer::TokenBucket;
 pub use policy::{DomainSet, NormalizedHost, Policy, PolicyDelta, PolicyHandle, ThrottleConfig};
+pub use sharded::ShardedConnTracker;
 pub use updater::{DeltaApplication, PolicyUpdater, UpdateLog};

@@ -1,0 +1,293 @@
+//! A sharded flow table: the [`ConnTracker`] scaled to a million tracked
+//! flows per device.
+//!
+//! ## Why shard
+//!
+//! One [`ConnTracker`] holding 10⁶ flows has two scale problems the paper's
+//! fourteen-packet scenarios never exposed. First, its hash table grows by
+//! doubling: the insert that crosses the threshold rehashes the entire
+//! table on the packet path — a multi-millisecond pause at a million
+//! entries, exactly the kind of cliff the tail-latency floors in
+//! bench_smoke forbid. Second, its CLOCK ring is one queue: reclamation
+//! latency for an expired entry scales with the *total* population, so a
+//! burst of short flows can starve behind a sea of long-lived ones.
+//!
+//! Sharding by flow-key hash fixes both with no semantic change. Each of
+//! the power-of-two shards is a complete, independent [`ConnTracker`] —
+//! its own table, its own ring, its own [`GC_PROBE_BUDGET`]-bounded sweep
+//! — sized to `capacity / shards`, so any rehash that does happen touches
+//! 1/n of the population, and GC pressure in one shard cannot defer
+//! reclamation in another.
+//!
+//! ## Equivalence with the unsharded tracker
+//!
+//! Expiry in [`ConnTracker`] is *semantically lazy*: every access checks
+//! [`FlowEntry::expired`] against `now`, and the CLOCK sweep only decides
+//! when memory is reclaimed, never what an access observes. A flow key
+//! always maps to the same shard, so the sequence of observe/get/remove
+//! calls a given flow experiences is identical whether there is one shard
+//! or sixty-four; only `gc_probes()` (how much sweeping happened) and the
+//! timing of physical removal differ. The differential proptest in
+//! `tests/sharded_differential.rs` pins this: arbitrary interleaved
+//! observe/expire/clear sequences produce observation-for-observation
+//! identical results at 1, 4, and 16 shards.
+
+use tspu_netsim::Time;
+use tspu_wire::tcp::TcpFlags;
+
+use crate::conntrack::{ConnTracker, FlowEntry, FlowKey, Side};
+use crate::fasthash::FxHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hard cap on shard count: beyond this the per-shard tables are small
+/// enough that more shards only add fixed overhead.
+pub const MAX_SHARDS: usize = 64;
+
+/// Target live flows per shard when a capacity is auto-sharded — chosen so
+/// a shard's table stays within a few MiB and a worst-case shard rehash
+/// stays under the tail-latency floors.
+pub const FLOWS_PER_SHARD: usize = 65_536;
+
+/// A power-of-two array of independent [`ConnTracker`]s, addressed by flow
+/// -key hash. See the module docs for the equivalence argument.
+pub struct ShardedConnTracker {
+    shards: Vec<ConnTracker>,
+    /// `shards.len() - 1`; shard index is `hash & mask`.
+    mask: u64,
+}
+
+impl Default for ShardedConnTracker {
+    fn default() -> Self {
+        ShardedConnTracker::new()
+    }
+}
+
+impl ShardedConnTracker {
+    /// A single-shard tracker — byte-for-byte the plain [`ConnTracker`],
+    /// including its `gc_probes` accounting.
+    pub fn new() -> ShardedConnTracker {
+        ShardedConnTracker::with_shards(1)
+    }
+
+    /// A tracker with `shards` shards (rounded up to a power of two and
+    /// clamped to `[1, MAX_SHARDS]`), no capacity pre-reserved.
+    pub fn with_shards(shards: usize) -> ShardedConnTracker {
+        let n = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        ShardedConnTracker {
+            shards: (0..n).map(|_| ConnTracker::new()).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// A tracker provisioned for `capacity` total live flows, auto-sharded
+    /// at [`FLOWS_PER_SHARD`]: each shard pre-reserves its slice, so the
+    /// whole population inserts without a single rehash anywhere.
+    pub fn with_capacity(capacity: usize) -> ShardedConnTracker {
+        let shards = capacity.div_ceil(FLOWS_PER_SHARD).max(1);
+        ShardedConnTracker::with_capacity_and_shards(capacity, shards)
+    }
+
+    /// A tracker with both knobs explicit.
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> ShardedConnTracker {
+        let n = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let per_shard = capacity.div_ceil(n);
+        ShardedConnTracker {
+            shards: (0..n).map(|_| ConnTracker::with_capacity(per_shard)).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_index(&self, key: &FlowKey) -> usize {
+        // Single-shard trackers (every device that never opted into a
+        // million-flow capacity) must not pay a per-packet key hash just
+        // to select shard 0 — the device hot-path budget is ~50 ns total.
+        if self.mask == 0 {
+            return 0;
+        }
+        let mut hasher = FxHasher::default();
+        key.hash(&mut hasher);
+        (hasher.finish() & self.mask) as usize
+    }
+
+    #[inline]
+    fn shard_for(&self, key: &FlowKey) -> &ConnTracker {
+        &self.shards[self.shard_index(key)]
+    }
+
+    #[inline]
+    fn shard_for_mut(&mut self, key: &FlowKey) -> &mut ConnTracker {
+        let idx = self.shard_index(key);
+        &mut self.shards[idx]
+    }
+
+    /// Total live entries (including expired-but-unswept) across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(ConnTracker::len).sum()
+    }
+
+    /// True when no flows are tracked anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(ConnTracker::is_empty)
+    }
+
+    /// Read-only view of a flow, expiry-checked.
+    #[inline]
+    pub fn get(&self, now: Time, key: &FlowKey) -> Option<&FlowEntry> {
+        self.shard_for(key).get(now, key)
+    }
+
+    /// Mutable view of a flow, expiry-checked.
+    #[inline]
+    pub fn get_mut(&mut self, now: Time, key: &FlowKey) -> Option<&mut FlowEntry> {
+        self.shard_for_mut(key).get_mut(now, key)
+    }
+
+    /// Removes a flow.
+    pub fn remove(&mut self, key: &FlowKey) {
+        self.shard_for_mut(key).remove(key);
+    }
+
+    /// Live flows still enforcing a verdict installed under a policy epoch
+    /// older than `epoch`, summed across shards.
+    pub fn blocks_pinned_before(&self, now: Time, epoch: u64) -> usize {
+        self.shards.iter().map(|s| s.blocks_pinned_before(now, epoch)).sum()
+    }
+
+    /// Drops every tracked flow in every shard, keeping provisioned
+    /// capacity — the device-restart semantics of [`ConnTracker::clear`].
+    pub fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+
+    /// Observes a TCP packet; the owning shard runs its bounded GC step,
+    /// so per-packet reclamation work is ≤ [`crate::conntrack::GC_PROBE_BUDGET`]
+    /// probes regardless of total population.
+    #[inline]
+    pub fn observe_tcp(
+        &mut self,
+        now: Time,
+        key: FlowKey,
+        side: Side,
+        flags: TcpFlags,
+        payload_len: usize,
+    ) -> &mut FlowEntry {
+        let idx = self.shard_index(&key);
+        self.shards[idx].observe_tcp(now, key, side, flags, payload_len)
+    }
+
+    /// Observes a UDP packet (QUIC verdict state).
+    #[inline]
+    pub fn observe_udp(&mut self, now: Time, key: FlowKey, side: Side) -> &mut FlowEntry {
+        let idx = self.shard_index(&key);
+        self.shards[idx].observe_udp(now, key, side)
+    }
+
+    /// Total ring slots probed by GC across shards (telemetry).
+    pub fn gc_probes(&self) -> u64 {
+        self.shards.iter().map(ConnTracker::gc_probes).sum()
+    }
+
+    /// Per-shard live-entry counts — the occupancy histogram the load
+    /// report emits to show the hash is spreading the population.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(ConnTracker::len).collect()
+    }
+
+    /// Allocated table capacity summed across shards.
+    pub fn table_capacity(&self) -> usize {
+        self.shards.iter().map(ConnTracker::table_capacity).sum()
+    }
+
+    /// Estimated bytes held by all shards' tables and rings (see
+    /// [`ConnTracker::memory_bytes_estimate`]).
+    pub fn memory_bytes_estimate(&self) -> usize {
+        self.shards.iter().map(ConnTracker::memory_bytes_estimate).sum()
+    }
+
+    /// Maximum per-shard GC probe count — the figure the load soak holds
+    /// against [`crate::conntrack::GC_PROBE_BUDGET`] × observations.
+    pub fn max_shard_gc_probes(&self) -> u64 {
+        self.shards.iter().map(ConnTracker::gc_probes).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey {
+            local_addr: Ipv4Addr::new(10, 0, 0, 5),
+            local_port: port,
+            remote_addr: Ipv4Addr::new(203, 0, 113, 5),
+            remote_port: 443,
+            protocol: 6,
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_and_clamps() {
+        assert_eq!(ShardedConnTracker::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedConnTracker::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedConnTracker::with_shards(16).shard_count(), 16);
+        assert_eq!(ShardedConnTracker::with_shards(1000).shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn auto_sharding_scales_with_capacity() {
+        assert_eq!(ShardedConnTracker::with_capacity(1_000).shard_count(), 1);
+        assert_eq!(ShardedConnTracker::with_capacity(200_000).shard_count(), 4);
+        assert_eq!(ShardedConnTracker::with_capacity(1_000_000).shard_count(), 16);
+    }
+
+    #[test]
+    fn provisioned_shards_never_rehash_under_full_population() {
+        let mut t = ShardedConnTracker::with_capacity(10_000);
+        let caps_before = t.table_capacity();
+        for i in 0..10_000u32 {
+            let k = FlowKey {
+                local_port: (i % 60_000) as u16,
+                local_addr: Ipv4Addr::new(10, 0, (i >> 16) as u8, 1),
+                ..key(0)
+            };
+            t.observe_tcp(Time::ZERO, k, Side::Local, TcpFlags::SYN, 0);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.table_capacity(), caps_before);
+    }
+
+    #[test]
+    fn population_spreads_across_shards() {
+        let mut t = ShardedConnTracker::with_shards(16);
+        for port in 0..16_000u16 {
+            t.observe_tcp(Time::ZERO, key(port), Side::Local, TcpFlags::SYN, 0);
+        }
+        let lens = t.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 16_000);
+        // FxHash over distinct ports should land every shard within 2× of
+        // the mean; a dead shard means the mask is broken.
+        assert!(lens.iter().all(|&l| l > 0 && l < 2_000), "skewed shards: {lens:?}");
+    }
+
+    #[test]
+    fn same_key_always_same_shard() {
+        let mut t = ShardedConnTracker::with_shards(8);
+        t.observe_tcp(Time::ZERO, key(1234), Side::Local, TcpFlags::SYN, 0);
+        assert_eq!(t.len(), 1);
+        // Second observation of the same key transitions, not duplicates.
+        t.observe_tcp(Time::ZERO, key(1234), Side::Remote, TcpFlags::SYN_ACK, 0);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(Time::ZERO, &key(1234)).is_some());
+        t.remove(&key(1234));
+        assert!(t.is_empty());
+    }
+}

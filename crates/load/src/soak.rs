@@ -1,0 +1,432 @@
+//! The soak driver: builds a population topology once, then runs forks of
+//! it to a [`SoakReport`].
+//!
+//! Split into an expensive [`build_lab`] (domain universe, policy, route
+//! interning, schedule expansion — all shareable) and a cheap
+//! [`SoakLab::run`] that forks a pristine [`Network`] from the image,
+//! attaches fresh apps, and drives the population to completion. Repeated
+//! runs of the same lab are byte-identical in everything virtual-time
+//! derived; only the wall-clock latency figures differ run to run, and
+//! [`SoakReport::deterministic_json`] excludes exactly those.
+
+use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tspu_core::conntrack::GC_PROBE_BUDGET;
+use tspu_core::{Policy, PolicyHandle, TspuDevice};
+use tspu_netsim::{Direction, MiddleboxHandle, Network, NetworkImage, Route, RouteStep, Time};
+use tspu_obs::{Histogram, MetricValue, Snapshot};
+use tspu_registry::Universe;
+
+use crate::gen::{
+    build_schedule, ClientSchedule, LoadClientApp, LoadProfile, LoadServerApp, LoadStats,
+};
+
+/// Soak parameters beyond the traffic profile itself.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    pub profile: LoadProfile,
+    /// Device flow-table provisioning ([`TspuDevice`] `with_flow_capacity`).
+    pub flow_capacity: usize,
+    /// Explicit conntrack shard count; `None` auto-sizes from capacity.
+    pub shards: Option<usize>,
+    /// Virtual-time slice per wall-latency sample.
+    pub slice: Duration,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            profile: LoadProfile::default(),
+            flow_capacity: 65_536,
+            shards: None,
+            slice: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A reusable soak topology: image + schedules, fork-and-run any number
+/// of times.
+pub struct SoakLab {
+    config: SoakConfig,
+    image: NetworkImage,
+    device: MiddleboxHandle<TspuDevice>,
+    clients: Vec<(tspu_netsim::HostId, Ipv4Addr)>,
+    server: tspu_netsim::HostId,
+    server_addr: Ipv4Addr,
+    schedules: Vec<ClientSchedule>,
+    /// Fraction of the domain universe the policy blocks (telemetry).
+    pub blocked_universe_fraction: f64,
+}
+
+/// Everything a soak run measured.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    pub stats: LoadStats,
+    /// Scheduler events processed (virtual-time deterministic).
+    pub events: u64,
+    /// Peak simultaneously tracked flows at the device.
+    pub peak_tracked_flows: usize,
+    /// Final per-shard occupancy.
+    pub shard_lens: Vec<usize>,
+    /// Total GC ring probes across shards.
+    pub gc_probes: u64,
+    /// Largest per-shard GC probe count.
+    pub max_shard_gc_probes: u64,
+    /// Device-visible packets (each endpoint transmission crosses the
+    /// device once) — the denominator for the GC budget check.
+    pub device_packets: u64,
+    /// Conntrack allocation estimate divided by peak tracked flows.
+    pub bytes_per_flow: f64,
+    /// Wall-clock duration of the whole run (drain included).
+    pub wall_seconds: f64,
+    /// Endpoint packets per wall second, the headline figure.
+    pub sustained_pps: f64,
+    /// Steady-state wall nanoseconds per scheduler event.
+    pub p50_event_ns: u64,
+    pub p99_event_ns: u64,
+    pub p999_event_ns: u64,
+    /// Per-slice ns/event histogram (steady state), for the obs snapshot.
+    latency_hist: Histogram,
+}
+
+impl SoakReport {
+    /// True when GC work stayed within the advertised per-packet bound on
+    /// every shard.
+    pub fn gc_within_budget(&self) -> bool {
+        self.gc_probes <= GC_PROBE_BUDGET as u64 * self.device_packets.max(1)
+    }
+
+    /// The virtual-time-deterministic slice of the report: identical bytes
+    /// for identical (seed, profile, topology), regardless of wall clock,
+    /// thread count, or machine.
+    pub fn deterministic_json(&self) -> String {
+        let s = &self.stats;
+        let shard_lens: Vec<String> = self.shard_lens.iter().map(usize::to_string).collect();
+        format!(
+            concat!(
+                "{{\"flows_started\":{},\"flows_completed\":{},\"got_data\":{},",
+                "\"resets\":{},\"oracle_mismatches\":{},\"open_loop_flows\":{},",
+                "\"closed_loop_flows\":{},\"client_tx\":{},\"client_rx\":{},",
+                "\"server_tx\":{},\"server_rx\":{},\"events\":{},",
+                "\"peak_tracked_flows\":{},\"gc_probes\":{},\"device_packets\":{},",
+                "\"shard_lens\":[{}]}}"
+            ),
+            s.flows_started,
+            s.flows_completed,
+            s.got_data,
+            s.resets,
+            s.oracle_mismatches,
+            s.open_loop_flows,
+            s.closed_loop_flows,
+            s.client_tx_packets,
+            s.client_rx_packets,
+            s.server_tx_packets,
+            s.server_rx_packets,
+            self.events,
+            self.peak_tracked_flows,
+            self.gc_probes,
+            self.device_packets,
+            shard_lens.join(",")
+        )
+    }
+
+    /// Full report as an obs [`Snapshot`] (counters + the steady-state
+    /// latency histogram), for merging with device/network snapshots and
+    /// JSON export.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        let s = &self.stats;
+        for (name, v) in [
+            ("load.flows_started", s.flows_started),
+            ("load.flows_completed", s.flows_completed),
+            ("load.got_data", s.got_data),
+            ("load.resets", s.resets),
+            ("load.oracle_mismatches", s.oracle_mismatches),
+            ("load.open_loop_flows", s.open_loop_flows),
+            ("load.closed_loop_flows", s.closed_loop_flows),
+            ("load.client_tx_packets", s.client_tx_packets),
+            ("load.client_rx_packets", s.client_rx_packets),
+            ("load.server_tx_packets", s.server_tx_packets),
+            ("load.server_rx_packets", s.server_rx_packets),
+            ("load.events", self.events),
+            ("load.peak_tracked_flows", self.peak_tracked_flows as u64),
+            ("load.gc_probes", self.gc_probes),
+            ("load.sustained_pps", self.sustained_pps as u64),
+            ("load.bytes_per_flow", self.bytes_per_flow as u64),
+        ] {
+            snap.insert(name, MetricValue::Counter(v));
+        }
+        for (i, &len) in self.shard_lens.iter().enumerate() {
+            snap.insert(format!("load.shard_occupancy.{i:02}"), MetricValue::Counter(len as u64));
+        }
+        snap.insert("load.event_wall_ns", MetricValue::Hist(self.latency_hist.clone()));
+        snap
+    }
+}
+
+/// Builds the soak topology and schedules for `config`.
+///
+/// The domain universe is the registry sample + Tranco head padded with
+/// long-tail filler names to `profile.universe_domains`; the device policy
+/// carries the universe's full SNI-RST set and nothing else, so the
+/// per-flow outcome oracle is exact: a flow must be RST iff its SNI
+/// matches the RST set.
+pub fn build_lab(config: SoakConfig) -> SoakLab {
+    let profile = &config.profile;
+    let universe = Universe::generate(profile.seed);
+
+    // Popularity rank order: the Tranco head first (popular sites, mostly
+    // unblocked — the Zipf head hammers these), then the registry sample
+    // (96% RST-blocked, so blocks live in the warm mid-tail), then filler
+    // long tail up to the configured universe size.
+    let domains: Vec<Arc<str>> = universe
+        .tranco
+        .iter()
+        .chain(universe.registry_sample.iter())
+        .map(|d| d.name.clone())
+        .chain((0..profile.universe_domains).map(|i| format!("filler-{i}.example.ru")))
+        .take(profile.universe_domains)
+        .map(|name| Arc::from(name.as_str()))
+        .collect();
+
+    let mut policy = Policy::permissive();
+    for d in &universe.blocks.sni_rst {
+        policy.sni_rst.insert(d.clone());
+    }
+    let blocked: Vec<bool> = domains.iter().map(|d| policy.sni_rst.matches(d)).collect();
+    let blocked_universe_fraction =
+        blocked.iter().filter(|&&b| b).count() as f64 / blocked.len().max(1) as f64;
+    let handle = PolicyHandle::new(policy);
+
+    let mut device = TspuDevice::reliable("tspu-load", handle);
+    device = match config.shards {
+        Some(shards) => device.with_flow_shards(config.flow_capacity, shards),
+        None => device.with_flow_capacity(config.flow_capacity),
+    };
+
+    let mut net = Network::with_default_latency();
+    let device = net.install_middlebox(device);
+
+    let server_addr = Ipv4Addr::new(93, 184, 216, 34);
+    let server = net.add_host(server_addr);
+    let mut clients = Vec::with_capacity(profile.clients);
+    // One provider path shared by the whole population: access router,
+    // the TSPU at the provider edge, one transit hop. Route interning
+    // collapses all (client, server) pairs onto a single arena entry.
+    let route = Route {
+        steps: vec![
+            RouteStep::router(Ipv4Addr::new(10, 255, 0, 1)),
+            RouteStep::with_device(
+                Ipv4Addr::new(185, 140, 30, 77),
+                device.id(),
+                Direction::LocalToRemote,
+            ),
+            RouteStep::router(Ipv4Addr::new(192, 0, 2, 1)),
+        ],
+    };
+    for i in 0..profile.clients {
+        let addr = Ipv4Addr::new(10, 77, (i / 250) as u8, (i % 250 + 1) as u8);
+        let host = net.add_host(addr);
+        net.set_route_symmetric(host, server, route.clone());
+        clients.push((host, addr));
+    }
+
+    let schedules = build_schedule(profile, &domains, &blocked);
+    let image = net.image();
+
+    SoakLab {
+        config,
+        image,
+        device,
+        clients,
+        server,
+        server_addr,
+        schedules,
+        blocked_universe_fraction,
+    }
+}
+
+impl SoakLab {
+    /// Total flows the schedules will launch.
+    pub fn total_flows(&self) -> usize {
+        self.schedules.iter().map(|c| c.open.len() + c.closed.len()).sum()
+    }
+
+    /// Forks a pristine network from the lab image with fresh apps
+    /// attached and initial timers armed. Exposed for benches that want
+    /// to time the drive loop alone.
+    pub fn fork(&self) -> (Network, Arc<Mutex<LoadStats>>) {
+        let mut net = self.image.fork();
+        let stats: Arc<Mutex<LoadStats>> = Arc::default();
+        net.set_app(
+            self.server,
+            Box::new(LoadServerApp::new(
+                self.server_addr,
+                self.config.profile.response_bytes,
+                Arc::clone(&stats),
+            )),
+        );
+        for (i, &(host, addr)) in self.clients.iter().enumerate() {
+            let app = LoadClientApp::new(
+                addr,
+                self.server_addr,
+                443,
+                self.schedules[i].clone(),
+                self.config.profile.closed_loop_window,
+                Arc::clone(&stats),
+            );
+            net.set_app(host, Box::new(app));
+            net.arm_timer(host, Duration::ZERO);
+        }
+        (net, stats)
+    }
+
+    fn drain_inboxes(&self, net: &mut Network) {
+        for &(host, _) in &self.clients {
+            drop(net.take_inbox(host));
+        }
+        drop(net.take_inbox(self.server));
+    }
+
+    /// Runs one soak to completion and reports.
+    pub fn run(&self) -> SoakReport {
+        let (mut net, stats) = self.fork();
+        let total_flows = self.total_flows() as u64;
+        let deadline = Time::ZERO + self.config.profile.span + Duration::from_secs(120);
+
+        let started = Instant::now();
+        let mut samples: Vec<(u64, u64)> = Vec::new(); // (ns per event, events)
+        let mut peak_tracked = 0usize;
+        // Latency samples accumulate over fixed event-count windows rather
+        // than per virtual-time slice: a thin slice (a few hundred events,
+        // ~1 ms of wall time) turns one OS scheduler tick into a 10×
+        // outlier, so p999 over raw slices measures the host, not the
+        // engine. A ≥16k-event window is tens of milliseconds of wall
+        // time — preemption amortizes inside it, and a real engine cliff
+        // (rehash, GC sweep) still dominates its window.
+        const WINDOW_EVENTS: u64 = 16_384;
+        let (mut acc_wall_ns, mut acc_events) = (0u64, 0u64);
+        loop {
+            let events_before = net.events_popped();
+            let slice_started = Instant::now();
+            net.run_for(self.config.slice);
+            acc_wall_ns += slice_started.elapsed().as_nanos() as u64;
+            acc_events += net.events_popped() - events_before;
+            if acc_events >= WINDOW_EVENTS {
+                samples.push((acc_wall_ns / acc_events, acc_events));
+                (acc_wall_ns, acc_events) = (0, 0);
+            }
+            // Endpoints consume packets through their apps; the inbox
+            // copies the simulator also keeps would pin every payload of
+            // the soak in memory. Drop them each slice.
+            self.drain_inboxes(&mut net);
+            peak_tracked = peak_tracked.max(net.middlebox(self.device).conntrack().len());
+            let completed = stats.lock().expect("stats lock").flows_completed;
+            if completed >= total_flows || net.now() >= deadline {
+                break;
+            }
+        }
+        // Drain stragglers (FINs in flight past the last slice).
+        net.run_until_idle();
+        self.drain_inboxes(&mut net);
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        // Steady state: skip the ramp-up (first 10% of windows). Every
+        // emitted window holds ≥ WINDOW_EVENTS events by construction, so
+        // no thin-sample filtering is needed.
+        let skip = samples.len() / 10;
+        let mut steady: Vec<u64> = samples.iter().skip(skip).map(|&(ns, _)| ns).collect();
+        steady.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if steady.is_empty() {
+                return 0;
+            }
+            let idx = ((steady.len() as f64 - 1.0) * q).round() as usize;
+            steady[idx]
+        };
+        let mut latency_hist = Histogram::new();
+        for &ns in &steady {
+            latency_hist.record(ns);
+        }
+
+        let conntrack = net.middlebox(self.device).conntrack();
+        let stats = stats.lock().expect("stats lock").clone();
+        let device_packets = stats.client_tx_packets + stats.server_tx_packets;
+        SoakReport {
+            events: net.events_popped(),
+            peak_tracked_flows: peak_tracked,
+            shard_lens: conntrack.shard_lens(),
+            gc_probes: conntrack.gc_probes(),
+            max_shard_gc_probes: conntrack.max_shard_gc_probes(),
+            device_packets,
+            bytes_per_flow: conntrack.memory_bytes_estimate() as f64
+                / peak_tracked.max(1) as f64,
+            wall_seconds,
+            sustained_pps: device_packets as f64 / wall_seconds.max(1e-9),
+            p50_event_ns: pct(0.50),
+            p99_event_ns: pct(0.99),
+            p999_event_ns: pct(0.999),
+            latency_hist,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SoakConfig {
+        SoakConfig {
+            profile: LoadProfile {
+                flows: 2_000,
+                clients: 8,
+                universe_domains: 5_000,
+                span: Duration::from_secs(60),
+                ..LoadProfile::default()
+            },
+            flow_capacity: 4_096,
+            shards: Some(4),
+            slice: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn soak_completes_all_flows_with_clean_oracle() {
+        let lab = build_lab(small_config());
+        let report = lab.run();
+        assert_eq!(report.stats.flows_started, 2_000);
+        assert_eq!(report.stats.flows_completed, 2_000);
+        assert_eq!(report.stats.oracle_mismatches, 0, "policy oracle violated");
+        // The universe's RST set must actually bite: some flows reset,
+        // most fetch data.
+        assert!(report.stats.resets > 0, "no blocked domains sampled");
+        assert!(report.stats.got_data > report.stats.resets);
+        assert!(report.gc_within_budget());
+        assert_eq!(report.shard_lens.len(), 4);
+    }
+
+    #[test]
+    fn repeated_runs_are_byte_identical() {
+        let lab = build_lab(small_config());
+        let a = lab.run().deterministic_json();
+        let b = lab.run().deterministic_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn peak_population_is_tracked_concurrently() {
+        let lab = build_lab(small_config());
+        let report = lab.run();
+        // Arrivals span 60 s < the 480 s Established timeout, so the
+        // device must be holding a large share of the population at once.
+        assert!(
+            report.peak_tracked_flows > 1_000,
+            "peak tracked {} too low",
+            report.peak_tracked_flows
+        );
+        assert!(report.bytes_per_flow > 0.0);
+    }
+}

@@ -94,6 +94,13 @@ thread_local! {
 /// that an unusual burst does not pin memory.
 const PACKET_POOL_CAP: usize = 32;
 
+/// Largest buffer the pool will retain. A reassembled jumbo or a soak's
+/// oversized probe would otherwise park its allocation in the pool forever
+/// — 32 slots × one bad burst could pin megabytes after the run ends.
+/// Ordinary crafted packets (headers + ClientHello-sized payloads) sit
+/// well under this.
+const PACKET_POOL_MAX_BYTES: usize = 4096;
+
 fn pooled_packet() -> Vec<u8> {
     PACKET_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
 }
@@ -101,10 +108,16 @@ fn pooled_packet() -> Vec<u8> {
 fn recycle_packet(buf: Vec<u8>) {
     PACKET_POOL.with(|p| {
         let mut pool = p.borrow_mut();
-        if pool.len() < PACKET_POOL_CAP {
+        if pool.len() < PACKET_POOL_CAP && buf.capacity() <= PACKET_POOL_MAX_BYTES {
             pool.push(buf);
         }
     });
+}
+
+/// Total bytes currently retained by this thread's packet pool (the
+/// soak-footprint tests watch this).
+pub fn packet_pool_retained_bytes() -> usize {
+    PACKET_POOL.with(|p| p.borrow().iter().map(Vec::capacity).sum())
 }
 
 fn summarize(inbox: Vec<(tspu_netsim::Time, Vec<u8>)>) -> Vec<PacketSummary> {
@@ -227,6 +240,23 @@ mod tests {
         assert!(result.at_remote.iter().any(|p| p.sni.as_deref() == Some("twitter.com")));
         // The local side saw the response rewritten to RST/ACK.
         assert!(result.at_local.iter().any(|p| p.is_rst_ack && p.payload_len == 0));
+    }
+
+    #[test]
+    fn packet_pool_rejects_oversized_buffers() {
+        // Drop whatever earlier steps on this thread left behind so the
+        // bound is exact.
+        PACKET_POOL.with(|p| p.borrow_mut().clear());
+        for _ in 0..PACKET_POOL_CAP * 2 {
+            recycle_packet(Vec::with_capacity(1 << 20)); // a soak-sized jumbo
+            recycle_packet(Vec::with_capacity(512));
+        }
+        let retained = packet_pool_retained_bytes();
+        assert!(
+            retained <= PACKET_POOL_CAP * PACKET_POOL_MAX_BYTES,
+            "pool pinned {retained} bytes"
+        );
+        PACKET_POOL.with(|p| p.borrow_mut().clear());
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod nat;
 pub mod oracle;
 pub mod pcap;
+pub mod wheel;
 
 pub use app::{Application, Output};
 pub use fault::{ChaosLink, DeviceFaults, FaultPlan, FlapSpec, LinkFaults, LinkStats};
@@ -49,3 +50,4 @@ pub use capture::{CaptureRecord, TracePoint};
 pub use middlebox::{AsAny, Direction, Middlebox, MiddleboxId, MiddleboxImage, Verdict};
 pub use network::{HostId, MiddleboxHandle, Network, NetworkImage, Route, RouteId, RouteStep};
 pub use time::Time;
+pub use wheel::TimerWheel;

@@ -1,7 +1,5 @@
 //! The discrete-event engine: hosts, routes, and the event loop.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
 use std::net::Ipv4Addr;
@@ -17,6 +15,7 @@ use crate::app::{Application, Output};
 use crate::capture::{CaptureRecord, TracePoint};
 use crate::middlebox::{Direction, Middlebox, MiddleboxId, MiddleboxImage, Verdict};
 use crate::time::Time;
+use crate::wheel::TimerWheel;
 
 /// Index of a host registered with a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -127,29 +126,6 @@ enum EventKind {
     Timer { host: HostId },
 }
 
-struct Event {
-    time: Time,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The deterministic simulator. See the crate docs for the model.
 ///
 /// The topology half — address map, route table, interned route arena —
@@ -160,8 +136,15 @@ impl Ord for Event {
 /// copy-on-write clone of the touched table.
 pub struct Network {
     now: Time,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// The event scheduler: a timer wheel whose internal monotone sequence
+    /// counter reproduces the old `BinaryHeap<Reverse<Event>>` total order
+    /// `(time, seq)` byte for byte. See [`crate::wheel`].
+    queue: TimerWheel<EventKind>,
+    /// Events popped from the queue so far. A plain field, not an obs
+    /// counter: load drivers divide wall time by it for per-event latency,
+    /// which must work in obs-disabled builds too (where
+    /// [`Network::events_processed`] reads 0).
+    events_popped: u64,
     hosts: Vec<HostState>,
     addr_map: Arc<FxHashMap<Ipv4Addr, HostId>>,
     routes: Arc<FxHashMap<(HostId, HostId), RouteId>>,
@@ -191,8 +174,8 @@ impl Network {
         let h_queue_depth = registry.histogram("queue_depth");
         Network {
             now: Time::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
+            events_popped: 0,
             hosts: Vec::new(),
             addr_map: Arc::default(),
             routes: Arc::default(),
@@ -225,6 +208,13 @@ impl Network {
     /// obs-disabled build.
     pub fn events_processed(&self) -> u64 {
         self.registry.counter_value(self.c_events)
+    }
+
+    /// Events popped from the scheduler so far — like
+    /// [`Network::events_processed`] but independent of the `obs` feature,
+    /// so wall-latency-per-event math works in any build.
+    pub fn events_popped(&self) -> u64 {
+        self.events_popped
     }
 
     /// Enables or disables virtual-time span tracing (`hop` / `deliver`
@@ -404,9 +394,9 @@ impl Network {
         // same-instant send) must keep its seq-order priority, so the
         // slow path stays for that case — and for capture/tracing runs,
         // where the event itself is observable.
-        let head_later = match self.queue.peek() {
+        let head_later = match self.queue.peek_time() {
             None => true,
-            Some(Reverse(event)) => event.time > self.now,
+            Some(head_time) => head_time > self.now,
         };
         if head_later && self.fast_path() {
             self.do_send(host, packet);
@@ -442,9 +432,10 @@ impl Network {
     /// events (a ping-pong loop between applications).
     pub fn run_until_idle(&mut self) {
         let mut budget: u64 = 100_000_000;
-        while let Some(Reverse(event)) = self.queue.pop() {
-            self.now = event.time;
-            self.dispatch(event.kind);
+        while let Some((time, kind)) = self.queue.pop() {
+            self.now = time;
+            self.events_popped += 1;
+            self.dispatch_batched(kind);
             budget -= 1;
             assert!(budget > 0, "event budget exhausted: likely an application loop");
         }
@@ -457,21 +448,33 @@ impl Network {
     /// rely on: "SLEEP 480" costs nothing.
     pub fn run_for(&mut self, duration: Duration) {
         let deadline = self.now + duration;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > deadline {
+        while let Some(head_time) = self.queue.peek_time() {
+            if head_time > deadline {
                 break;
             }
-            let Reverse(event) = self.queue.pop().expect("peeked event");
-            self.now = event.time;
-            self.dispatch(event.kind);
+            let (time, kind) = self.queue.pop().expect("peeked event");
+            self.now = time;
+            self.events_popped += 1;
+            self.dispatch_batched(kind);
         }
         self.now = deadline;
     }
 
+    /// Approximate heap bytes retained by the event scheduler's own
+    /// structures — what the soak-footprint tests watch.
+    pub fn event_queue_capacity_bytes(&self) -> usize {
+        self.queue.capacity_bytes()
+    }
+
+    /// Releases the scheduler's excess capacity (wheel buckets, overflow
+    /// arena) after a large run; pending events survive. See
+    /// [`TimerWheel::shrink`].
+    pub fn shrink_event_queue(&mut self) {
+        self.queue.shrink();
+    }
+
     fn push_event(&mut self, time: Time, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, kind }));
+        self.queue.push(time, kind);
     }
 
     fn capture(&mut self, point: TracePoint, bytes: &[u8]) {
@@ -481,7 +484,8 @@ impl Network {
         }
     }
 
-    fn dispatch(&mut self, kind: EventKind) {
+    /// Per-event accounting, shared by the single-event and batched paths.
+    fn note_event(&mut self) {
         self.registry.inc(self.c_events);
         // Queue depth is sampled 1-in-64 on the event count: the depth
         // statistic keeps its shape while the histogram record (a
@@ -490,6 +494,71 @@ impl Network {
         if self.registry.counter_value(self.c_events) & 63 == 0 {
             self.registry.record(self.h_queue_depth, self.queue.len() as u64);
         }
+    }
+
+    /// Dispatches one popped event. When it is a route hop on the fast
+    /// path, drains the run of same-instant, same-leg hops queued behind it
+    /// and processes the whole batch with the route resolved once — a
+    /// population soak pushes thousands of packets through the same (src,
+    /// dst, step) leg at the same instant, and the route/arena lookups
+    /// dominate once the per-packet work is lean.
+    ///
+    /// Order is unchanged: the drained events are the consecutive smallest
+    /// `(time, seq)` entries in the queue, and anything a batch member
+    /// pushes gets a larger seq than every drained member, so the
+    /// per-event engine would have processed the batch in exactly this
+    /// sequence anyway.
+    fn dispatch_batched(&mut self, kind: EventKind) {
+        if let EventKind::Hop { src, dst, step, packet } = kind {
+            if self.fast_path() {
+                // Probing the queue head for a same-leg run costs a peek
+                // per event; only population-scale queues can actually
+                // contain such runs, so shallow queues (every paper-scale
+                // lab) skip straight to the single-hop path.
+                if self.queue.len() < 64 {
+                    self.note_event();
+                    self.do_hop(src, dst, step, packet);
+                    return;
+                }
+                let now = self.now;
+                let same_leg = |t: Time, k: &EventKind| {
+                    t == now
+                        && matches!(
+                            k,
+                            EventKind::Hop { src: s, dst: d, step: st, .. }
+                                if *s == src && *d == dst && *st == step
+                        )
+                };
+                // Batch storage is only materialized once a same-instant
+                // follower actually exists; the lone-hop case — every hop
+                // of every paper-scale workload — stays allocation-free.
+                let Some((_, first)) = self.queue.pop_if(same_leg) else {
+                    self.note_event();
+                    self.do_hop(src, dst, step, packet);
+                    return;
+                };
+                let EventKind::Hop { packet: second, .. } = first else { unreachable!() };
+                self.events_popped += 1;
+                let mut batch = vec![packet, second];
+                while let Some((_, drained)) = self.queue.pop_if(same_leg) {
+                    let EventKind::Hop { packet, .. } = drained else { unreachable!() };
+                    self.events_popped += 1;
+                    batch.push(packet);
+                }
+                self.do_hop_batch(src, dst, step, batch);
+                return;
+            }
+            self.note_event();
+            let now_us = self.now.as_micros();
+            self.tracer.span("hop", "netsim", now_us, now_us);
+            self.do_hop(src, dst, step, packet);
+            return;
+        }
+        self.dispatch(kind);
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        self.note_event();
         // Spans use virtual time, which does not advance inside a handler,
         // so hop/deliver spans are instants marking where simulated time
         // was spent — byte-identical across thread counts by construction.
@@ -559,7 +628,55 @@ impl Network {
             }
             (route.steps[step].hop_addr, route.steps[step].devices.len())
         };
+        self.hop_one(src, dst, rid, step, hop_addr, n_devices, packet);
+    }
 
+    /// [`Network::do_hop`] for a drained run of same-instant, same-leg hop
+    /// events: the route table lookup, arena index, and step scalars are
+    /// resolved once for the whole batch. Only reachable from the fast
+    /// path, so the skipped per-event `hop` spans were no-ops anyway.
+    fn do_hop_batch(&mut self, src: HostId, dst: HostId, step: usize, batch: Vec<Vec<u8>>) {
+        let rid = match self.routes.get(&(src, dst)) {
+            Some(&rid) => rid,
+            None => {
+                for packet in batch {
+                    self.note_event();
+                    self.push_event(self.now, EventKind::Deliver { dst, packet });
+                }
+                return;
+            }
+        };
+        let (hop_addr, n_devices) = {
+            let route = &self.route_arena[rid.0 as usize];
+            if step >= route.steps.len() {
+                for packet in batch {
+                    self.note_event();
+                    self.push_event(self.now, EventKind::Deliver { dst, packet });
+                }
+                return;
+            }
+            (route.steps[step].hop_addr, route.steps[step].devices.len())
+        };
+        for packet in batch {
+            self.note_event();
+            self.hop_one(src, dst, rid, step, hop_addr, n_devices, packet);
+        }
+    }
+
+    /// The per-packet half of a hop: TTL handling, the middlebox chain,
+    /// and scheduling whatever survives — everything after route
+    /// resolution.
+    #[allow(clippy::too_many_arguments)]
+    fn hop_one(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        rid: RouteId,
+        step: usize,
+        hop_addr: Ipv4Addr,
+        n_devices: usize,
+        packet: Vec<u8>,
+    ) {
         // Router: decrement TTL; expire with ICMP time-exceeded.
         let mut packet = packet;
         {
@@ -880,8 +997,8 @@ impl NetworkImage {
     pub fn fork(&self) -> Network {
         Network {
             now: Time::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
+            events_popped: 0,
             hosts: self
                 .host_addrs
                 .iter()
@@ -1228,6 +1345,73 @@ mod tests {
         // Interned slots still resolve per (src, dst) pair.
         assert_eq!(net.route(a, b).unwrap().steps[0].hop_addr, R1);
         assert_eq!(net.route(b, a).unwrap().steps[0].hop_addr, R2);
+    }
+
+    #[test]
+    fn fork_footprint_is_soak_independent() {
+        let mut net = Network::with_default_latency();
+        net.set_capture(false);
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        net.set_route_symmetric(a, b, Route::through(&[R1]));
+        let image = net.image();
+        let pristine_bytes = image.fork().event_queue_capacity_bytes();
+
+        // Soak the original hard enough to engage the wheel (>1024 pending
+        // events at once).
+        for i in 0..4000u16 {
+            net.send_from(a, packet(A, B, 64, &i.to_be_bytes()));
+        }
+        let soaked_bytes = net.event_queue_capacity_bytes();
+        assert!(soaked_bytes > 100 * 1024, "soak did not engage the wheel: {soaked_bytes}");
+        net.run_until_idle();
+
+        // A post-soak fork must not inherit the soak's queue capacity.
+        let forked_bytes = image.fork().event_queue_capacity_bytes();
+        assert_eq!(forked_bytes, pristine_bytes);
+        assert!(forked_bytes < 1024, "fork carries dead queue capacity: {forked_bytes}");
+
+        // And the soaked engine itself can shed its peak on demand.
+        net.shrink_event_queue();
+        assert!(
+            net.event_queue_capacity_bytes() < 64 * 1024,
+            "shrink retained {} bytes",
+            net.event_queue_capacity_bytes()
+        );
+    }
+
+    #[test]
+    fn batched_dispatch_matches_per_event_path() {
+        // A same-instant burst through a device-bearing route: with capture
+        // on the engine walks one event per hop; with capture off it drains
+        // the whole run as one batch. Delivery times and payloads must be
+        // identical, and the device must see the packets in send order.
+        let run = |fast: bool| {
+            let mut net = Network::with_default_latency();
+            net.set_capture(!fast);
+            let a = net.add_host(A);
+            let b = net.add_host(B);
+            let counter = net.install_middlebox(CountAll::default());
+            net.set_route_symmetric(a, b, Route {
+                steps: vec![
+                    RouteStep::router(R1),
+                    RouteStep::with_device(R2, counter.id(), Direction::LocalToRemote),
+                ],
+            });
+            for i in 0..200u8 {
+                net.send_from(a, packet(A, B, 64, &[i]));
+            }
+            net.run_until_idle();
+            assert_eq!(net.middlebox(counter).seen, 200);
+            net.take_inbox(b)
+                .into_iter()
+                .map(|(t, p)| {
+                    let view = Ipv4Packet::new_checked(&p[..]).unwrap();
+                    (t, view.payload().to_vec())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

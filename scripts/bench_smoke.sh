@@ -14,7 +14,12 @@
 # full recompile by >= 50x. PR 6 measures the fork-per-cell sweep
 # (sweep/registry_100k_forked_*, sweep/lab_fork_ns,
 # sweep/registry_100k_fresh_1thread) and derives
-# sweep/forked_vs_fresh_ratio with a floor assertion.
+# sweep/forked_vs_fresh_ratio with a floor assertion. PR 7 adds the
+# million-flow load engine (load/sustained_pps_1m_flows — value is
+# packets/sec, higher is better — load/p{50,99,999}_hop_ns_1m_flows,
+# load/bytes_per_flow) plus netsim/wheel_schedule_ns, asserts the pps
+# floor, and derives load/p999_vs_p50_ratio with a <= 10x ceiling
+# (steady-state tail must stay near the median).
 #
 # Noise control: the enabled/disabled obs batches are interleaved
 # (A/B/A/B) so a frequency ramp or a neighbor stealing the core hits
@@ -27,7 +32,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 # cargo runs bench binaries from the package dir, so anchor relative
 # output paths to the workspace root.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
@@ -142,6 +147,36 @@ if forked and fresh:
     derived.append(rec)
     print(f"sweep forked vs fresh: {ratio:.2f}x")
     assert ratio >= 2.5, f"forked sweep only {ratio:.2f}x faster than build-per-scenario"
+
+# Load engine: sustained throughput floor and tail-latency ceiling.
+# The pps record stores packets/sec in ns_per_iter (higher is better);
+# the reference box sustains ~110k pps on the full million-flow soak, so
+# 20k leaves wide margin for slower CI machines while still failing on
+# an algorithmic regression (an O(n) scan anywhere in the packet path
+# drops throughput by orders of magnitude, not percents).
+pps = records.get("load/sustained_pps_1m_flows")
+if pps:
+    print(f"load sustained pps: {pps['ns_per_iter']:.0f}")
+    assert pps["ns_per_iter"] >= 20_000.0, (
+        f"sustained throughput {pps['ns_per_iter']:.0f} pps below the 20k floor"
+    )
+
+p50 = records.get("load/p50_hop_ns_1m_flows")
+p999 = records.get("load/p999_hop_ns_1m_flows")
+if p50 and p999 and p50["ns_per_iter"] > 0:
+    ratio = p999["ns_per_iter"] / p50["ns_per_iter"]
+    derived.append({
+        "id": "load/p999_vs_p50_ratio",
+        "ns_per_iter": round(ratio, 2),
+        "iters": p50["iters"],
+        "p50_ns": p50["ns_per_iter"],
+        "p999_ns": p999["ns_per_iter"],
+    })
+    print(f"load p999 vs p50: {ratio:.2f}x")
+    assert ratio <= 10.0, (
+        f"steady-state p999 {p999['ns_per_iter']:.0f} ns is {ratio:.1f}x p50 — "
+        "tail latency detached from the median"
+    )
 
 with open(path, "w") as fh:
     for rec_id in order:
