@@ -555,6 +555,51 @@ fn load_engine(_c: &mut Criterion) {
     );
 }
 
+/// The three-country differential campaign (DESIGN.md §12), priced per
+/// (profile × domain) cell: fork the profile's warm lab image, run the
+/// TLS + HTTP + DNS volleys, classify. The value is *microseconds* per
+/// cell (hence `_us_`). Oracle auditing is off here — the campaign prices
+/// the probe path; `profiles/differential_3country_audited_us_per_cell`
+/// prices the same cells with capture + per-profile oracle replay on, so
+/// the audit overhead stays visible as its own record.
+fn profiles_differential(_c: &mut Criterion) {
+    use tspu_measure::{DifferentialCampaign, RunOpts, ScanPool};
+    use tspu_registry::Universe;
+    use tspu_topology::policy_from_universe;
+
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let universe = Universe::generate(3);
+    let policy = policy_from_universe(&universe, false, true);
+    let mut domains: Vec<String> = ["meduza.io", "twitter.com", "nordvpn.com", "rust-lang.org"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let filler = if quick { 8 } else { 60 };
+    domains.extend((0..filler).map(|i| format!("cell-{i}.example")));
+
+    let mut campaign = DifferentialCampaign::three_country(policy, domains);
+    campaign.check_oracle = false;
+    let cells = campaign.len().max(1) as u64;
+    let pool = ScanPool::new(8);
+
+    let start = std::time::Instant::now();
+    let (matrix, _) = campaign.run(&pool, &RunOpts::quick());
+    let plain_us = start.elapsed().as_nanos() as f64 / 1000.0 / cells as f64;
+    assert_eq!(matrix.cells.len(), cells as usize, "campaign dropped cells");
+    criterion::report_custom("profiles/differential_3country_us_per_cell", plain_us, cells);
+
+    campaign.check_oracle = true;
+    let start = std::time::Instant::now();
+    let (matrix, _) = campaign.run(&pool, &RunOpts::quick());
+    let audited_us = start.elapsed().as_nanos() as f64 / 1000.0 / cells as f64;
+    assert!(matrix.oracle_clean(), "{:?}", matrix.oracle_violations());
+    criterion::report_custom(
+        "profiles/differential_3country_audited_us_per_cell",
+        audited_us,
+        cells,
+    );
+}
+
 criterion_group!(
     benches,
     conntrack_throughput,
@@ -569,6 +614,7 @@ criterion_group!(
     wheel_schedule,
     sweep_scale,
     churn_convergence,
-    load_engine
+    load_engine,
+    profiles_differential
 );
 criterion_main!(benches);

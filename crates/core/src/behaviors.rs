@@ -27,10 +27,15 @@ pub enum BlockKind {
     /// QUIC: every subsequent packet of the UDP flow dropped, both sides,
     /// including the trigger.
     QuicDrop,
+    /// HTTP-200 block-page injection (India profile, PAPERS.md): the
+    /// server's response payload is replaced with the censor's page.
+    BlockPage,
 }
 
 impl BlockKind {
-    /// Residual duration of this verdict once applied (Table 2).
+    /// Residual duration of this verdict once applied (Table 2 for the
+    /// TSPU kinds). Profiles with different residual semantics override
+    /// the per-flow window via [`BlockState::with_window`].
     pub fn duration(self) -> Duration {
         match self {
             BlockKind::RstRewrite => constants::BLOCK_SNI1,
@@ -38,6 +43,7 @@ impl BlockKind {
             BlockKind::Throttle => Duration::from_secs(u64::MAX / 2_000_000), // while policy active
             BlockKind::FullDrop => constants::BLOCK_SNI4,
             BlockKind::QuicDrop => constants::BLOCK_QUIC,
+            BlockKind::BlockPage => constants::BLOCK_PAGE,
         }
     }
 
@@ -49,7 +55,29 @@ impl BlockKind {
             BlockKind::Throttle => "SNI-III",
             BlockKind::FullDrop => "SNI-IV",
             BlockKind::QuicDrop => "QUIC",
+            BlockKind::BlockPage => "HTTP-200",
         }
+    }
+}
+
+/// Which packet directions an injection verdict rewrites. Drop-style
+/// verdicts (SNI-II/IV, QUIC) are inherently symmetric and ignore this;
+/// it matters for RST rewriting and block pages, where the TSPU touches
+/// only the remote→local direction while Turkmenistan's chokepoints
+/// inject toward both endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EnforceDirections {
+    /// Rewrite only remote→local packets (TSPU SNI-I, §5.2).
+    #[default]
+    ToLocal,
+    /// Rewrite packets in both directions (Turkmenistan profile).
+    Both,
+}
+
+impl EnforceDirections {
+    /// Whether a local→remote packet is also rewritten under this setting.
+    pub fn includes_local_to_remote(self) -> bool {
+        matches!(self, EnforceDirections::Both)
     }
 }
 
@@ -68,6 +96,15 @@ pub struct BlockState {
     /// blocking, Table 2); the gap between this and the live
     /// `Policy::epoch` is what the stale-verdict audit counts.
     pub epoch: u64,
+    /// Residual window of this verdict. Defaults to the TSPU Table-2
+    /// duration for `kind`; censor profiles with different residual
+    /// semantics override it at install time.
+    pub window: Duration,
+    /// Which directions an injection verdict rewrites. The conntrack used
+    /// to hard-code forward-direction (remote→local) enforcement; storing
+    /// it per verdict is what lets bidirectional profiles share the
+    /// tracker unchanged.
+    pub directions: EnforceDirections,
 }
 
 impl BlockState {
@@ -84,7 +121,15 @@ impl BlockState {
             )),
             _ => None,
         };
-        BlockState { kind, since: now, allowance, bucket, epoch: 0 }
+        BlockState {
+            kind,
+            since: now,
+            allowance,
+            bucket,
+            epoch: 0,
+            window: kind.duration(),
+            directions: EnforceDirections::ToLocal,
+        }
     }
 
     /// Pins the verdict to the policy epoch it was decided under.
@@ -93,9 +138,27 @@ impl BlockState {
         self
     }
 
+    /// Overrides the residual window (profile-specific residual semantics).
+    pub fn with_window(mut self, window: Duration) -> BlockState {
+        self.window = window;
+        self
+    }
+
+    /// Sets which directions an injection verdict rewrites.
+    pub fn with_directions(mut self, directions: EnforceDirections) -> BlockState {
+        self.directions = directions;
+        self
+    }
+
     /// Whether the verdict is still in force at `now`.
     pub fn active(&self, now: Time) -> bool {
-        now.since(self.since) <= self.kind.duration()
+        now.since(self.since) <= self.window
+    }
+
+    /// Whether an injection verdict rewrites a packet heading toward the
+    /// local side (`true`) / remote side (depends on [`EnforceDirections`]).
+    pub fn rewrites_toward_remote(&self) -> bool {
+        self.directions.includes_local_to_remote()
     }
 }
 
@@ -131,5 +194,32 @@ mod tests {
     fn paper_names() {
         assert_eq!(BlockKind::DelayedDrop.paper_name(), "SNI-II");
         assert_eq!(BlockKind::QuicDrop.paper_name(), "QUIC");
+        assert_eq!(BlockKind::BlockPage.paper_name(), "HTTP-200");
+    }
+
+    #[test]
+    fn default_window_and_directions_match_tspu() {
+        // The TSPU byte-identity contract: a plain `new` verdict behaves
+        // exactly as before the profile refactor — Table-2 window,
+        // remote→local enforcement only.
+        let block = BlockState::new(BlockKind::RstRewrite, Time::ZERO, 0, ThrottleConfig::hard_2022());
+        assert_eq!(block.window, Duration::from_secs(75));
+        assert_eq!(block.directions, EnforceDirections::ToLocal);
+        assert!(!block.rewrites_toward_remote());
+    }
+
+    #[test]
+    fn window_override_changes_expiry() {
+        let block = BlockState::new(BlockKind::FullDrop, Time::from_secs(100), 0, ThrottleConfig::hard_2022())
+            .with_window(Duration::from_secs(60));
+        assert!(block.active(Time::from_secs(160)));
+        assert!(!block.active(Time::from_secs(161)));
+    }
+
+    #[test]
+    fn bidirectional_directions_rewrite_both_ways() {
+        let block = BlockState::new(BlockKind::RstRewrite, Time::ZERO, 0, ThrottleConfig::hard_2022())
+            .with_directions(EnforceDirections::Both);
+        assert!(block.rewrites_toward_remote());
     }
 }

@@ -77,6 +77,27 @@ pub const QUIC_MIN_PAYLOAD: usize = 1001;
 /// SNI inspection applies to TCP packets destined to port 443.
 pub const SNI_PORT: u16 = 443;
 
+// --- Non-TSPU censor profiles (PAPERS.md: Turkmenistan, India) ---
+
+/// HTTP Host-header inspection applies to TCP packets destined to port 80
+/// (the Turkmenistan HTTP trigger and India's block-page injection point).
+pub const HTTP_PORT: u16 = 80;
+
+/// DNS inspection applies to UDP packets destined to port 53
+/// (Turkmenistan's DNS trigger).
+pub const DNS_PORT: u16 = 53;
+
+/// Residual window of an HTTP-200 block-page verdict (India profile): the
+/// studies report per-connection injection rather than a measured residual,
+/// so the model keeps the flow poisoned for one conservative state window.
+pub const BLOCK_PAGE: Duration = Duration::from_secs(60);
+
+/// Residual drop/RST window for the Turkmenistan profile's triggers. The
+/// Turkmenistan study measures bidirectional interference on the flow and
+/// follow-up connections for on the order of a minute; the exact figure is
+/// a modeling choice documented in EXPERIMENTS.md.
+pub const BLOCK_TKM: Duration = Duration::from_secs(60);
+
 // --- Fragment cache (paper §5.3.1) ---
 
 /// Maximum fragments of one packet buffered before the queue is discarded:

@@ -21,6 +21,8 @@ use rand::{Rng, SeedableRng};
 use tspu_netsim::fault::DeviceFaults;
 use tspu_netsim::{Direction, Middlebox, MiddleboxImage, Time, Verdict};
 use tspu_obs::{CounterId, MetricValue, Registry, Snapshot, Tracer};
+use tspu_wire::dns::DnsQuery;
+use tspu_wire::http::HttpRequest;
 use tspu_wire::ipv4::{Ipv4Packet, Protocol};
 use tspu_wire::tcp::{TcpFlags, TcpSegment};
 use tspu_wire::tls::{extract_sni, SniOutcome};
@@ -29,6 +31,7 @@ use tspu_wire::udp::UdpDatagram;
 use crate::behaviors::{BlockKind, BlockState};
 use crate::chaos::ModelViolation;
 use crate::conntrack::{FlowKey, Side};
+use crate::profile::{CensorProfile, SniMode};
 use crate::sharded::ShardedConnTracker;
 use crate::constants;
 use crate::frag_cache::{FragCache, FragConfig};
@@ -73,6 +76,9 @@ impl FailureProfile {
             BlockKind::Throttle => self.sni3,
             BlockKind::FullDrop => self.sni4,
             BlockKind::QuicDrop => self.quic,
+            // Table 1 is TSPU-specific; block-page injection (India
+            // profile) shares the primary-mechanism dice slot.
+            BlockKind::BlockPage => self.sni1,
         }
     }
 }
@@ -91,6 +97,11 @@ pub struct DeviceStats {
     pub triggers_sni3: u64,
     pub triggers_sni4: u64,
     pub triggers_quic: u64,
+    /// HTTP Host-header triggers fired (profiles with an `http_host`
+    /// filter — Turkmenistan, India; always 0 for the TSPU profile).
+    pub triggers_http: u64,
+    /// DNS qname triggers fired (profiles with a `dns` filter).
+    pub triggers_dns: u64,
     pub ip_blocked_packets: u64,
     pub fragments_processed: u64,
     /// Bytes held in per-flow stream buffers (TCP-reassembly hardening):
@@ -121,6 +132,8 @@ struct DeviceMetrics {
     triggers_sni3: CounterId,
     triggers_sni4: CounterId,
     triggers_quic: CounterId,
+    triggers_http: CounterId,
+    triggers_dns: CounterId,
     ip_blocked_packets: CounterId,
     fragments_processed: CounterId,
     reassembly_bytes: CounterId,
@@ -142,6 +155,8 @@ impl DeviceMetrics {
             triggers_sni3: registry.counter("triggers.sni3"),
             triggers_sni4: registry.counter("triggers.sni4"),
             triggers_quic: registry.counter("triggers.quic"),
+            triggers_http: registry.counter("triggers.http_host"),
+            triggers_dns: registry.counter("triggers.dns"),
             ip_blocked_packets: registry.counter("ip_blocked"),
             fragments_processed: registry.counter("fragments_processed"),
             reassembly_bytes: registry.counter("reassembly_bytes"),
@@ -174,6 +189,8 @@ impl DeviceMetrics {
             triggers_sni3: self.triggers_sni3,
             triggers_sni4: self.triggers_sni4,
             triggers_quic: self.triggers_quic,
+            triggers_http: self.triggers_http,
+            triggers_dns: self.triggers_dns,
             ip_blocked_packets: self.ip_blocked_packets,
             fragments_processed: self.fragments_processed,
             reassembly_bytes: self.reassembly_bytes,
@@ -195,6 +212,8 @@ impl DeviceMetrics {
             triggers_sni3: v(self.triggers_sni3),
             triggers_sni4: v(self.triggers_sni4),
             triggers_quic: v(self.triggers_quic),
+            triggers_http: v(self.triggers_http),
+            triggers_dns: v(self.triggers_dns),
             ip_blocked_packets: v(self.ip_blocked_packets),
             fragments_processed: v(self.fragments_processed),
             reassembly_bytes_buffered: v(self.reassembly_bytes),
@@ -213,6 +232,9 @@ pub struct TspuDevice {
     /// than re-allocated.
     label: Arc<str>,
     policy: PolicyHandle,
+    /// The declarative censor spec this engine interprets: trigger set,
+    /// action set, enforcement directions, residual windows, block page.
+    profile: CensorProfile,
     conntrack: ShardedConnTracker,
     frag_cache: FragCache,
     rng: SmallRng,
@@ -251,6 +273,7 @@ impl TspuDevice {
         TspuDevice {
             label: Arc::from(label),
             policy,
+            profile: CensorProfile::tspu(),
             conntrack: ShardedConnTracker::new(),
             frag_cache: FragCache::new(FragConfig::default()),
             rng: SmallRng::seed_from_u64(seed),
@@ -277,6 +300,7 @@ impl TspuDevice {
         DeviceConfig {
             label: self.label.clone(),
             policy: self.policy.clone(),
+            profile: self.profile.clone(),
             failure: self.failure,
             seed: self.seed,
             hardening: self.hardening,
@@ -315,6 +339,23 @@ impl TspuDevice {
         self.faults = faults;
         self.restarts_applied = 0;
         self.reload_applied = false;
+    }
+
+    /// Reconfigures the device to enforce a different [`CensorProfile`]
+    /// against the same policy lists. The default is [`CensorProfile::tspu`].
+    pub fn with_censor_profile(mut self, profile: CensorProfile) -> TspuDevice {
+        self.profile = profile;
+        self
+    }
+
+    /// In-place variant of [`TspuDevice::with_censor_profile`].
+    pub fn set_censor_profile(&mut self, profile: CensorProfile) {
+        self.profile = profile;
+    }
+
+    /// The censor profile this engine interprets.
+    pub fn censor_profile(&self) -> &CensorProfile {
+        &self.profile
     }
 
     /// Installs a deliberate model violation — the oracle's acceptance
@@ -372,6 +413,15 @@ impl TspuDevice {
             view.fill_checksum();
         }
         out
+    }
+
+    /// Builds the HTTP-200 block-page injection replacing `packet` (India
+    /// profile): the profile's page bytes become the TCP payload.
+    fn inject_block_page(&self, packet: &[u8]) -> Vec<u8> {
+        match self.profile.block_page.as_deref() {
+            Some(page) => block_page_rewrite(packet, page),
+            None => packet.to_vec(),
+        }
     }
 
     /// Applies the §8 counter-circumvention upgrades to this device.
@@ -573,7 +623,8 @@ impl TspuDevice {
                 blocked
             }
         };
-        if remote_blocked && direction == Direction::LocalToRemote {
+        let ip_enforced = remote_blocked && self.profile.ip_blocking;
+        if ip_enforced && direction == Direction::LocalToRemote {
             let ip_failure = self.failure.ip;
             if !self.flow_exempt(now, &key, ip_failure) {
                 self.metrics.inc(self.metrics.ip_blocked_packets);
@@ -600,7 +651,7 @@ impl TspuDevice {
                 return self.drop_packet();
             }
         }
-        if remote_blocked && direction == Direction::RemoteToLocal {
+        if ip_enforced && direction == Direction::RemoteToLocal {
             // Requests from the blocked IP pass through (§5.2).
             return Verdict::Pass;
         }
@@ -611,10 +662,26 @@ impl TspuDevice {
             TriggerAction::DropNow => return self.drop_packet(),
             TriggerAction::None => {}
         }
+        match self.evaluate_http_trigger(now, direction, &key, segment.dst_port(), segment.payload()) {
+            TriggerAction::PassNow => return Verdict::Pass,
+            TriggerAction::DropNow => return self.drop_packet(),
+            TriggerAction::None => {}
+        }
         // A trigger that installs a verdict returns PassNow/DropNow above,
         // so on the None path the flow carries a block only if it already
         // had one at observe time — no need to look it up again.
         if !has_block {
+            // Seeded violation (oracle acceptance demo): inject the block
+            // page on a flow no trigger ever armed.
+            if self.violation == Some(ModelViolation::BlockPageWithoutTrigger)
+                && self.profile.block_page.is_some()
+                && direction == Direction::RemoteToLocal
+                && segment.src_port() == constants::HTTP_PORT
+                && payload_len > 0
+            {
+                self.metrics.inc(self.metrics.packets_rewritten);
+                return Verdict::Replace(self.inject_block_page(packet));
+            }
             return Verdict::Pass;
         }
         self.apply_block(now, direction, &key, packet, payload_len)
@@ -645,7 +712,8 @@ impl TspuDevice {
         dst_port: u16,
         payload: &[u8],
     ) -> TriggerAction {
-        if direction != Direction::LocalToRemote
+        if matches!(self.profile.sni, SniMode::Disabled)
+            || direction != Direction::LocalToRemote
             || dst_port != constants::SNI_PORT
             || payload.is_empty()
         {
@@ -655,6 +723,11 @@ impl TspuDevice {
             Some(hostname) => hostname,
             None => return TriggerAction::None,
         };
+        if let SniMode::SingleList { kind, window } = self.profile.sni {
+            let host = NormalizedHost::new(&hostname);
+            let counter = self.metrics.triggers_sni1;
+            return self.arm_single_list(now, key, &host, kind, window, counter);
+        }
 
         // Policy lookups, copied out so the conntrack borrow below is free.
         // The hostname is normalized once and the stack-resident result is
@@ -715,19 +788,99 @@ impl TspuDevice {
             BlockKind::DelayedDrop => self.metrics.inc(self.metrics.triggers_sni2),
             BlockKind::Throttle => self.metrics.inc(self.metrics.triggers_sni3),
             BlockKind::FullDrop => self.metrics.inc(self.metrics.triggers_sni4),
-            BlockKind::QuicDrop => unreachable!("not an SNI verdict"),
+            BlockKind::QuicDrop | BlockKind::BlockPage => unreachable!("not an SNI verdict"),
         }
         let allowance = self
             .rng
             .gen_range(constants::SLOW_DROP_ALLOWANCE_MIN..=constants::SLOW_DROP_ALLOWANCE_MAX);
+        let directions = self.profile.rst_directions;
         if let Some(entry) = self.conntrack.get_mut(now, key) {
             // A re-trigger refreshes the residual window; an existing
             // verdict of a different kind is replaced (SNI-IV backs up
             // SNI-I exactly this way). The verdict pins the policy epoch
             // it was decided under for the stale-verdict audit.
-            entry.block = Some(BlockState::new(kind, now, allowance, throttle_cfg).pinned_to(epoch));
+            entry.block = Some(
+                BlockState::new(kind, now, allowance, throttle_cfg)
+                    .with_directions(directions)
+                    .pinned_to(epoch),
+            );
         }
         action
+    }
+
+    /// Arms `kind` on the flow when the normalized host is on the
+    /// profile's single blocklist (the policy's `sni_rst` list) — the
+    /// centralized-chokepoint shape shared by the Turkmenistan SNI/HTTP
+    /// triggers and India's Host-header filter. `counter` is the trigger
+    /// counter to bump on a successful arm.
+    fn arm_single_list(
+        &mut self,
+        now: Time,
+        key: &FlowKey,
+        host: &NormalizedHost,
+        kind: BlockKind,
+        window: std::time::Duration,
+        counter: CounterId,
+    ) -> TriggerAction {
+        let (matched, throttle_cfg, epoch) = {
+            let policy = self.policy.read();
+            (policy.sni_rst.matches_normalized(host), policy.throttle, policy.epoch)
+        };
+        if !matched || self.conntrack.get(now, key).is_none() {
+            return TriggerAction::None;
+        }
+        let failure = self.failure.for_kind(kind);
+        if self.flow_exempt(now, key, failure) {
+            return TriggerAction::None;
+        }
+        self.metrics.inc(counter);
+        let allowance = self
+            .rng
+            .gen_range(constants::SLOW_DROP_ALLOWANCE_MIN..=constants::SLOW_DROP_ALLOWANCE_MAX);
+        let directions = self.profile.rst_directions;
+        if let Some(entry) = self.conntrack.get_mut(now, key) {
+            entry.block = Some(
+                BlockState::new(kind, now, allowance, throttle_cfg)
+                    .with_window(window)
+                    .with_directions(directions)
+                    .pinned_to(epoch),
+            );
+        }
+        match kind {
+            BlockKind::FullDrop | BlockKind::QuicDrop => TriggerAction::DropNow,
+            _ => TriggerAction::PassNow,
+        }
+    }
+
+    /// Evaluates the profile's HTTP Host-header trigger on a local→remote
+    /// TCP payload to port 80 (Turkmenistan RST injection, India
+    /// block-page arming).
+    fn evaluate_http_trigger(
+        &mut self,
+        now: Time,
+        direction: Direction,
+        key: &FlowKey,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> TriggerAction {
+        let Some(filter) = self.profile.http_host else {
+            return TriggerAction::None;
+        };
+        if direction != Direction::LocalToRemote
+            || dst_port != constants::HTTP_PORT
+            || payload.is_empty()
+        {
+            return TriggerAction::None;
+        }
+        let Ok(request) = HttpRequest::parse(payload) else {
+            return TriggerAction::None;
+        };
+        let Some(hostname) = request.host else {
+            return TriggerAction::None;
+        };
+        let host = NormalizedHost::new(&hostname);
+        let counter = self.metrics.triggers_http;
+        self.arm_single_list(now, key, &host, filter.kind, filter.window, counter)
     }
 
     /// Applies an active verdict on the flow to a non-trigger packet.
@@ -757,9 +910,26 @@ impl TspuDevice {
         }
         match block.kind {
             BlockKind::RstRewrite => {
-                if direction == Direction::RemoteToLocal {
+                // Enforcement direction lives on the verdict (the latent
+                // asymmetry fix): the TSPU's ToLocal default rewrites only
+                // remote→local, bidirectional profiles rewrite both ways.
+                let toward_remote = block.rewrites_toward_remote();
+                let toward_remote = toward_remote
+                    && self.violation != Some(ModelViolation::UnidirectionalRstUnderBidirectional);
+                if direction == Direction::RemoteToLocal || toward_remote {
                     self.metrics.inc(self.metrics.packets_rewritten);
                     Verdict::Replace(self.inject_rst(packet))
+                } else {
+                    Verdict::Pass
+                }
+            }
+            BlockKind::BlockPage => {
+                // The censor answers in the server's place: the response's
+                // payload becomes the block page. Handshake and pure-ACK
+                // packets pass so the connection can carry the page.
+                if direction == Direction::RemoteToLocal && payload_len > 0 {
+                    self.metrics.inc(self.metrics.packets_rewritten);
+                    Verdict::Replace(self.inject_block_page(packet))
                 } else {
                     Verdict::Pass
                 }
@@ -801,13 +971,47 @@ impl TspuDevice {
         // IP-based blocking applies to UDP exactly like TCP, minus the
         // RST/ACK rewrite (which is meaningless for UDP): outbound to a
         // blocked IP is dropped, inbound from it passes.
-        let dst_blocked = self.policy.read().blocked_ips.contains(&dst_addr);
+        let dst_blocked =
+            self.profile.ip_blocking && self.policy.read().blocked_ips.contains(&dst_addr);
         if dst_blocked && direction == Direction::LocalToRemote {
             self.conntrack.observe_udp(now, key, side);
             let ip_failure = self.failure.ip;
             if !self.flow_exempt(now, &key, ip_failure) {
                 self.metrics.inc(self.metrics.ip_blocked_packets);
                 return self.drop_packet();
+            }
+        }
+
+        // DNS qname trigger (Turkmenistan profile): a UDP/53 query for a
+        // blocked name is eaten, and the flow is residually dropped for
+        // the profile's window — retries inside the window refresh it.
+        if let Some(filter) = self.profile.dns {
+            if direction == Direction::LocalToRemote
+                && datagram.dst_port() == constants::DNS_PORT
+                && !datagram.payload().is_empty()
+            {
+                if let Ok(query) = DnsQuery::parse(datagram.payload()) {
+                    let host = NormalizedHost::new(&query.qname);
+                    let (matched, throttle_cfg, epoch) = {
+                        let policy = self.policy.read();
+                        (policy.sni_rst.matches_normalized(&host), policy.throttle, policy.epoch)
+                    };
+                    if matched {
+                        self.conntrack.observe_udp(now, key, side);
+                        let dns_failure = self.failure.ip;
+                        if !self.flow_exempt(now, &key, dns_failure) {
+                            self.metrics.inc(self.metrics.triggers_dns);
+                            if let Some(entry) = self.conntrack.get_mut(now, &key) {
+                                entry.block = Some(
+                                    BlockState::new(BlockKind::FullDrop, now, 0, throttle_cfg)
+                                        .with_window(filter.window)
+                                        .pinned_to(epoch),
+                                );
+                            }
+                            return self.drop_packet();
+                        }
+                    }
+                }
             }
         }
 
@@ -827,7 +1031,7 @@ impl TspuDevice {
 
         // The QUIC fingerprint (Fig. 14): local→remote, UDP dst 443,
         // ≥ 1001 payload bytes, version-1 bytes at offset 1.
-        let quic_on = self.policy.read().quic_filter;
+        let quic_on = self.profile.quic_filter && self.policy.read().quic_filter;
         if quic_on
             && direction == Direction::LocalToRemote
             && datagram.dst_port() == constants::QUIC_PORT
@@ -854,7 +1058,7 @@ impl TspuDevice {
 
     fn process_icmp(&mut self, _now: Time, _direction: Direction, packet: &[u8]) -> Verdict {
         let view = Ipv4Packet::new_unchecked(packet);
-        let blocked = {
+        let blocked = self.profile.ip_blocking && {
             let policy = self.policy.read();
             policy.blocked_ips.contains(&view.src_addr()) || policy.blocked_ips.contains(&view.dst_addr())
         };
@@ -893,6 +1097,37 @@ pub fn rst_ack_rewrite(packet: &[u8]) -> Vec<u8> {
     {
         let mut tcp = TcpSegment::new_unchecked(&mut out[ip_header_len..]);
         tcp.set_flags(TcpFlags::RST_ACK);
+        tcp.fill_checksum(src, dst);
+    }
+    out
+}
+
+/// Rewrites a TCP/IPv4 packet into an HTTP-200 block-page injection the
+/// way the India-profile middleboxes answer in the server's place: the
+/// payload is replaced wholesale with the censor's response bytes;
+/// addresses, ports, sequence and acknowledgement numbers, and TTL are
+/// preserved; flags become PSH/ACK; checksums are fixed up.
+pub fn block_page_rewrite(packet: &[u8], page: &[u8]) -> Vec<u8> {
+    let view = Ipv4Packet::new_unchecked(packet);
+    let ip_header_len = view.header_len();
+    let payload = view.payload();
+    if payload.len() < tspu_wire::tcp::HEADER_LEN {
+        return packet.to_vec();
+    }
+    let tcp_header_len = TcpSegment::new_unchecked(payload).header_len().min(payload.len());
+    let mut out = Vec::with_capacity(ip_header_len + tcp_header_len + page.len());
+    out.extend_from_slice(&packet[..ip_header_len + tcp_header_len]);
+    out.extend_from_slice(page);
+
+    let (src, dst) = (view.src_addr(), view.dst_addr());
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut out[..]);
+        ip.set_total_len((ip_header_len + tcp_header_len + page.len()) as u16);
+        ip.fill_checksum();
+    }
+    {
+        let mut tcp = TcpSegment::new_unchecked(&mut out[ip_header_len..]);
+        tcp.set_flags(TcpFlags::PSH_ACK);
         tcp.fill_checksum(src, dst);
     }
     out
@@ -942,7 +1177,7 @@ impl Middlebox for TspuDevice {
                     policy.blocked_ips.contains(&view.dst_addr()),
                 )
             };
-            if dst_blocked && direction == Direction::LocalToRemote {
+            if self.profile.ip_blocking && dst_blocked && direction == Direction::LocalToRemote {
                 self.metrics.inc(self.metrics.ip_blocked_packets);
                 return self.drop_packet();
             }
@@ -1000,6 +1235,7 @@ impl Middlebox for TspuDevice {
 pub struct DeviceConfig {
     label: Arc<str>,
     policy: PolicyHandle,
+    profile: CensorProfile,
     failure: FailureProfile,
     seed: u64,
     hardening: Hardening,
@@ -1018,6 +1254,7 @@ impl DeviceConfig {
         TspuDevice {
             label: self.label.clone(),
             policy: self.policy.clone(),
+            profile: self.profile.clone(),
             conntrack: match (self.flow_capacity, self.flow_shards) {
                 (Some(flows), Some(shards)) => {
                     ShardedConnTracker::with_capacity_and_shards(flows, shards)

@@ -37,13 +37,15 @@ pub mod frag_cache;
 pub mod hardening;
 pub mod policer;
 pub mod policy;
+pub mod profile;
 pub mod sharded;
 pub mod updater;
 
-pub use behaviors::{BlockKind, BlockState};
+pub use behaviors::{BlockKind, BlockState, EnforceDirections};
 pub use chaos::ModelViolation;
 pub use conntrack::{ConnState, ConnTracker, FlowKey, Side};
 pub use device::{DeviceConfig, DeviceStats, FailureProfile, TspuDevice};
+pub use profile::{CensorProfile, DnsFilter, HttpHostFilter, SniMode};
 pub use frag_cache::FragCache;
 pub use hardening::Hardening;
 pub use policer::TokenBucket;

@@ -1,0 +1,240 @@
+//! Differential proptest pinning the `tspu` [`CensorProfile`] byte-for-byte.
+//!
+//! PR 8 factored every TSPU-specific decision out of [`TspuDevice`] into a
+//! declarative [`CensorProfile`] interpreted by a general enforcement
+//! engine. The contract is that this refactor is *invisible* for Russia:
+//! a device running the explicit `tspu` profile — or one rebuilt through
+//! the [`DeviceConfig`] round-trip, which now carries the profile — must
+//! emit exactly the same packet bytes, the same [`DeviceStats`], the same
+//! conntrack population, and the same obs snapshot as a default-constructed
+//! device, for *any* traffic mix. Arbitrary volleys here deliberately
+//! include HTTP Host requests on port 80 and DNS queries on port 53 —
+//! triggers that exist only for the Turkmenistan/India profiles — so the
+//! test also pins that the new trigger plumbing is completely inert (no
+//! counter movement, no RNG draws, no verdict changes) under `tspu`.
+//!
+//! Fault plans (mid-flight restarts, Table-1 bypass-rate overrides) and
+//! registry deltas are part of the op stream: the failure dice must stay
+//! draw-for-draw aligned across all three builds.
+
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tspu_core::{CensorProfile, FailureProfile, Policy, PolicyDelta, PolicyHandle, TspuDevice};
+use tspu_netsim::fault::DeviceFaults;
+use tspu_netsim::{Direction, Middlebox, Time};
+use tspu_wire::dns::{DnsQuery, QTYPE_A};
+use tspu_wire::http::HttpRequest;
+use tspu_wire::ipv4::{Ipv4Repr, Protocol};
+use tspu_wire::quic::{initial_payload, QuicVersion};
+use tspu_wire::tcp::{TcpFlags, TcpRepr};
+use tspu_wire::tls::ClientHelloBuilder;
+use tspu_wire::udp::UdpRepr;
+
+const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 8, 0, 2);
+const SERVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 10);
+const TOR: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
+
+/// Hostname pool spanning every list in [`Policy::example`] plus clean
+/// names and a delta target that starts unlisted.
+const HOSTS: &[&str] = &[
+    "twitter.com",     // sni_rst + sni_backup + sni_throttle
+    "meduza.io",       // sni_rst only
+    "play.google.com", // sni_slow
+    "nordvpn.com",     // sni_slow
+    "wikipedia.org",   // clean
+    "example.org",     // clean
+    "rutracker.org",   // unlisted until a Delta op adds it to sni_rst
+    "tor.eff.org",     // sni_rst
+];
+
+const TLS_SLOTS: u16 = 4;
+const HTTP_SLOTS: u16 = 3;
+
+fn tcp_packet(src: Ipv4Addr, sp: u16, dst: Ipv4Addr, dp: u16, flags: TcpFlags, payload: &[u8]) -> Vec<u8> {
+    let mut tcp = TcpRepr::new(sp, dp, flags);
+    tcp.payload = payload.to_vec();
+    let seg = tcp.build(src, dst);
+    Ipv4Repr::new(src, dst, Protocol::Tcp, seg.len()).build(&seg)
+}
+
+fn udp_packet(src: Ipv4Addr, sp: u16, dst: Ipv4Addr, dp: u16, payload: &[u8]) -> Vec<u8> {
+    let datagram = UdpRepr::new(sp, dp, payload.to_vec()).build(src, dst);
+    Ipv4Repr::new(src, dst, Protocol::Udp, datagram.len()).build(&datagram)
+}
+
+/// One step of the shared op stream, replayed against every build.
+#[derive(Debug, Clone)]
+enum Op {
+    /// SYN / SYN-ACK / ACK on a TLS flow slot (port 443).
+    Handshake { slot: u16 },
+    /// ClientHello for `HOSTS[host]` on a TLS flow slot.
+    ClientHello { slot: u16, host: usize },
+    /// `GET / HTTP/1.1` with a Host header on port 80 — a Turkmenistan/
+    /// India trigger that must be inert under `tspu`.
+    HttpGet { slot: u16, host: usize },
+    /// A-record query on port 53 — likewise profile-gated, inert here.
+    Dns { host: usize },
+    /// QUIC v1 Initial to port 443 (live trigger under `tspu`).
+    Quic { slot: u16 },
+    /// Local→remote data on a TLS flow slot.
+    LocalData { slot: u16, len: usize },
+    /// Remote→local data on a TLS flow slot (the enforcement point).
+    RemoteData { slot: u16, len: usize },
+    /// Local data toward the registry-blocked Tor entry IP.
+    TorData { slot: u16 },
+    /// Advance virtual time (crosses residual windows and restart marks).
+    Advance { secs: u64 },
+    /// Add `HOSTS[host]` to `sni_rst` through the shared policy handle.
+    Delta { host: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..TLS_SLOTS).prop_map(|slot| Op::Handshake { slot }),
+        ((0..TLS_SLOTS), 0..HOSTS.len()).prop_map(|(slot, host)| Op::ClientHello { slot, host }),
+        ((0..HTTP_SLOTS), 0..HOSTS.len()).prop_map(|(slot, host)| Op::HttpGet { slot, host }),
+        (0..HOSTS.len()).prop_map(|host| Op::Dns { host }),
+        (0..TLS_SLOTS).prop_map(|slot| Op::Quic { slot }),
+        ((0..TLS_SLOTS), 1usize..300).prop_map(|(slot, len)| Op::LocalData { slot, len }),
+        ((0..TLS_SLOTS), 1usize..300).prop_map(|(slot, len)| Op::RemoteData { slot, len }),
+        (0..TLS_SLOTS).prop_map(|slot| Op::TorData { slot }),
+        (1u64..90).prop_map(|secs| Op::Advance { secs }),
+        (0..HOSTS.len()).prop_map(|host| Op::Delta { host }),
+    ]
+}
+
+fn tls_port(slot: u16) -> u16 {
+    41000 + slot
+}
+
+fn http_port(slot: u16) -> u16 {
+    42000 + slot
+}
+
+/// The packets one op injects: `(direction, bytes)` pairs.
+fn packets_for(op: &Op) -> Vec<(Direction, Vec<u8>)> {
+    match *op {
+        Op::Handshake { slot } => {
+            let sp = tls_port(slot);
+            vec![
+                (Direction::LocalToRemote, tcp_packet(CLIENT, sp, SERVER, 443, TcpFlags::SYN, b"")),
+                (Direction::RemoteToLocal, tcp_packet(SERVER, 443, CLIENT, sp, TcpFlags::SYN_ACK, b"")),
+                (Direction::LocalToRemote, tcp_packet(CLIENT, sp, SERVER, 443, TcpFlags::ACK, b"")),
+            ]
+        }
+        Op::ClientHello { slot, host } => {
+            let ch = ClientHelloBuilder::new(HOSTS[host]).build();
+            vec![(
+                Direction::LocalToRemote,
+                tcp_packet(CLIENT, tls_port(slot), SERVER, 443, TcpFlags::PSH_ACK, &ch),
+            )]
+        }
+        Op::HttpGet { slot, host } => {
+            let req = HttpRequest::get(HOSTS[host], "/").build();
+            vec![(
+                Direction::LocalToRemote,
+                tcp_packet(CLIENT, http_port(slot), SERVER, 80, TcpFlags::PSH_ACK, &req),
+            )]
+        }
+        Op::Dns { host } => {
+            let query = DnsQuery { id: 0x8a00 + host as u16, qname: HOSTS[host].into(), qtype: QTYPE_A };
+            vec![(
+                Direction::LocalToRemote,
+                udp_packet(CLIENT, 43000, SERVER, 53, &query.build()),
+            )]
+        }
+        Op::Quic { slot } => vec![(
+            Direction::LocalToRemote,
+            udp_packet(CLIENT, 44000 + slot, SERVER, 443, &initial_payload(QuicVersion::V1, 1200)),
+        )],
+        Op::LocalData { slot, len } => vec![(
+            Direction::LocalToRemote,
+            tcp_packet(CLIENT, tls_port(slot), SERVER, 443, TcpFlags::PSH_ACK, &vec![0xa5; len]),
+        )],
+        Op::RemoteData { slot, len } => vec![(
+            Direction::RemoteToLocal,
+            tcp_packet(SERVER, 443, CLIENT, tls_port(slot), TcpFlags::PSH_ACK, &vec![0x5a; len]),
+        )],
+        Op::TorData { slot } => vec![(
+            Direction::LocalToRemote,
+            tcp_packet(CLIENT, tls_port(slot), TOR, 443, TcpFlags::PSH_ACK, b"relay"),
+        )],
+        Op::Advance { .. } | Op::Delta { .. } => Vec::new(),
+    }
+}
+
+/// Builds the three devices under comparison against one shared policy
+/// handle and one shared fault plan.
+fn builds(
+    handle: &PolicyHandle,
+    seed: u64,
+    bypass: f64,
+    restarts: &[u64],
+) -> Vec<(&'static str, TspuDevice)> {
+    let faults = DeviceFaults {
+        restarts: restarts.iter().map(|&s| Duration::from_secs(s)).collect(),
+        reload_at: None,
+        bypass_rate: Some(bypass),
+    };
+    let base = || {
+        TspuDevice::new("pin", handle.clone(), FailureProfile::uniform(bypass), seed)
+            .with_device_faults(faults.clone())
+    };
+    let explicit = base().with_censor_profile(CensorProfile::tspu());
+    let roundtrip = explicit.config().instantiate();
+    vec![("default", base()), ("explicit-tspu", explicit), ("config-roundtrip", roundtrip)]
+}
+
+proptest! {
+    #[test]
+    fn tspu_profile_is_byte_identical_to_default_engine(
+        ops in proptest::collection::vec(arb_op(), 1..100),
+        seed in 0u64..1_000_000,
+        bypass in prop_oneof![Just(0.0), Just(0.18), Just(0.55)],
+        restarts in proptest::collection::vec(1u64..600, 0..3),
+    ) {
+        let handle = PolicyHandle::new(Policy::example());
+        let mut devices = builds(&handle, seed, bypass, &restarts);
+
+        let mut now_secs = 0u64;
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Advance { secs } => now_secs += secs,
+                Op::Delta { host } => handle.apply_delta(&PolicyDelta::add_rst_batch([HOSTS[*host]])),
+                _ => {}
+            }
+            let now = Time::from_secs(now_secs);
+            for (dir, packet) in packets_for(op) {
+                let outs: Vec<Vec<Vec<u8>>> = devices
+                    .iter_mut()
+                    .map(|(_, dev)| dev.process_owned(now, dir, packet.clone()))
+                    .collect();
+                for ((name, _), out) in devices[1..].iter().zip(&outs[1..]) {
+                    prop_assert_eq!(
+                        &outs[0], out,
+                        "step {} ({:?}): '{}' diverged from default build", step, op, name
+                    );
+                }
+            }
+        }
+
+        let (_, reference) = &devices[0];
+        for (name, dev) in &devices[1..] {
+            prop_assert_eq!(reference.stats(), dev.stats(), "stats diverged for '{}'", name);
+            prop_assert_eq!(
+                reference.conntrack().len(), dev.conntrack().len(),
+                "conntrack population diverged for '{}'", name
+            );
+            prop_assert_eq!(
+                reference.obs_snapshot(), dev.obs_snapshot(),
+                "obs snapshot diverged for '{}'", name
+            );
+        }
+        // The profile-only trigger paths never fire under tspu, no matter
+        // how much port-80/port-53 traffic the volley contained.
+        prop_assert_eq!(reference.stats().triggers_http, 0);
+        prop_assert_eq!(reference.stats().triggers_dns, 0);
+    }
+}

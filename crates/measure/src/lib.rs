@@ -17,6 +17,7 @@
 //! | [`traceroute`] | Figs. 10–11 (TSPU links) |
 //! | [`domains`] | §6, Fig. 6, Fig. 7, Table 3 |
 //! | [`chfuzz`] | Fig. 13 (ClientHello byte sensitivity) |
+//! | [`profiles`] | cross-country differential matrix (DESIGN.md §12) |
 //! | [`quicfp`] | Fig. 14 (minimal QUIC fingerprint) |
 //! | [`os_reference`] | Table 7 (OS/spec timeout comparison) |
 //!
@@ -34,6 +35,7 @@ pub mod fragscan;
 pub mod harness;
 pub mod localize;
 pub mod os_reference;
+pub mod profiles;
 pub mod quicfp;
 pub mod reliability;
 pub mod sequences;
@@ -45,4 +47,7 @@ pub use behaviors::{classify_behavior, ObservedBehavior};
 pub use chaos::{ChaosCell, ChaosScenario, ChaosSweep};
 pub use churn::{churn_delta, ChurnCampaign, ChurnReport, DeltaConvergence};
 pub use harness::{PacketSummary, ProbeSide, ScriptResult, ScriptStep};
+pub use profiles::{
+    DifferentialCampaign, DnsVerdict, HttpVerdict, ProfileCell, ProfileMatrix, TlsVerdict,
+};
 pub use sweep::{PoolReport, PoolRun, RunOpts, ScanPool, SweepRun, SweepSpec, WorkerReport};

@@ -1,0 +1,79 @@
+//! DifferentialCampaign determinism: the per-(domain, profile) verdict
+//! matrix and its merged observability snapshot are byte-identical at
+//! every worker count. Cells are pure functions of (profile, domain,
+//! index) — forked per-profile lab images, index-derived ports, index-
+//! ordered snapshot merge — so thread scheduling cannot leak in. The CI
+//! `profiles` job runs this file at `--test-threads={1,8}` on top of the
+//! pool counts exercised here.
+
+use tspu_core::PolicyHandle;
+use tspu_measure::{DifferentialCampaign, RunOpts, ScanPool, TlsVerdict};
+use tspu_registry::Universe;
+use tspu_topology::policy_from_universe;
+
+fn campaign() -> DifferentialCampaign {
+    let universe = Universe::generate(3);
+    let policy: PolicyHandle = policy_from_universe(&universe, false, true);
+    let mut domains: Vec<String> = ["meduza.io", "twitter.com", "nordvpn.com", "rust-lang.org"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    // Enough unlisted domains that 8 workers genuinely shard the matrix.
+    for i in 0..16 {
+        domains.push(format!("site-{i}.example"));
+    }
+    DifferentialCampaign::three_country(policy, domains)
+}
+
+#[test]
+fn matrix_is_byte_identical_across_thread_counts() {
+    let campaign = campaign();
+    let (one, _) = campaign.run(&ScanPool::new(1), &RunOpts::observed());
+    let (eight, _) = campaign.run(&ScanPool::new(8), &RunOpts::observed());
+
+    assert!(one.oracle_clean(), "{:?}", one.oracle_violations());
+    assert_eq!(one.cells, eight.cells, "verdict matrix diverges across thread counts");
+    assert_eq!(one.to_string(), eight.to_string(), "rendered matrix diverges");
+    let (one_snap, eight_snap) =
+        (one.snapshot.expect("observed run"), eight.snapshot.expect("observed run"));
+    assert_eq!(
+        one_snap.to_json(),
+        eight_snap.to_json(),
+        "merged snapshot diverges across thread counts"
+    );
+}
+
+#[test]
+fn matrix_layout_is_profile_major_and_complete() {
+    let campaign = campaign();
+    let (matrix, report) = campaign.run(&ScanPool::new(4), &RunOpts::observed());
+
+    assert_eq!(matrix.cells.len(), campaign.len());
+    assert_eq!(matrix.profiles, vec!["tspu", "turkmenistan", "india"]);
+    // Profile-major, domain-minor: the first |domains| cells are tspu's.
+    let n = campaign.domains.len();
+    assert!(matrix.cells[..n].iter().all(|c| c.profile == "tspu"));
+    assert!(matrix.cells[n..2 * n].iter().all(|c| c.profile == "turkmenistan"));
+    assert!(matrix.cells[2 * n..].iter().all(|c| c.profile == "india"));
+    for (i, cell) in matrix.cells.iter().enumerate() {
+        assert_eq!(cell.domain, campaign.domains[i % n], "cell {i} out of order");
+    }
+    assert_eq!(report.expect("report requested").total_items(), campaign.len());
+
+    // The campaign axis actually differentiates: the same domain, three
+    // different country verdicts.
+    assert_eq!(matrix.cell("tspu", "meduza.io").tls, TlsVerdict::RstLocal);
+    assert_eq!(matrix.cell("turkmenistan", "meduza.io").tls, TlsVerdict::RstBidirectional);
+    assert_eq!(matrix.cell("india", "meduza.io").tls, TlsVerdict::Pass);
+}
+
+#[test]
+fn quick_matrix_carries_no_snapshot() {
+    let campaign = DifferentialCampaign {
+        domains: vec!["meduza.io".into()],
+        ..campaign()
+    };
+    let (matrix, report) = campaign.run(&ScanPool::new(2), &RunOpts::quick());
+    assert!(matrix.snapshot.is_none());
+    assert!(report.is_none());
+}

@@ -59,6 +59,9 @@ pub enum ArmKind {
     FullDrop,
     /// QUIC: every packet of the UDP flow dropped, including the trigger.
     QuicDrop,
+    /// HTTP-200 block-page injection (India profile): remote→local
+    /// payloads replaced with the audited device's block page.
+    BlockPage,
 }
 
 impl ArmKind {
@@ -69,18 +72,24 @@ impl ArmKind {
             ArmKind::Throttle => "SNI-III",
             ArmKind::FullDrop => "SNI-IV",
             ArmKind::QuicDrop => "QUIC",
+            ArmKind::BlockPage => "HTTP-200",
         }
     }
 }
 
-/// One mechanism a trigger packet might arm, with its Table-2 residual
-/// window. A packet can yield several candidates when the oracle cannot
-/// know which one the device chose (role-dependent precedence); ambiguous
-/// flows get the sound subset of checks.
+/// One mechanism a trigger packet might arm, with its residual window
+/// (Table 2 for the TSPU profile; profile-specific otherwise). A packet
+/// can yield several candidates when the oracle cannot know which one the
+/// device chose (role-dependent precedence); ambiguous flows get the
+/// sound subset of checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArmCandidate {
     pub kind: ArmKind,
     pub window: Duration,
+    /// Whether an injection verdict fires in both directions (the
+    /// Turkmenistan profile) or only remote→local (TSPU SNI-I). Decides
+    /// which untouched passes count as early unblocks (I4).
+    pub bidirectional: bool,
 }
 
 /// Classifies a packet into the blocking mechanisms it could arm.
@@ -97,6 +106,10 @@ pub struct DeviceAudit {
     pub device: MiddleboxId,
     /// Label used in violation reports.
     pub label: String,
+    /// The censor profile the device enforces ("tspu", "turkmenistan",
+    /// "india", …) — named in violation reports so a differential
+    /// campaign's failures identify the offending country model.
+    pub profile: String,
     /// Classifies a local→remote packet: every blocking mechanism its
     /// payload could arm under the device's policy. Empty = not a trigger.
     pub classify: ClassifyFn,
@@ -104,6 +117,11 @@ pub struct DeviceAudit {
     /// touching them are exempt from the stateful checks (every packet is
     /// fair game for the device, with no arming required).
     pub ip_blocked: AddrPredicate,
+    /// The exact block-page bytes this device injects, if its profile
+    /// does. An egress whose TCP payload equals this (where the ingress
+    /// payload did not) is a block-page injection and needs an in-window
+    /// `BlockPage` arm.
+    pub block_page: Option<Vec<u8>>,
     /// Virtual times at which the device restarted (from its fault plan):
     /// all flow and fragment audit state resets, exactly like the device's.
     pub restarts: Vec<Time>,
@@ -152,6 +170,9 @@ pub enum Violation {
     UnexplainedDrop,
     /// I3: an injection on a flow with no RST-arming trigger.
     UnexplainedInjection,
+    /// I3: a block page injected on a flow no trigger armed for
+    /// `BlockPage`, or outside the armed window.
+    UnexplainedBlockPage,
     /// I4: a flow observed enforcing passed a packet untouched before its
     /// residual window (clipped by the state timeout) could have expired.
     EarlyUnblock { kind: ArmKind, armed_at: Time, deadline: Time },
@@ -188,6 +209,9 @@ impl fmt::Display for Violation {
             Violation::UnexplainedInjection => {
                 write!(f, "RST/ACK injected on a flow no trigger armed for SNI-I")
             }
+            Violation::UnexplainedBlockPage => {
+                write!(f, "HTTP-200 block page injected on a flow no trigger armed")
+            }
             Violation::EarlyUnblock { kind, armed_at, deadline } => write!(
                 f,
                 "{} verdict armed at {armed_at} stopped enforcing before {deadline} (monotonicity)",
@@ -204,6 +228,9 @@ pub struct ViolationReport {
     pub violation: Violation,
     pub device: MiddleboxId,
     pub device_label: String,
+    /// The censor profile the offending device enforces — so a
+    /// differential campaign's failures name the country model at fault.
+    pub profile: String,
     pub time: Time,
     /// The packet the check fired on (the offending egress for I1/I2, the
     /// ingress for I3/I4).
@@ -222,8 +249,8 @@ impl fmt::Display for ViolationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "[{}] at {}: {}",
-            self.device_label, self.time, self.violation
+            "[{}/{}] at {}: {}",
+            self.device_label, self.profile, self.time, self.violation
         )?;
         writeln!(f, "  offending packet: {}", summarize_packet(&self.packet))?;
         for record in &self.trace {
@@ -421,12 +448,14 @@ impl Oracle {
         let tuple;
         let src_is_local = (self.spec.is_local_addr)(src);
         let mut input_is_rst = false;
+        let mut input_payload_len = 0;
         match ip.protocol() {
             Protocol::Tcp => {
                 let Ok(tcp) = TcpSegment::new_checked(ip.payload()) else {
                     return; // device passes unparseable TCP untouched
                 };
                 input_is_rst = tcp.flags().rst();
+                input_payload_len = tcp.payload().len();
                 tuple = tuple_key(src_is_local, src, tcp.src_port(), dst, tcp.dst_port(), 6);
             }
             Protocol::Udp => {
@@ -449,6 +478,18 @@ impl Oracle {
                         self.check_injection_metadata(audit, call, &ip, output, captures, report);
                     }
                 }
+            }
+        }
+
+        // I3: an egress whose TCP payload equals the device's block page,
+        // where the ingress payload did not, is a block-page injection.
+        // (A device forwarding a page injected *upstream* — the India
+        // cross-ISP leakage topology — has page bytes on its ingress too
+        // and is not charged with the injection.)
+        let mut paged = false;
+        if let Some(page) = &audit.block_page {
+            if ip.protocol() == Protocol::Tcp && !tcp_payload_is(call.input, page) {
+                paged = call.outputs.iter().any(|o| tcp_payload_is(o, page));
             }
         }
 
@@ -491,6 +532,32 @@ impl Oracle {
                     }
                 }
             }
+        } else if paged {
+            let page_arm = flow.arms.iter().find(|a| a.kind == ArmKind::BlockPage).copied();
+            match (flow.armed_at, page_arm) {
+                (Some(armed_at), Some(arm)) => {
+                    if call.time <= armed_at + arm.window {
+                        flow.enforcing = true;
+                    } else {
+                        self.violation(
+                            report,
+                            audit,
+                            call,
+                            captures,
+                            call.input,
+                            Violation::ResidualExceeded { armed_at, window: arm.window },
+                        );
+                    }
+                }
+                _ => self.violation(
+                    report,
+                    audit,
+                    call,
+                    captures,
+                    call.input,
+                    Violation::UnexplainedBlockPage,
+                ),
+            }
         } else if injected {
             let rst_arm = flow.arms.iter().find(|a| a.kind == ArmKind::RstRewrite).copied();
             match (flow.armed_at, rst_arm) {
@@ -526,8 +593,13 @@ impl Oracle {
                 let deadline = armed_at + arm.window.min(self.spec.min_state_timeout);
                 let kind_applies = match arm.kind {
                     ArmKind::FullDrop | ArmKind::QuicDrop | ArmKind::DelayedDrop => true,
-                    // SNI-I rewrites only remote→local packets.
-                    ArmKind::RstRewrite => !src_is_local,
+                    // SNI-I rewrites only remote→local packets; a
+                    // bidirectional arm (Turkmenistan) must also rewrite
+                    // the local→remote direction.
+                    ArmKind::RstRewrite => arm.bidirectional || !src_is_local,
+                    // The page replaces remote→local payloads; empty
+                    // segments (pure ACKs) pass untouched.
+                    ArmKind::BlockPage => !src_is_local && input_payload_len > 0,
                     // A policer admits packets whenever its bucket refills.
                     ArmKind::Throttle => false,
                 };
@@ -733,6 +805,7 @@ impl Oracle {
             violation,
             device: audit.device,
             device_label: audit.label.clone(),
+            profile: audit.profile.clone(),
             time: call.time,
             packet: packet.to_vec(),
             trace: captures[call.ingress_idx..call.end_idx].to_vec(),
@@ -826,6 +899,17 @@ fn parse_tcp_fields(packet: &[u8]) -> Option<TcpFields> {
         rst: tcp.flags().rst(),
         payload_len: tcp.payload().len(),
     })
+}
+
+/// Whether `packet` is an unfragmented IPv4/TCP packet whose TCP payload
+/// equals `page` byte-for-byte.
+fn tcp_payload_is(packet: &[u8], page: &[u8]) -> bool {
+    let Ok(ip) = Ipv4Packet::new_checked(packet) else { return false };
+    if ip.protocol() != Protocol::Tcp || ip.is_fragment() {
+        return false;
+    }
+    let Ok(tcp) = TcpSegment::new_checked(ip.payload()) else { return false };
+    tcp.payload() == page
 }
 
 /// One line describing a packet, for violation reports.
@@ -930,8 +1014,10 @@ mod tests {
         spec.devices.push(DeviceAudit {
             device: DEV,
             label: "dev".into(),
+            profile: "tspu".into(),
             classify: Box::new(|_| Vec::new()),
             ip_blocked: Box::new(|_| false),
+            block_page: None,
             restarts: Vec::new(),
         });
         spec
@@ -957,16 +1043,22 @@ mod tests {
         spec.devices.push(DeviceAudit {
             device: DEV,
             label: "dev".into(),
+            profile: "tspu".into(),
             classify: Box::new(|bytes| {
                 let ip = Ipv4Packet::new_checked(bytes).unwrap();
                 let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
                 if tcp.payload().is_empty() {
                     Vec::new()
                 } else {
-                    vec![ArmCandidate { kind: ArmKind::RstRewrite, window: Duration::from_secs(75) }]
+                    vec![ArmCandidate {
+                        kind: ArmKind::RstRewrite,
+                        window: Duration::from_secs(75),
+                        bidirectional: false,
+                    }]
                 }
             }),
             ip_blocked: Box::new(|_| false),
+            block_page: None,
             restarts: Vec::new(),
         });
         let hello = tcp_packet(LOCAL, 40000, REMOTE, 443, TcpFlags::PSH_ACK, 2, 500, 63, b"hello");
@@ -1018,16 +1110,22 @@ mod tests {
         spec.devices.push(DeviceAudit {
             device: DEV,
             label: "dev".into(),
+            profile: "tspu".into(),
             classify: Box::new(|bytes| {
                 let ip = Ipv4Packet::new_checked(bytes).unwrap();
                 let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
                 if tcp.payload().is_empty() {
                     Vec::new()
                 } else {
-                    vec![ArmCandidate { kind: ArmKind::FullDrop, window: Duration::from_secs(40) }]
+                    vec![ArmCandidate {
+                        kind: ArmKind::FullDrop,
+                        window: Duration::from_secs(40),
+                        bidirectional: false,
+                    }]
                 }
             }),
             ip_blocked: Box::new(|_| false),
+            block_page: None,
             restarts: vec![Time::from_secs(5)],
         });
         let hello = tcp_packet(LOCAL, 40000, REMOTE, 443, TcpFlags::PSH_ACK, 2, 1, 63, b"x");
@@ -1049,16 +1147,22 @@ mod tests {
         spec.devices.push(DeviceAudit {
             device: DEV,
             label: "dev".into(),
+            profile: "tspu".into(),
             classify: Box::new(|bytes| {
                 let ip = Ipv4Packet::new_checked(bytes).unwrap();
                 let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
                 if tcp.payload().is_empty() {
                     Vec::new()
                 } else {
-                    vec![ArmCandidate { kind: ArmKind::FullDrop, window: Duration::from_secs(40) }]
+                    vec![ArmCandidate {
+                        kind: ArmKind::FullDrop,
+                        window: Duration::from_secs(40),
+                        bidirectional: false,
+                    }]
                 }
             }),
             ip_blocked: Box::new(|_| false),
+            block_page: None,
             restarts: Vec::new(),
         });
         let hello = tcp_packet(LOCAL, 40000, REMOTE, 443, TcpFlags::PSH_ACK, 2, 1, 63, b"x");

@@ -17,8 +17,8 @@
 
 use std::net::Ipv4Addr;
 
-use tspu_core::chaos::{audit_for, restart_times};
-use tspu_core::{FailureProfile, PolicyHandle, TspuDevice};
+use tspu_core::chaos::{audit_for_profile, restart_times};
+use tspu_core::{CensorProfile, FailureProfile, PolicyHandle, TspuDevice};
 use tspu_ispdpi::IspResolver;
 use tspu_netsim::fault::{ChaosLink, FaultPlan};
 use tspu_netsim::oracle::OracleSpec;
@@ -125,6 +125,7 @@ pub struct LabBuilder<'a> {
     quic_filter: Option<bool>,
     table1: bool,
     fault_plan: Option<&'a FaultPlan>,
+    censor_profile: Option<CensorProfile>,
 }
 
 impl<'a> LabBuilder<'a> {
@@ -177,6 +178,14 @@ impl<'a> LabBuilder<'a> {
         self
     }
 
+    /// Installs a [`CensorProfile`] on every device in the lab (default:
+    /// the TSPU). The same topology then models a different country's
+    /// censorship — the differential-campaign axis.
+    pub fn censor_profile(mut self, profile: CensorProfile) -> LabBuilder<'a> {
+        self.censor_profile = Some(profile);
+        self
+    }
+
     /// Builds the lab.
     ///
     /// # Panics
@@ -189,7 +198,8 @@ impl<'a> LabBuilder<'a> {
                 .expect("LabBuilder: give .policy(...) or .universe(...) to derive one");
             policy_from_universe(universe, self.throttle_active, self.quic_filter.unwrap_or(true))
         });
-        let mut lab = VantageLab::build_inner(self.universe, policy, !self.table1);
+        let mut lab =
+            VantageLab::build_inner(self.universe, policy, !self.table1, self.censor_profile);
         if let Some(plan) = self.fault_plan {
             lab.apply_fault_plan(plan);
         }
@@ -217,7 +227,12 @@ impl VantageLab {
         LabBuilder::default()
     }
 
-    fn build_inner(universe: Option<&Universe>, policy: PolicyHandle, reliable: bool) -> VantageLab {
+    fn build_inner(
+        universe: Option<&Universe>,
+        policy: PolicyHandle,
+        reliable: bool,
+        censor_profile: Option<CensorProfile>,
+    ) -> VantageLab {
         let mut net = Network::with_default_latency();
         // Scan labs default capture-off: the sweep drivers read verdicts
         // from host inboxes, not packet captures, and capture-off lets the
@@ -235,7 +250,11 @@ impl VantageLab {
 
         // Helper: register a device and return (typed handle, id).
         let make_dev = |net: &mut Network, name: &str, fp: FailureProfile, seed: u64| {
-            let handle = net.install_middlebox(TspuDevice::new(name, policy.clone(), fp, seed));
+            let mut device = TspuDevice::new(name, policy.clone(), fp, seed);
+            if let Some(profile) = &censor_profile {
+                device.set_censor_profile(profile.clone());
+            }
+            let handle = net.install_middlebox(device);
             (handle, handle.id())
         };
 
@@ -458,11 +477,12 @@ impl VantageLab {
                 );
             for (label, handle) in handles {
                 let device = self.net.middlebox(handle);
-                spec.devices.push(audit_for(
+                spec.devices.push(audit_for_profile(
                     handle.id(),
                     &label,
                     device.policy().clone(),
                     restart_times(&device.device_faults().restarts),
+                    device.censor_profile().clone(),
                 ));
             }
         }
