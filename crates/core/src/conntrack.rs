@@ -265,6 +265,10 @@ pub struct ConnTracker {
     /// Ring slots probed by GC so far — the direct measure of reclamation
     /// work on the packet path, surfaced as `conntrack.gc_probes`.
     gc_probes: u64,
+    /// Expired entries reclaimed by GC so far, surfaced as
+    /// `conntrack.gc_evictions` and mirrored into the enforcement flight
+    /// recorder's ledger.
+    gc_evictions: u64,
 }
 
 impl ConnTracker {
@@ -291,6 +295,7 @@ impl ConnTracker {
             ring: VecDeque::with_capacity(capacity.saturating_mul(2)),
             next_gen: 0,
             gc_probes: 0,
+            gc_evictions: 0,
         }
     }
 
@@ -467,6 +472,7 @@ impl ConnTracker {
                 Some(e) if e.gen == slot.gen => {
                     if e.expired(now) {
                         self.flows.remove(&slot.key);
+                        self.gc_evictions += 1;
                     } else {
                         self.ring.push_back(slot);
                     }
@@ -479,6 +485,11 @@ impl ConnTracker {
     /// Ring slots probed by GC since construction (telemetry).
     pub fn gc_probes(&self) -> u64 {
         self.gc_probes
+    }
+
+    /// Expired entries reclaimed by GC since construction (telemetry).
+    pub fn gc_evictions(&self) -> u64 {
+        self.gc_evictions
     }
 
     /// Number of queued GC probes (tests only).

@@ -32,6 +32,7 @@ use crate::behaviors::{BlockKind, BlockState};
 use crate::chaos::ModelViolation;
 use crate::conntrack::{FlowKey, Side};
 use crate::profile::{CensorProfile, SniMode};
+use crate::recorder::{FlightRecorder, LedgerKind};
 use crate::sharded::ShardedConnTracker;
 use crate::constants;
 use crate::frag_cache::{FragCache, FragConfig};
@@ -254,6 +255,10 @@ pub struct TspuDevice {
     restarts_applied: usize,
     reload_applied: bool,
     violation: Option<ModelViolation>,
+    /// The enforcement flight recorder: a bounded ring of structured
+    /// enforcement events ([`crate::recorder`]). Zero-sized with `obs`
+    /// off; steady-state pass packets record nothing either way.
+    recorder: FlightRecorder,
 }
 
 /// What the trigger evaluator decided about the current packet.
@@ -270,6 +275,7 @@ impl TspuDevice {
     /// Creates a device enforcing `policy` with the given failure profile.
     /// `seed` drives the (deterministic) failure dice.
     pub fn new(label: &str, policy: PolicyHandle, failure: FailureProfile, seed: u64) -> TspuDevice {
+        let recorder = FlightRecorder::new(policy.epoch());
         TspuDevice {
             label: Arc::from(label),
             policy,
@@ -287,6 +293,7 @@ impl TspuDevice {
             restarts_applied: 0,
             reload_applied: false,
             violation: None,
+            recorder,
         }
     }
 
@@ -309,6 +316,7 @@ impl TspuDevice {
             faults: self.faults.clone(),
             violation: self.violation,
             metrics: self.metrics.fork(),
+            recorder: self.recorder.fork_reset(),
         }
     }
 
@@ -317,6 +325,9 @@ impl TspuDevice {
     /// RNG, and metrics are untouched, so a fork followed by `set_policy`
     /// equals a fresh build against that handle.
     pub fn set_policy(&mut self, policy: PolicyHandle) {
+        // The new handle's current epoch is this device's baseline, not a
+        // delta the ledger should report.
+        self.recorder.rebase_epoch(policy.epoch());
         self.policy = policy;
     }
 
@@ -393,6 +404,8 @@ impl TspuDevice {
             self.metrics.inc(self.metrics.restarts);
             self.conntrack.clear();
             self.frag_cache.clear();
+            let epoch = self.policy.epoch();
+            self.ledger(now, None, LedgerKind::Restart, epoch);
         }
         if !self.reload_applied && self.faults.reload_at.is_some_and(|at| at <= since_start) {
             self.reload_applied = true;
@@ -497,6 +510,10 @@ impl TspuDevice {
                 MetricValue::Counter(self.conntrack.gc_probes()),
             );
             snap.insert(
+                format!("{scope}.conntrack.gc_evictions"),
+                MetricValue::Counter(self.conntrack.gc_evictions()),
+            );
+            snap.insert(
                 format!("{scope}.frag_cache.evictions"),
                 MetricValue::Counter(self.frag_cache.evictions()),
             );
@@ -557,6 +574,55 @@ impl TspuDevice {
         Verdict::Drop
     }
 
+    /// Records an enforcement ledger event, folding in any conntrack GC
+    /// activity since the previous one. Called only from cold enforcement
+    /// paths (arming, expiry, restart) — never on steady-state packets.
+    fn ledger(&mut self, now: Time, flow: Option<FlowKey>, kind: LedgerKind, epoch: u64) {
+        self.recorder.sync_gc(now.as_micros(), self.conntrack.gc_evictions(), self.profile.name, epoch);
+        self.recorder.record(now.as_micros(), flow, kind, self.profile.name, epoch);
+    }
+
+    /// The device's enforcement ledger, rendered oldest-first (empty in
+    /// an obs-disabled build).
+    pub fn ledger_events(&self) -> Vec<String> {
+        self.recorder.events().iter().map(|e| e.render()).collect()
+    }
+
+    /// Total ledger events recorded so far (wrapped-out ones included).
+    pub fn ledger_recorded(&self) -> u64 {
+        self.recorder.recorded()
+    }
+
+    /// The last `n` ledger events concerning the flow `packet` belongs to
+    /// (device-wide events included), rendered oldest-first — what an
+    /// oracle violation report attaches for the offending flow. The
+    /// caller does not know which side of the packet is local, so both
+    /// orientations of the flow key are tried.
+    pub fn ledger_for_packet(&self, packet: &[u8], n: usize) -> Vec<String> {
+        let Ok(view) = Ipv4Packet::new_checked(packet) else {
+            return Vec::new();
+        };
+        let (src, dst) = (view.src_addr(), view.dst_addr());
+        let ports = match view.protocol() {
+            Protocol::Tcp => TcpSegment::new_checked(view.payload())
+                .ok()
+                .map(|s| (s.src_port(), s.dst_port(), 6)),
+            Protocol::Udp => UdpDatagram::new_checked(view.payload())
+                .ok()
+                .map(|d| (d.src_port(), d.dst_port(), 17)),
+            _ => None,
+        };
+        let Some((src_port, dst_port, proto)) = ports else {
+            return Vec::new();
+        };
+        let as_local = FlowKey::from_packet(Side::Local, src, src_port, dst, dst_port, proto);
+        let as_remote = FlowKey::from_packet(Side::Remote, src, src_port, dst, dst_port, proto);
+        let events = self.recorder.events();
+        let hits = |k: &FlowKey| events.iter().any(|e| e.flow.as_ref() == Some(k));
+        let key = if hits(&as_remote) && !hits(&as_local) { as_remote } else { as_local };
+        self.recorder.for_flow(&key, n)
+    }
+
     fn process_tcp(&mut self, now: Time, direction: Direction, packet: &[u8]) -> Verdict {
         let view = Ipv4Packet::new_unchecked(packet);
         let (src_addr, dst_addr) = (view.src_addr(), view.dst_addr());
@@ -613,6 +679,10 @@ impl TspuDevice {
         // entry, validated by the lock-free epoch: steady-state packets
         // skip the policy read-lock and the blocklist probe entirely.
         let epoch = self.policy.epoch();
+        // Ledger: a policy delta becomes visible to this box the first
+        // time a packet reads the bumped epoch. One integer compare on the
+        // steady state; an event only on the transition.
+        self.recorder.note_epoch(now.as_micros(), epoch, self.profile.name);
         let remote_blocked = match cached_ip {
             Some((cached_epoch, blocked)) if cached_epoch == epoch => blocked,
             _ => {
@@ -726,7 +796,7 @@ impl TspuDevice {
         if let SniMode::SingleList { kind, window } = self.profile.sni {
             let host = NormalizedHost::new(&hostname);
             let counter = self.metrics.triggers_sni1;
-            return self.arm_single_list(now, key, &host, kind, window, counter);
+            return self.arm_single_list(now, key, &host, kind, window, (counter, "sni1"));
         }
 
         // Policy lookups, copied out so the conntrack borrow below is free.
@@ -805,14 +875,17 @@ impl TspuDevice {
                     .pinned_to(epoch),
             );
         }
+        self.ledger(now, Some(*key), LedgerKind::TriggerFired { trigger: sni_trigger_name(kind) }, epoch);
+        self.ledger(now, Some(*key), LedgerKind::BlockArmed { kind: block_kind_name(kind) }, epoch);
         action
     }
 
     /// Arms `kind` on the flow when the normalized host is on the
     /// profile's single blocklist (the policy's `sni_rst` list) — the
     /// centralized-chokepoint shape shared by the Turkmenistan SNI/HTTP
-    /// triggers and India's Host-header filter. `counter` is the trigger
-    /// counter to bump on a successful arm.
+    /// triggers and India's Host-header filter. `accounting` pairs the
+    /// trigger counter to bump on a successful arm with the mechanism
+    /// name recorded in the enforcement ledger.
     fn arm_single_list(
         &mut self,
         now: Time,
@@ -820,7 +893,7 @@ impl TspuDevice {
         host: &NormalizedHost,
         kind: BlockKind,
         window: std::time::Duration,
-        counter: CounterId,
+        accounting: (CounterId, &'static str),
     ) -> TriggerAction {
         let (matched, throttle_cfg, epoch) = {
             let policy = self.policy.read();
@@ -833,6 +906,7 @@ impl TspuDevice {
         if self.flow_exempt(now, key, failure) {
             return TriggerAction::None;
         }
+        let (counter, trigger) = accounting;
         self.metrics.inc(counter);
         let allowance = self
             .rng
@@ -846,6 +920,8 @@ impl TspuDevice {
                     .pinned_to(epoch),
             );
         }
+        self.ledger(now, Some(*key), LedgerKind::TriggerFired { trigger }, epoch);
+        self.ledger(now, Some(*key), LedgerKind::BlockArmed { kind: block_kind_name(kind) }, epoch);
         match kind {
             BlockKind::FullDrop | BlockKind::QuicDrop => TriggerAction::DropNow,
             _ => TriggerAction::PassNow,
@@ -880,10 +956,15 @@ impl TspuDevice {
         };
         let host = NormalizedHost::new(&hostname);
         let counter = self.metrics.triggers_http;
-        self.arm_single_list(now, key, &host, filter.kind, filter.window, counter)
+        self.arm_single_list(now, key, &host, filter.kind, filter.window, (counter, "http_host"))
     }
 
     /// Applies an active verdict on the flow to a non-trigger packet.
+    ///
+    /// The decision is computed inside the flow-entry borrow, then the
+    /// counters, ledger events, and packet surgery happen after it ends —
+    /// behaviorally identical to deciding in place, but the flight
+    /// recorder (a sibling field) stays reachable.
     fn apply_block(
         &mut self,
         now: Time,
@@ -892,70 +973,118 @@ impl TspuDevice {
         packet: &[u8],
         payload_len: usize,
     ) -> Verdict {
-        let Some(entry) = self.conntrack.get_mut(now, key) else {
-            return Verdict::Pass;
-        };
-        let Some(block) = entry.block.as_mut() else {
-            return Verdict::Pass;
-        };
-        if !block.active(now) {
-            entry.block = None;
-            return Verdict::Pass;
+        enum Act {
+            Lapsed(BlockKind),
+            Pass,
+            Rst,
+            Page,
+            Drop,
+            ThrottleReject,
         }
-        // Epoch audit: the flow keeps its pinned verdict even if a registry
-        // delta has since changed the rule that installed it (residual
-        // blocking); count each enforcement under an outdated epoch.
-        if block.epoch < self.policy.epoch() {
+        let live_epoch = self.policy.epoch();
+        let violation = self.violation;
+        let (act, kind, stale) = {
+            let Some(entry) = self.conntrack.get_mut(now, key) else {
+                return Verdict::Pass;
+            };
+            let Some(block) = entry.block.as_mut() else {
+                return Verdict::Pass;
+            };
+            if !block.active(now) {
+                let kind = block.kind;
+                entry.block = None;
+                (Act::Lapsed(kind), kind, false)
+            } else {
+                // Epoch audit: the flow keeps its pinned verdict even if a
+                // registry delta has since changed the rule that installed
+                // it (residual blocking); count each enforcement under an
+                // outdated epoch.
+                let stale = block.epoch < live_epoch;
+                let kind = block.kind;
+                let act = match kind {
+                    BlockKind::RstRewrite => {
+                        // Enforcement direction lives on the verdict (the
+                        // latent asymmetry fix): the TSPU's ToLocal default
+                        // rewrites only remote→local, bidirectional
+                        // profiles rewrite both ways.
+                        let toward_remote = block.rewrites_toward_remote()
+                            && violation
+                                != Some(ModelViolation::UnidirectionalRstUnderBidirectional);
+                        if direction == Direction::RemoteToLocal || toward_remote {
+                            Act::Rst
+                        } else {
+                            Act::Pass
+                        }
+                    }
+                    BlockKind::BlockPage => {
+                        // The censor answers in the server's place: the
+                        // response's payload becomes the block page.
+                        // Handshake and pure-ACK packets pass so the
+                        // connection can carry the page.
+                        if direction == Direction::RemoteToLocal && payload_len > 0 {
+                            Act::Page
+                        } else {
+                            Act::Pass
+                        }
+                    }
+                    BlockKind::DelayedDrop => {
+                        if block.allowance > 0 {
+                            block.allowance -= 1;
+                            Act::Pass
+                        } else {
+                            Act::Drop
+                        }
+                    }
+                    BlockKind::Throttle => {
+                        let admitted = block
+                            .bucket
+                            .as_mut()
+                            .map(|b| b.admit(now, payload_len))
+                            .unwrap_or(true);
+                        if admitted {
+                            Act::Pass
+                        } else {
+                            Act::ThrottleReject
+                        }
+                    }
+                    BlockKind::FullDrop | BlockKind::QuicDrop => Act::Drop,
+                };
+                (act, kind, stale)
+            }
+        };
+        if stale {
             self.metrics.inc(self.metrics.stale_epoch_verdicts);
+            self.ledger(
+                now,
+                Some(*key),
+                LedgerKind::StaleEnforcement { kind: block_kind_name(kind) },
+                live_epoch,
+            );
         }
-        match block.kind {
-            BlockKind::RstRewrite => {
-                // Enforcement direction lives on the verdict (the latent
-                // asymmetry fix): the TSPU's ToLocal default rewrites only
-                // remote→local, bidirectional profiles rewrite both ways.
-                let toward_remote = block.rewrites_toward_remote();
-                let toward_remote = toward_remote
-                    && self.violation != Some(ModelViolation::UnidirectionalRstUnderBidirectional);
-                if direction == Direction::RemoteToLocal || toward_remote {
-                    self.metrics.inc(self.metrics.packets_rewritten);
-                    Verdict::Replace(self.inject_rst(packet))
-                } else {
-                    Verdict::Pass
-                }
+        match act {
+            Act::Lapsed(kind) => {
+                self.ledger(
+                    now,
+                    Some(*key),
+                    LedgerKind::BlockExpired { kind: block_kind_name(kind) },
+                    live_epoch,
+                );
+                Verdict::Pass
             }
-            BlockKind::BlockPage => {
-                // The censor answers in the server's place: the response's
-                // payload becomes the block page. Handshake and pure-ACK
-                // packets pass so the connection can carry the page.
-                if direction == Direction::RemoteToLocal && payload_len > 0 {
-                    self.metrics.inc(self.metrics.packets_rewritten);
-                    Verdict::Replace(self.inject_block_page(packet))
-                } else {
-                    Verdict::Pass
-                }
+            Act::Pass => Verdict::Pass,
+            Act::Rst => {
+                self.metrics.inc(self.metrics.packets_rewritten);
+                Verdict::Replace(self.inject_rst(packet))
             }
-            BlockKind::DelayedDrop => {
-                if block.allowance > 0 {
-                    block.allowance -= 1;
-                    Verdict::Pass
-                } else {
-                    self.drop_packet()
-                }
+            Act::Page => {
+                self.metrics.inc(self.metrics.packets_rewritten);
+                Verdict::Replace(self.inject_block_page(packet))
             }
-            BlockKind::Throttle => {
-                let admitted = block
-                    .bucket
-                    .as_mut()
-                    .map(|b| b.admit(now, payload_len))
-                    .unwrap_or(true);
-                if admitted {
-                    Verdict::Pass
-                } else {
-                    self.metrics.inc(self.metrics.policer_rejects);
-                    self.drop_packet()
-                }
+            Act::Drop => self.drop_packet(),
+            Act::ThrottleReject => {
+                self.metrics.inc(self.metrics.policer_rejects);
+                self.drop_packet()
             }
-            BlockKind::FullDrop | BlockKind::QuicDrop => self.drop_packet(),
         }
     }
 
@@ -1008,6 +1137,18 @@ impl TspuDevice {
                                         .pinned_to(epoch),
                                 );
                             }
+                            self.ledger(
+                                now,
+                                Some(key),
+                                LedgerKind::TriggerFired { trigger: "dns" },
+                                epoch,
+                            );
+                            self.ledger(
+                                now,
+                                Some(key),
+                                LedgerKind::BlockArmed { kind: "full_drop" },
+                                epoch,
+                            );
                             return self.drop_packet();
                         }
                     }
@@ -1016,17 +1157,42 @@ impl TspuDevice {
         }
 
         // Active QUIC verdict: drop everything, both directions,
-        // regardless of length or fingerprint (§5.2).
-        if let Some(entry) = self.conntrack.get_mut(now, &key) {
-            if let Some(block) = &entry.block {
-                if block.active(now) {
-                    if block.epoch < self.policy.epoch() {
-                        self.metrics.inc(self.metrics.stale_epoch_verdicts);
-                    }
-                    return self.drop_packet();
-                }
+        // regardless of length or fingerprint (§5.2). As in
+        // [`TspuDevice::apply_block`], the decision is copied out of the
+        // flow-entry borrow so the ledger (a sibling field) is reachable.
+        let live_epoch = self.policy.epoch();
+        let verdict_state = self.conntrack.get_mut(now, &key).and_then(|entry| {
+            let block = entry.block.as_ref()?;
+            if block.active(now) {
+                Some((true, block.kind, block.epoch < live_epoch))
+            } else {
+                let kind = block.kind;
                 entry.block = None;
+                Some((false, kind, false))
             }
+        });
+        match verdict_state {
+            Some((true, kind, stale)) => {
+                if stale {
+                    self.metrics.inc(self.metrics.stale_epoch_verdicts);
+                    self.ledger(
+                        now,
+                        Some(key),
+                        LedgerKind::StaleEnforcement { kind: block_kind_name(kind) },
+                        live_epoch,
+                    );
+                }
+                return self.drop_packet();
+            }
+            Some((false, kind, _)) => {
+                self.ledger(
+                    now,
+                    Some(key),
+                    LedgerKind::BlockExpired { kind: block_kind_name(kind) },
+                    live_epoch,
+                );
+            }
+            None => {}
         }
 
         // The QUIC fingerprint (Fig. 14): local→remote, UDP dst 443,
@@ -1050,6 +1216,8 @@ impl TspuDevice {
                     entry.block =
                         Some(BlockState::new(BlockKind::QuicDrop, now, 0, throttle).pinned_to(epoch));
                 }
+                self.ledger(now, Some(key), LedgerKind::TriggerFired { trigger: "quic" }, epoch);
+                self.ledger(now, Some(key), LedgerKind::BlockArmed { kind: "quic_drop" }, epoch);
                 return self.drop_packet();
             }
         }
@@ -1071,6 +1239,32 @@ impl TspuDevice {
             return self.drop_packet();
         }
         Verdict::Pass
+    }
+}
+
+/// Ledger name for a block-verdict kind.
+fn block_kind_name(kind: BlockKind) -> &'static str {
+    match kind {
+        BlockKind::RstRewrite => "rst_rewrite",
+        BlockKind::DelayedDrop => "delayed_drop",
+        BlockKind::Throttle => "throttle",
+        BlockKind::FullDrop => "full_drop",
+        BlockKind::QuicDrop => "quic_drop",
+        BlockKind::BlockPage => "block_page",
+    }
+}
+
+/// Ledger name for the SNI mechanism that arms a given verdict kind
+/// (Table 1's SNI-I…IV numbering).
+fn sni_trigger_name(kind: BlockKind) -> &'static str {
+    match kind {
+        BlockKind::RstRewrite => "sni1",
+        BlockKind::DelayedDrop => "sni2",
+        BlockKind::Throttle => "sni3",
+        BlockKind::FullDrop => "sni4",
+        BlockKind::QuicDrop => "quic",
+        // Block-page arming shares SNI-I's slot (see FailureProfile).
+        BlockKind::BlockPage => "sni1",
     }
 }
 
@@ -1244,6 +1438,7 @@ pub struct DeviceConfig {
     faults: DeviceFaults,
     violation: Option<ModelViolation>,
     metrics: DeviceMetrics,
+    recorder: FlightRecorder,
 }
 
 impl DeviceConfig {
@@ -1274,6 +1469,7 @@ impl DeviceConfig {
             restarts_applied: 0,
             reload_applied: false,
             violation: self.violation,
+            recorder: self.recorder.fork_reset(),
         }
     }
 }

@@ -38,6 +38,7 @@ pub mod hardening;
 pub mod policer;
 pub mod policy;
 pub mod profile;
+pub mod recorder;
 pub mod sharded;
 pub mod updater;
 
@@ -50,5 +51,6 @@ pub use frag_cache::FragCache;
 pub use hardening::Hardening;
 pub use policer::TokenBucket;
 pub use policy::{DomainSet, NormalizedHost, Policy, PolicyDelta, PolicyHandle, ThrottleConfig};
+pub use recorder::{FlightRecorder, LedgerEvent, LedgerKind, DEFAULT_LEDGER_CAP};
 pub use sharded::ShardedConnTracker;
 pub use updater::{DeltaApplication, PolicyUpdater, UpdateLog};

@@ -457,7 +457,8 @@ impl PolicyDelta {
 }
 
 /// The shared handle's metric storage: a `tspu_obs` registry scope
-/// (`policy.*`) with the update counter and the epoch gauge. Zero-sized
+/// (`policy.*`) with the update counter and the last-value epoch gauge
+/// (merges keep the later cell's epoch, not the max). Zero-sized
 /// registry in an obs-disabled build.
 struct PolicyMetrics {
     registry: Registry,
@@ -470,7 +471,7 @@ impl PolicyMetrics {
         let mut registry = Registry::scoped("policy");
         PolicyMetrics {
             delta_applies: registry.counter("delta_applies"),
-            epoch: registry.gauge("epoch"),
+            epoch: registry.gauge_last("epoch"),
             registry,
         }
     }

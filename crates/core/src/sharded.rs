@@ -195,6 +195,12 @@ impl ShardedConnTracker {
         self.shards.iter().map(ConnTracker::gc_probes).sum()
     }
 
+    /// Total expired entries reclaimed by GC across shards (telemetry;
+    /// mirrored into the flight-recorder ledger as `gc_sweep` events).
+    pub fn gc_evictions(&self) -> u64 {
+        self.shards.iter().map(ConnTracker::gc_evictions).sum()
+    }
+
     /// Per-shard live-entry counts — the occupancy histogram the load
     /// report emits to show the hash is spreading the population.
     pub fn shard_lens(&self) -> Vec<usize> {

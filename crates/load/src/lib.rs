@@ -31,5 +31,5 @@ pub mod soak;
 pub mod zipf;
 
 pub use gen::{FlowOutcome, LoadClientApp, LoadProfile, LoadServerApp, LoadStats};
-pub use soak::{build_lab, SoakConfig, SoakLab, SoakReport};
+pub use soak::{build_lab, SoakConfig, SoakLab, SoakReport, SoakSlice};
 pub use zipf::ZipfSampler;

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use tspu_core::conntrack::GC_PROBE_BUDGET;
 use tspu_core::{Policy, PolicyHandle, TspuDevice};
 use tspu_netsim::{Direction, MiddleboxHandle, Network, NetworkImage, Route, RouteStep, Time};
-use tspu_obs::{Histogram, MetricValue, Snapshot};
+use tspu_obs::{Histogram, MetricValue, Snapshot, TimeSeries};
 use tspu_registry::Universe;
 
 use crate::gen::{
@@ -60,6 +60,36 @@ pub struct SoakLab {
     pub blocked_universe_fraction: f64,
 }
 
+/// One virtual-time slice of a soak run. Every field except `wall_ns` is
+/// a pure function of the schedule (byte-identical run to run); `wall_ns`
+/// is the host's contribution and is excluded from the deterministic
+/// exports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoakSlice {
+    /// Virtual time at the slice end, microseconds.
+    pub at_us: u64,
+    /// Scheduler events popped inside the slice.
+    pub events: u64,
+    /// Endpoint packets (client tx + server tx) inside the slice.
+    pub packets: u64,
+    /// Flows launched inside the slice.
+    pub flows_started: u64,
+    /// Flows finished inside the slice.
+    pub flows_completed: u64,
+    /// RST verdicts observed inside the slice.
+    pub resets: u64,
+    /// Data-delivering completions inside the slice.
+    pub got_data: u64,
+    /// Flows tracked at the device at slice end.
+    pub tracked_flows: usize,
+    /// Events still scheduled (wheel + overflow) at slice end.
+    pub wheel_depth: usize,
+    /// Largest per-shard conntrack occupancy at slice end.
+    pub max_shard_len: usize,
+    /// Wall nanoseconds the slice took (host-dependent).
+    pub wall_ns: u64,
+}
+
 /// Everything a soak run measured.
 #[derive(Debug, Clone)]
 pub struct SoakReport {
@@ -89,6 +119,8 @@ pub struct SoakReport {
     pub p999_event_ns: u64,
     /// Per-slice ns/event histogram (steady state), for the obs snapshot.
     latency_hist: Histogram,
+    /// The run resolved in time: one entry per driver slice, in order.
+    pub timeline: Vec<SoakSlice>,
 }
 
 impl SoakReport {
@@ -130,6 +162,68 @@ impl SoakReport {
             self.device_packets,
             shard_lens.join(",")
         )
+    }
+
+    /// The deterministic slice of the timeline as JSON: every per-slice
+    /// field except `wall_ns`, in slice order — byte-identical for
+    /// identical (seed, profile, topology) like
+    /// [`SoakReport::deterministic_json`].
+    pub fn timeline_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.timeline.len() * 160);
+        out.push_str("{\"slices\":[");
+        for (i, s) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"at_us\":{},\"events\":{},\"packets\":{},",
+                    "\"flows_started\":{},\"flows_completed\":{},\"resets\":{},",
+                    "\"got_data\":{},\"tracked_flows\":{},\"wheel_depth\":{},",
+                    "\"max_shard_len\":{}}}"
+                ),
+                s.at_us,
+                s.events,
+                s.packets,
+                s.flows_started,
+                s.flows_completed,
+                s.resets,
+                s.got_data,
+                s.tracked_flows,
+                s.wheel_depth,
+                s.max_shard_len,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The timeline as a [`TimeSeries`] windowed at the driver's slice
+    /// width: per-slice deltas as counters (`load.slice.*`), end-of-slice
+    /// occupancies as gauges — ready for OpenMetrics or Chrome-trace
+    /// export. Deterministic only: `wall_ns` stays on [`SoakSlice`], so
+    /// the series (like [`SoakReport::deterministic_json`]) is
+    /// byte-identical run to run.
+    pub fn timeline_series(&self, slice: Duration) -> TimeSeries {
+        let window_us = (slice.as_micros() as u64).max(1);
+        let mut series = TimeSeries::with_window_us(window_us);
+        for s in &self.timeline {
+            // Stamp inside the slice's own window: slices end on window
+            // boundaries, so the end instant already belongs to the next.
+            let at = s.at_us.saturating_sub(1);
+            let mut snap = Snapshot::new();
+            snap.insert("load.slice.events", MetricValue::Counter(s.events));
+            snap.insert("load.slice.packets", MetricValue::Counter(s.packets));
+            snap.insert("load.slice.flows_started", MetricValue::Counter(s.flows_started));
+            snap.insert("load.slice.flows_completed", MetricValue::Counter(s.flows_completed));
+            snap.insert("load.slice.resets", MetricValue::Counter(s.resets));
+            snap.insert("load.slice.got_data", MetricValue::Counter(s.got_data));
+            snap.insert("load.slice.tracked_flows", MetricValue::Gauge(s.tracked_flows as i64));
+            snap.insert("load.slice.wheel_depth", MetricValue::Gauge(s.wheel_depth as i64));
+            snap.insert("load.slice.max_shard_len", MetricValue::Gauge(s.max_shard_len as i64));
+            series.observe(at, &snap);
+        }
+        series
     }
 
     /// Full report as an obs [`Snapshot`] (counters + the steady-state
@@ -308,12 +402,18 @@ impl SoakLab {
         // (rehash, GC sweep) still dominates its window.
         const WINDOW_EVENTS: u64 = 16_384;
         let (mut acc_wall_ns, mut acc_events) = (0u64, 0u64);
+        let mut timeline: Vec<SoakSlice> = Vec::new();
+        // Cumulative values at the previous slice boundary, for deltas.
+        let (mut prev_started, mut prev_completed) = (0u64, 0u64);
+        let (mut prev_resets, mut prev_got_data, mut prev_packets) = (0u64, 0u64, 0u64);
         loop {
             let events_before = net.events_popped();
             let slice_started = Instant::now();
             net.run_for(self.config.slice);
-            acc_wall_ns += slice_started.elapsed().as_nanos() as u64;
-            acc_events += net.events_popped() - events_before;
+            let slice_wall_ns = slice_started.elapsed().as_nanos() as u64;
+            let slice_events = net.events_popped() - events_before;
+            acc_wall_ns += slice_wall_ns;
+            acc_events += slice_events;
             if acc_events >= WINDOW_EVENTS {
                 samples.push((acc_wall_ns / acc_events, acc_events));
                 (acc_wall_ns, acc_events) = (0, 0);
@@ -322,8 +422,35 @@ impl SoakLab {
             // copies the simulator also keeps would pin every payload of
             // the soak in memory. Drop them each slice.
             self.drain_inboxes(&mut net);
-            peak_tracked = peak_tracked.max(net.middlebox(self.device).conntrack().len());
-            let completed = stats.lock().expect("stats lock").flows_completed;
+            let conntrack = net.middlebox(self.device).conntrack();
+            let tracked = conntrack.len();
+            let max_shard_len = conntrack.shard_lens().into_iter().max().unwrap_or(0);
+            peak_tracked = peak_tracked.max(tracked);
+            let (started_c, completed, resets, got_data, packets) = {
+                let s = stats.lock().expect("stats lock");
+                (
+                    s.flows_started,
+                    s.flows_completed,
+                    s.resets,
+                    s.got_data,
+                    s.client_tx_packets + s.server_tx_packets,
+                )
+            };
+            timeline.push(SoakSlice {
+                at_us: net.now().as_micros(),
+                events: slice_events,
+                packets: packets - prev_packets,
+                flows_started: started_c - prev_started,
+                flows_completed: completed - prev_completed,
+                resets: resets - prev_resets,
+                got_data: got_data - prev_got_data,
+                tracked_flows: tracked,
+                wheel_depth: net.pending_events(),
+                max_shard_len,
+                wall_ns: slice_wall_ns,
+            });
+            (prev_started, prev_completed) = (started_c, completed);
+            (prev_resets, prev_got_data, prev_packets) = (resets, got_data, packets);
             if completed >= total_flows || net.now() >= deadline {
                 break;
             }
@@ -369,6 +496,7 @@ impl SoakLab {
             p99_event_ns: pct(0.99),
             p999_event_ns: pct(0.999),
             latency_hist,
+            timeline,
             stats,
         }
     }
@@ -414,6 +542,52 @@ mod tests {
         let a = lab.run().deterministic_json();
         let b = lab.run().deterministic_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeline_slices_sum_to_the_totals_and_replay_identically() {
+        let lab = build_lab(small_config());
+        let report = lab.run();
+        assert!(!report.timeline.is_empty());
+        // Slice deltas reassemble the cumulative totals exactly.
+        let started: u64 = report.timeline.iter().map(|s| s.flows_started).sum();
+        let completed: u64 = report.timeline.iter().map(|s| s.flows_completed).sum();
+        let packets: u64 = report.timeline.iter().map(|s| s.packets).sum();
+        assert_eq!(started, report.stats.flows_started);
+        assert_eq!(completed, report.stats.flows_completed);
+        assert_eq!(packets, report.device_packets);
+        // Slice ends advance strictly, on the driver's slice boundaries.
+        let width = small_config().slice.as_micros() as u64;
+        for (i, s) in report.timeline.iter().enumerate() {
+            assert_eq!(s.at_us, (i as u64 + 1) * width, "slice {i} off-grid");
+        }
+        // The flow population ramps: some slice must hold >1000 flows.
+        assert!(report.timeline.iter().any(|s| s.tracked_flows > 1_000));
+        // Deterministic exports are identical across replays.
+        let replay = lab.run();
+        assert_eq!(report.timeline_json(), replay.timeline_json());
+        let slice = small_config().slice;
+        assert_eq!(
+            report.timeline_series(slice).to_json(),
+            replay.timeline_series(slice).to_json()
+        );
+        // The wall-clock track differs (or at least is allowed to): the
+        // deterministic JSON must not contain it.
+        assert!(!report.timeline_json().contains("wall_ns"));
+    }
+
+    #[test]
+    fn timeline_series_windows_match_the_slices() {
+        let lab = build_lab(small_config());
+        let report = lab.run();
+        let series = report.timeline_series(small_config().slice);
+        assert_eq!(series.len(), report.timeline.len());
+        let events = series.counter_series("load.slice.events");
+        // Window i holds slice i's delta (slices without events are
+        // filtered by counter_series, so compare per present window).
+        for (index, v) in events {
+            assert_eq!(v, report.timeline[index as usize].events);
+        }
     }
 
     #[test]

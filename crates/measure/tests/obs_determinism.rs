@@ -1,11 +1,15 @@
 //! The observability determinism guarantee, end to end: an observed
 //! registry campaign produces a byte-identical [`Snapshot`] — metrics,
-//! JSON rendering, and Chrome trace — no matter how many worker threads
-//! execute it. Spans carry *virtual* timestamps and scenario indices, so
-//! worker assignment and wall-clock interleaving cannot leak in.
+//! JSON rendering, Chrome trace, and OpenMetrics exposition — no matter
+//! how many worker threads execute it. Spans carry *virtual* timestamps
+//! and scenario indices, so worker assignment and wall-clock interleaving
+//! cannot leak in. The same holds for the time-resolved exports: the
+//! churn campaign's per-day series and the differential campaign's
+//! per-profile series.
 
-use tspu_measure::{RunOpts, ScanPool, SweepSpec};
+use tspu_measure::{ChurnCampaign, DifferentialCampaign, RunOpts, ScanPool, SweepSpec};
 use tspu_registry::Universe;
+use tspu_topology::policy_from_universe;
 
 fn campaign_spec() -> SweepSpec {
     let universe = Universe::generate(3);
@@ -60,6 +64,52 @@ fn observed_run_matches_plain_run_and_actually_observes() {
         assert!(snapshot.metrics().is_empty());
         assert!(snapshot.spans().is_empty());
     }
+}
+
+#[test]
+fn openmetrics_export_is_byte_identical_across_thread_counts() {
+    let spec = campaign_spec();
+    let one = spec.run(&ScanPool::new(1), &RunOpts::observed());
+    let eight = spec.run(&ScanPool::new(8), &RunOpts::observed());
+    let (one_snap, eight_snap) =
+        (one.snapshot.expect("observed run"), eight.snapshot.expect("observed run"));
+    let om = one_snap.to_openmetrics();
+    assert_eq!(om, eight_snap.to_openmetrics(), "OpenMetrics diverges across thread counts");
+    assert!(om.ends_with("# EOF\n"), "exposition must terminate: {om}");
+    if tspu_obs::ENABLED {
+        assert!(om.contains("# TYPE "), "{om}");
+    }
+}
+
+#[test]
+fn churn_day_series_is_byte_identical_across_thread_counts() {
+    let universe = Universe::generate(5);
+    let mut campaign = ChurnCampaign::escalation_2022();
+    campaign.churn.end_day = campaign.churn.start_day + 7;
+    let one = campaign.run(&universe, &ScanPool::new(1));
+    let eight = campaign.run(&universe, &ScanPool::new(8));
+    assert_eq!(one.cells, eight.cells, "cells diverge across thread counts");
+    assert_eq!(one.series.to_json(), eight.series.to_json(), "day series diverges");
+    assert_eq!(one.series.to_openmetrics(), eight.series.to_openmetrics());
+    assert_eq!(one.snapshot.to_json(), eight.snapshot.to_json());
+    assert!(!one.convergence_curve().is_empty());
+}
+
+#[test]
+fn differential_profile_series_is_byte_identical_across_thread_counts() {
+    let universe = Universe::generate(3);
+    let policy = policy_from_universe(&universe, false, true);
+    let campaign = DifferentialCampaign::three_country(
+        policy,
+        vec!["meduza.io".into(), "rust-lang.org".into()],
+    );
+    let (one, _) = campaign.run(&ScanPool::new(1), &RunOpts::observed());
+    let (eight, _) = campaign.run(&ScanPool::new(8), &RunOpts::observed());
+    assert_eq!(one.cells, eight.cells, "cells diverge across thread counts");
+    assert_eq!(one.series.to_json(), eight.series.to_json(), "profile series diverges");
+    let (one_snap, eight_snap) =
+        (one.snapshot.expect("observed run"), eight.snapshot.expect("observed run"));
+    assert_eq!(one_snap.to_openmetrics(), eight_snap.to_openmetrics());
 }
 
 #[test]

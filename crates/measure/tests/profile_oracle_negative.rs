@@ -140,3 +140,53 @@ fn block_page_outside_armed_window_under_india_is_flagged() {
     assert_eq!(v.profile, "india");
     assert!(!v.packet.is_empty());
 }
+
+#[test]
+fn violation_report_carries_the_arming_ledger_event() {
+    // Same seeding as the out-of-window case, but the report now attaches
+    // the device's flight-recorder ledger: the rendered violation must
+    // name the very trigger/arming events whose lapsed window the page
+    // injection violated — the recorder closing the loop from "what went
+    // wrong" to "what the device thought it was enforcing".
+    let mut lab = seeded_lab(CensorProfile::india(), ModelViolation::BlockPageWithoutTrigger);
+    let (local, remote) = ends(&lab, 47530, 80);
+    let mut steps = handshake_prefix();
+    steps.push(ScriptStep::new(ProbeSide::Local, TcpFlags::PSH_ACK).payload(HttpRequest::get(BLOCKED, "/").build()));
+    steps.push(ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK).payload(HttpResponse::ok(b"origin-content-ok").build()));
+    steps.push(
+        ScriptStep::new(ProbeSide::Remote, TcpFlags::PSH_ACK)
+            .payload(HttpResponse::ok(b"origin-content-ok").build())
+            .after(Duration::from_secs(90)),
+    );
+    run_script(&mut lab.net, local, remote, &steps);
+
+    let spec = lab.oracle_spec();
+    let captures = lab.net.take_captures();
+    let mut report = Oracle::new(spec).check(&captures);
+    report.attach_device_ledger(|id, packet| lab.device_ledger(id, packet, 8));
+
+    let v = report
+        .violations
+        .iter()
+        .find(|v| matches!(v.violation, Violation::ResidualExceeded { .. }))
+        .expect("no ResidualExceeded reported");
+    if tspu_obs::ENABLED {
+        assert!(
+            v.ledger.iter().any(|line| line.contains("trigger_fired source=http_host")),
+            "ledger must name the arming trigger: {:?}",
+            v.ledger
+        );
+        assert!(
+            v.ledger.iter().any(|line| line.contains("block_armed kind=block_page")),
+            "ledger must name the armed verdict: {:?}",
+            v.ledger
+        );
+        let rendered = v.to_string();
+        assert!(rendered.contains("enforcement ledger"), "rendered report carries the ledger: {rendered}");
+        assert!(rendered.contains("block_armed kind=block_page"), "{rendered}");
+        // Every ledger line names the profile the device was enforcing.
+        assert!(v.ledger.iter().all(|line| line.contains("profile=india")), "{:?}", v.ledger);
+    } else {
+        assert!(v.ledger.is_empty(), "obs-disabled builds attach no ledger");
+    }
+}

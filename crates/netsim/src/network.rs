@@ -6,7 +6,7 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use tspu_obs::{CounterId, HistogramId, Registry, Snapshot, Tracer};
+use tspu_obs::{CounterId, GaugeId, HistogramId, Registry, Snapshot, Tracer};
 use tspu_wire::fasthash::{FxHashMap, FxHasher};
 use tspu_wire::icmpv4::Icmpv4Repr;
 use tspu_wire::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
@@ -163,6 +163,14 @@ pub struct Network {
     c_events: CounterId,
     c_captures: CounterId,
     h_queue_depth: HistogramId,
+    /// Last-value mirror of [`Network::events_popped`]: merging forked
+    /// cells in index order keeps the final cell's count, matching how
+    /// the plain field is read after a run.
+    g_events_popped: GaugeId,
+    /// High-water pending-event count (`TimerWheel::len`).
+    g_wheel_depth: GaugeId,
+    /// High-water overflow-heap size (`TimerWheel::overflow_len`).
+    g_wheel_overflow: GaugeId,
 }
 
 impl Network {
@@ -172,6 +180,9 @@ impl Network {
         let c_events = registry.counter("events_processed");
         let c_captures = registry.counter("captures_recorded");
         let h_queue_depth = registry.histogram("queue_depth");
+        let g_events_popped = registry.gauge_last("events_popped");
+        let g_wheel_depth = registry.gauge("wheel_depth");
+        let g_wheel_overflow = registry.gauge("wheel_overflow");
         Network {
             now: Time::ZERO,
             queue: TimerWheel::new(),
@@ -190,6 +201,9 @@ impl Network {
             c_events,
             c_captures,
             h_queue_depth,
+            g_events_popped,
+            g_wheel_depth,
+            g_wheel_overflow,
         }
     }
 
@@ -217,6 +231,13 @@ impl Network {
         self.events_popped
     }
 
+    /// Events currently scheduled (wheel slots + overflow heap) — the
+    /// instantaneous scheduler depth, independent of the `obs` feature, so
+    /// soak timelines can sample it per slice in any build.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Enables or disables virtual-time span tracing (`hop` / `deliver`
     /// spans). Off by default so the event loop pays only a branch.
     pub fn set_tracing(&mut self, enabled: bool) {
@@ -230,6 +251,12 @@ impl Network {
 
     /// Captures the engine's metrics *and* drains recorded spans.
     pub fn take_obs(&mut self) -> Snapshot {
+        // Stamp the scheduler gauges with their end-of-run values so the
+        // exported snapshot reflects the final state even when the run was
+        // too short for the sampled path to fire.
+        self.registry.set(self.g_events_popped, self.events_popped as i64);
+        self.registry.set_max(self.g_wheel_depth, self.queue.len() as i64);
+        self.registry.set_max(self.g_wheel_overflow, self.queue.overflow_len() as i64);
         let mut snap = self.registry.snapshot();
         self.tracer.drain_into(&mut snap);
         snap
@@ -487,12 +514,18 @@ impl Network {
     /// Per-event accounting, shared by the single-event and batched paths.
     fn note_event(&mut self) {
         self.registry.inc(self.c_events);
-        // Queue depth is sampled 1-in-64 on the event count: the depth
-        // statistic keeps its shape while the histogram record (a
-        // bucket-index computation) leaves the per-event hot path.
-        // Event-count sampling is deterministic — no thread-count leak.
+        // Scheduler health is sampled 1-in-64 on the event count: the
+        // statistics keep their shape while the bitmap popcount and gauge
+        // updates leave the per-event hot path. Event-count sampling is
+        // deterministic — no thread-count leak. `queue_depth` records the
+        // wheel-bitmap occupancy (occupied buckets), the quantity that
+        // bounds a pop's bucket scan, rather than the raw pending count —
+        // the pending count is covered by the depth gauge below.
         if self.registry.counter_value(self.c_events) & 63 == 0 {
-            self.registry.record(self.h_queue_depth, self.queue.len() as u64);
+            self.registry.record(self.h_queue_depth, self.queue.occupied_slots() as u64);
+            self.registry.set(self.g_events_popped, self.events_popped as i64);
+            self.registry.set_max(self.g_wheel_depth, self.queue.len() as i64);
+            self.registry.set_max(self.g_wheel_overflow, self.queue.overflow_len() as i64);
         }
     }
 
@@ -957,6 +990,9 @@ impl Network {
             c_events: self.c_events,
             c_captures: self.c_captures,
             h_queue_depth: self.h_queue_depth,
+            g_events_popped: self.g_events_popped,
+            g_wheel_depth: self.g_wheel_depth,
+            g_wheel_overflow: self.g_wheel_overflow,
         }
     }
 }
@@ -987,6 +1023,9 @@ pub struct NetworkImage {
     c_events: CounterId,
     c_captures: CounterId,
     h_queue_depth: HistogramId,
+    g_events_popped: GaugeId,
+    g_wheel_depth: GaugeId,
+    g_wheel_overflow: GaugeId,
 }
 
 impl NetworkImage {
@@ -1017,6 +1056,9 @@ impl NetworkImage {
             c_events: self.c_events,
             c_captures: self.c_captures,
             h_queue_depth: self.h_queue_depth,
+            g_events_popped: self.g_events_popped,
+            g_wheel_depth: self.g_wheel_depth,
+            g_wheel_overflow: self.g_wheel_overflow,
         }
     }
 }

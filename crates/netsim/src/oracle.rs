@@ -243,6 +243,12 @@ pub struct ViolationReport {
     /// the packet *and* the counter behind the decision. Empty until
     /// attached (or in an obs-disabled build).
     pub counters_moved: Vec<(String, u64)>,
+    /// The offending device's last flight-recorder ledger events for the
+    /// offending flow (rendered lines, oldest first), attached via
+    /// [`OracleReport::attach_device_ledger`] — the enforcement history
+    /// that explains *why* the device held the verdict it did. Empty until
+    /// attached (or in an obs-disabled build).
+    pub ledger: Vec<String>,
 }
 
 impl fmt::Display for ViolationReport {
@@ -267,6 +273,12 @@ impl fmt::Display for ViolationReport {
                 write!(f, " {name}=+{delta}")?;
             }
             writeln!(f)?;
+        }
+        if !self.ledger.is_empty() {
+            writeln!(f, "  enforcement ledger (oldest first):")?;
+            for line in &self.ledger {
+                writeln!(f, "    {line}")?;
+            }
         }
         Ok(())
     }
@@ -308,6 +320,21 @@ impl OracleReport {
             if let Some(counters) = lookup(violation.device) {
                 violation.counters_moved = counters;
             }
+        }
+    }
+
+    /// Attaches each violation's flight-recorder ledger: `lookup` maps the
+    /// offending device id and packet to the device's last ledger events
+    /// for that packet's flow (rendered lines, oldest first — typically
+    /// `TspuDevice::ledger_for_packet` through the lab). The arming event
+    /// behind a residual/monotonicity violation then appears verbatim in
+    /// the report.
+    pub fn attach_device_ledger<F>(&mut self, mut lookup: F)
+    where
+        F: FnMut(MiddleboxId, &[u8]) -> Vec<String>,
+    {
+        for violation in &mut self.violations {
+            violation.ledger = lookup(violation.device, &violation.packet);
         }
     }
 }
@@ -810,6 +837,7 @@ impl Oracle {
             packet: packet.to_vec(),
             trace: captures[call.ingress_idx..call.end_idx].to_vec(),
             counters_moved: Vec::new(),
+            ledger: Vec::new(),
         });
     }
 }

@@ -147,6 +147,21 @@ impl<T> TimerWheel<T> {
         self.next_seq
     }
 
+    /// Number of occupied near-future buckets — the wheel-bitmap popcount.
+    /// This is the occupancy statistic the engine samples into
+    /// `netsim.queue_depth`: unlike [`TimerWheel::len`] it measures how
+    /// *spread out* the pending population is across the window, which is
+    /// what bounds a pop's bucket scan. Zero while disengaged.
+    pub fn occupied_slots(&self) -> usize {
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Events currently parked in the overflow heap (far timers and
+    /// out-of-window pushes).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
     /// Schedules `item` at `time`, after everything already scheduled at
     /// the same instant.
     pub fn push(&mut self, time: Time, item: T) {
@@ -455,6 +470,28 @@ mod tests {
             "post-drain shrink retained {} bytes",
             w.capacity_bytes()
         );
+    }
+
+    #[test]
+    fn occupancy_tracks_buckets_not_events() {
+        let mut w = TimerWheel::new();
+        // Disengaged: everything in the heap, no buckets occupied.
+        for i in 0..10u64 {
+            w.push(Time::from_micros(i % 3), i);
+        }
+        assert_eq!(w.occupied_slots(), 0);
+        assert_eq!(w.overflow_len(), 10);
+        // Engage: colliding timestamps share buckets, so occupancy counts
+        // distinct instants, not pending events.
+        for i in 0..(ENGAGE_THRESHOLD as u64 + 64) {
+            w.push(Time::from_micros(i % 7), i);
+        }
+        assert!(w.occupied_slots() <= 7);
+        assert!(w.occupied_slots() > 0);
+        assert!(w.occupied_slots() + w.overflow_len() <= w.len());
+        while w.pop().is_some() {}
+        assert_eq!(w.occupied_slots(), 0);
+        assert_eq!(w.overflow_len(), 0);
     }
 
     #[test]

@@ -12,21 +12,32 @@
 //!   ([`Snapshot::write_chrome_trace`]) with *simulated* microseconds as
 //!   the clock, so traces are byte-identical across thread counts.
 //! * [`Snapshot`]: the ordered, sparse, diffable capture — counters add,
-//!   gauges take max, histograms merge elementwise, spans sort by
+//!   high-water gauges take max, last-value gauges keep the later
+//!   operand, histograms merge elementwise, spans sort by
 //!   `(virtual ts, scenario, seq)`. `to_json()` is deterministic.
+//! * [`TimeSeries`]: fixed-width virtual-time windows of snapshots — the
+//!   time-resolved layer. Deterministic and mergeable in window-index
+//!   order, exported as JSON, Chrome-trace counter tracks alongside the
+//!   span timeline, and the OpenMetrics text format
+//!   ([`openmetrics::render`], hand-rolled like `to_json`).
 //!
 //! The whole hot-path half sits behind the `obs` cargo feature (default
 //! on). With `--no-default-features`, [`Registry`] and [`Tracer`] become
 //! zero-sized types whose methods are empty inline bodies: instrumented
 //! code compiles to the uninstrumented code, which the workspace proves
 //! with a counting-allocator test and an enabled-vs-disabled bench.
+//! [`Snapshot`] and [`TimeSeries`] are cold-path data and exist in both
+//! shapes; with the feature off they are simply empty.
 
 pub mod hist;
+pub mod openmetrics;
 pub mod registry;
+pub mod series;
 pub mod snapshot;
 
 pub use hist::{bucket_index, bucket_lower, Histogram, BUCKETS};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry, Tracer};
+pub use series::TimeSeries;
 pub use snapshot::{MetricValue, Snapshot, SpanRecord};
 
 /// Whether this build records anything (the `obs` feature state).

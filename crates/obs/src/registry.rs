@@ -45,6 +45,13 @@ mod enabled {
     /// can hand a zeroed copy to a forked lab cell without re-running
     /// the string formatting and interning that dominates registry
     /// construction.
+    /// How a gauge merges across snapshots: high-water mark or last value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum GaugeKind {
+        Max,
+        Last,
+    }
+
     #[derive(Debug, Default)]
     pub struct Registry {
         /// `Arc<str>` rather than `String`: [`Registry::fork_reset`] runs
@@ -53,7 +60,7 @@ mod enabled {
         scope: Arc<str>,
         names: Arc<Vec<String>>,
         counters: Vec<(u32, u64)>,
-        gauges: Vec<(u32, i64)>,
+        gauges: Vec<(u32, i64, GaugeKind)>,
         histograms: Vec<(u32, Histogram)>,
     }
 
@@ -102,13 +109,28 @@ mod enabled {
             CounterId(slot as u32)
         }
 
-        /// Registers (or re-resolves) a gauge under `name`.
+        /// Registers (or re-resolves) a high-water-mark gauge under
+        /// `name`: snapshots merge it with `max`.
         pub fn gauge(&mut self, name: &str) -> GaugeId {
+            self.gauge_kind(name, GaugeKind::Max)
+        }
+
+        /// Registers (or re-resolves) a last-value gauge under `name`:
+        /// snapshots merge it by keeping the later operand's value (the
+        /// right semantics for `policy.epoch`-style state gauges, where
+        /// "max" would hide a rollback).
+        pub fn gauge_last(&mut self, name: &str) -> GaugeId {
+            self.gauge_kind(name, GaugeKind::Last)
+        }
+
+        fn gauge_kind(&mut self, name: &str, kind: GaugeKind) -> GaugeId {
             let id = self.intern(name);
-            if !self.gauges.iter().any(|(n, _)| *n == id) {
-                self.gauges.push((id, 0));
+            if !self.gauges.iter().any(|(n, _, _)| *n == id) {
+                self.gauges.push((id, 0, kind));
             }
-            let slot = self.gauges.iter().position(|(n, _)| *n == id).unwrap();
+            // Re-registration keeps the original kind: the first
+            // registration fixes the merge semantics for the name.
+            let slot = self.gauges.iter().position(|(n, _, _)| *n == id).unwrap();
             GaugeId(slot as u32)
         }
 
@@ -143,6 +165,12 @@ mod enabled {
             self.gauges[id.0 as usize].1 = value;
         }
 
+        /// Current value of a gauge (test/report convenience).
+        #[inline]
+        pub fn gauge_value(&self, id: GaugeId) -> i64 {
+            self.gauges[id.0 as usize].1
+        }
+
         /// Sets the gauge to `max(current, value)` — high-water marks.
         #[inline]
         pub fn set_max(&mut self, id: GaugeId, value: i64) {
@@ -161,9 +189,13 @@ mod enabled {
             for (name, v) in &self.counters {
                 snap.insert(self.names[*name as usize].clone(), MetricValue::Counter(*v));
             }
-            for (name, v) in &self.gauges {
+            for (name, v, kind) in &self.gauges {
                 if *v != 0 {
-                    snap.insert(self.names[*name as usize].clone(), MetricValue::Gauge(*v));
+                    let value = match kind {
+                        GaugeKind::Max => MetricValue::Gauge(*v),
+                        GaugeKind::Last => MetricValue::GaugeLast(*v),
+                    };
+                    snap.insert(self.names[*name as usize].clone(), value);
                 }
             }
             for (name, h) in &self.histograms {
@@ -177,7 +209,7 @@ mod enabled {
             for (_, v) in &mut self.counters {
                 *v = 0;
             }
-            for (_, v) in &mut self.gauges {
+            for (_, v, _) in &mut self.gauges {
                 *v = 0;
             }
             for (_, h) in &mut self.histograms {
@@ -196,7 +228,7 @@ mod enabled {
                 scope: Arc::clone(&self.scope),
                 names: Arc::clone(&self.names),
                 counters: self.counters.iter().map(|(n, _)| (*n, 0)).collect(),
-                gauges: self.gauges.iter().map(|(n, _)| (*n, 0)).collect(),
+                gauges: self.gauges.iter().map(|(n, _, k)| (*n, 0, *k)).collect(),
                 histograms: self.histograms.iter().map(|(n, _)| (*n, Histogram::new())).collect(),
             }
         }
@@ -321,6 +353,11 @@ mod disabled {
         }
 
         #[inline]
+        pub fn gauge_last(&mut self, _name: &str) -> GaugeId {
+            GaugeId()
+        }
+
+        #[inline]
         pub fn histogram(&mut self, _name: &str) -> HistogramId {
             HistogramId()
         }
@@ -338,6 +375,11 @@ mod disabled {
 
         #[inline]
         pub fn set(&mut self, _id: GaugeId, _value: i64) {}
+
+        #[inline]
+        pub fn gauge_value(&self, _id: GaugeId) -> i64 {
+            0
+        }
 
         #[inline]
         pub fn set_max(&mut self, _id: GaugeId, _value: i64) {}
@@ -421,6 +463,26 @@ mod tests {
         assert_eq!(snap.gauge("device.lab.depth"), Some(7));
         assert_eq!(snap.histogram("device.lab.latency_us").unwrap().count(), 1);
         assert_eq!(r.counter_value(c), 5);
+    }
+
+    #[test]
+    fn last_gauge_snapshots_as_last_value_kind() {
+        use crate::snapshot::MetricValue;
+        let mut r = Registry::scoped("policy");
+        let epoch = r.gauge_last("epoch");
+        let depth = r.gauge("depth");
+        r.set(epoch, 7);
+        r.set_max(depth, 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("policy.epoch"), Some(7));
+        assert_eq!(r.gauge_value(epoch), 7);
+        let kinds: Vec<&MetricValue> = snap.metrics().iter().map(|(_, v)| v).collect();
+        assert!(kinds.contains(&&MetricValue::GaugeLast(7)));
+        assert!(kinds.contains(&&MetricValue::Gauge(7)));
+        // The kind survives a fork (same slots, zeroed values).
+        let mut f = r.fork_reset();
+        f.set(epoch, 3);
+        assert_eq!(f.snapshot().metrics().iter().filter(|(_, v)| matches!(v, MetricValue::GaugeLast(3))).count(), 1);
     }
 
     #[test]

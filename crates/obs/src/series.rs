@@ -1,0 +1,321 @@
+//! Virtual-time telemetry series: fixed-width windows over snapshots.
+//!
+//! A [`TimeSeries`] buckets observations into windows of a configurable
+//! virtual-time width (default 1 virtual second). Each window holds a
+//! sparse [`Snapshot`], so anything a registry can capture — counters,
+//! both gauge kinds, histograms — can be laid out over time. Like
+//! `Snapshot`, a series is cold-path data: it exists in both `obs`
+//! feature shapes, and when instrumentation is off the snapshots fed to
+//! it are simply empty.
+//!
+//! Determinism: windows are keyed by *virtual* window index, observations
+//! land via the same deterministic merge rules snapshots use, and
+//! [`TimeSeries::merge`] combines series window-by-window in index order
+//! — a sharded campaign's series is byte-identical at every
+//! `TSPU_THREADS` setting, exactly like its merged snapshot.
+//!
+//! Three exports: JSON ([`TimeSeries::to_json`]), Chrome-trace counter
+//! tracks rendered alongside the span timeline
+//! ([`TimeSeries::write_chrome_trace`], `"ph":"C"` events), and the
+//! OpenMetrics text format with per-window timestamps
+//! ([`TimeSeries::to_openmetrics`]).
+
+use std::io::{self, Write};
+
+use crate::openmetrics;
+use crate::snapshot::{json_string, span_event_json, MetricValue, Snapshot};
+
+/// Default window width: one virtual second, in microseconds.
+pub const DEFAULT_WINDOW_US: u64 = 1_000_000;
+
+/// Fixed-width virtual-time windows of metric snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    window_us: u64,
+    /// `(window index, window snapshot)`, ascending by index. Sparse:
+    /// windows nothing was observed in do not exist.
+    windows: Vec<(u64, Snapshot)>,
+}
+
+impl TimeSeries {
+    /// A series with the default 1-virtual-second window.
+    pub fn new() -> TimeSeries {
+        TimeSeries::with_window_us(DEFAULT_WINDOW_US)
+    }
+
+    /// A series with `window_us`-wide windows (clamped to ≥ 1 µs).
+    pub fn with_window_us(window_us: u64) -> TimeSeries {
+        TimeSeries { window_us: window_us.max(1), windows: Vec::new() }
+    }
+
+    /// The window width in virtual microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Number of (non-empty) windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows as `(index, snapshot)`, ascending by index. A window's
+    /// virtual span is `[index * window_us, (index + 1) * window_us)`.
+    pub fn windows(&self) -> &[(u64, Snapshot)] {
+        &self.windows
+    }
+
+    /// The window snapshot covering virtual instant `at_us`, if any.
+    pub fn window_at(&self, at_us: u64) -> Option<&Snapshot> {
+        let index = at_us / self.window_us;
+        self.windows
+            .binary_search_by_key(&index, |(i, _)| *i)
+            .ok()
+            .map(|at| &self.windows[at].1)
+    }
+
+    fn window_mut(&mut self, index: u64) -> &mut Snapshot {
+        let at = match self.windows.binary_search_by_key(&index, |(i, _)| *i) {
+            Ok(at) => at,
+            Err(at) => {
+                self.windows.insert(at, (index, Snapshot::new()));
+                at
+            }
+        };
+        &mut self.windows[at].1
+    }
+
+    /// Merges `snap` into the window containing virtual instant `at_us`.
+    /// Observations are *per-window contributions* (counter deltas, gauge
+    /// samples), merged under the usual snapshot rules — feed each window
+    /// what happened inside it, not cumulative totals.
+    pub fn observe(&mut self, at_us: u64, snap: &Snapshot) {
+        if snap.metrics().is_empty() {
+            return;
+        }
+        self.window_mut(at_us / self.window_us).merge(snap);
+    }
+
+    /// Records one metric into the window containing `at_us` — the
+    /// single-instrument convenience over [`TimeSeries::observe`].
+    pub fn record(&mut self, at_us: u64, name: impl Into<String>, value: MetricValue) {
+        self.window_mut(at_us / self.window_us).insert(name, value);
+    }
+
+    /// Merges another series in, window-by-window in index order. Window
+    /// widths must match (debug-asserted); mismatched widths would bucket
+    /// the same instant differently and the result would be meaningless.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        debug_assert_eq!(self.window_us, other.window_us, "window width mismatch");
+        for (index, snap) in &other.windows {
+            self.window_mut(*index).merge(snap);
+        }
+    }
+
+    /// Per-window values of one counter, as `(window index, value)` for
+    /// every window the counter appears in — the "curve" accessor.
+    pub fn counter_series(&self, name: &str) -> Vec<(u64, u64)> {
+        self.windows
+            .iter()
+            .filter_map(|(i, snap)| {
+                let v = snap.counter(name);
+                (v > 0).then_some((*i, v))
+            })
+            .collect()
+    }
+
+    /// Per-window values of one gauge (either kind).
+    pub fn gauge_series(&self, name: &str) -> Vec<(u64, i64)> {
+        self.windows
+            .iter()
+            .filter_map(|(i, snap)| snap.gauge(name).map(|v| (*i, v)))
+            .collect()
+    }
+
+    /// Deterministic JSON: window width, then windows in index order,
+    /// each rendered with [`Snapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.windows.len() * 128);
+        out.push_str("{\"window_us\":");
+        out.push_str(&self.window_us.to_string());
+        out.push_str(",\"windows\":[");
+        for (i, (index, snap)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{index},\"at_us\":{},\"snapshot\":{}}}",
+                index * self.window_us,
+                snap.to_json()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The series in OpenMetrics text exposition, one sample per
+    /// (metric, window) with the window-end virtual timestamp, terminated
+    /// by `# EOF`. Hand-rolled like [`Snapshot::to_json`] — no deps.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        for (index, snap) in &self.windows {
+            let end_us = (index + 1) * self.window_us;
+            openmetrics::render_snapshot(&mut out, snap, Some(end_us), &mut typed);
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// Chrome-trace JSON combining the snapshot's span timeline with this
+    /// series' counter tracks: spans render as `"ph":"X"` complete events
+    /// (identical to [`Snapshot::write_chrome_trace`]), every counter and
+    /// gauge in every window as a `"ph":"C"` counter event at the window
+    /// start. Loadable in Perfetto; counters draw as per-track area
+    /// charts under the span rows.
+    pub fn write_chrome_trace<W: Write>(&self, spans: &Snapshot, mut w: W) -> io::Result<()> {
+        let mut counter_events: Vec<String> = Vec::new();
+        for (index, snap) in &self.windows {
+            let ts = index * self.window_us;
+            for (name, value) in snap.metrics() {
+                let v = match value {
+                    MetricValue::Counter(v) => *v as i64,
+                    MetricValue::Gauge(v) | MetricValue::GaugeLast(v) => *v,
+                    MetricValue::Hist(_) => continue,
+                };
+                counter_events.push(format!(
+                    "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{\"value\":{v}}}}}",
+                    json_string(name),
+                ));
+            }
+        }
+        writeln!(w, "[")?;
+        let total = spans.spans().len() + counter_events.len();
+        let mut written = 0usize;
+        for span in spans.spans() {
+            written += 1;
+            let comma = if written < total { "," } else { "" };
+            writeln!(w, "{}{comma}", span_event_json(span))?;
+        }
+        for event in &counter_events {
+            written += 1;
+            let comma = if written < total { "," } else { "" };
+            writeln!(w, "{event}{comma}")?;
+        }
+        writeln!(w, "]")
+    }
+
+    /// The combined trace as a string (tests, small series).
+    pub fn chrome_trace_string(&self, spans: &Snapshot) -> String {
+        let mut buf = Vec::new();
+        self.write_chrome_trace(spans, &mut buf).expect("write to Vec cannot fail");
+        String::from_utf8(buf).expect("trace output is ASCII")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::snapshot::SpanRecord;
+
+    fn one(name: &str, v: u64) -> Snapshot {
+        let mut s = Snapshot::new();
+        s.insert(name, MetricValue::Counter(v));
+        s
+    }
+
+    #[test]
+    fn observations_bucket_by_window_and_merge_inside_one() {
+        let mut ts = TimeSeries::with_window_us(1_000);
+        ts.observe(100, &one("pps", 3));
+        ts.observe(900, &one("pps", 4)); // same window: counters add
+        ts.observe(2_500, &one("pps", 5)); // window 2
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.counter_series("pps"), vec![(0, 7), (2, 5)]);
+        assert_eq!(ts.window_at(999).unwrap().counter("pps"), 7);
+        assert!(ts.window_at(1_500).is_none(), "window 1 is sparse");
+    }
+
+    #[test]
+    fn merge_is_windowwise_and_order_independent_for_counters() {
+        let build = |order: bool| {
+            let mut a = TimeSeries::with_window_us(1_000);
+            a.observe(0, &one("x", 1));
+            a.observe(3_000, &one("x", 2));
+            let mut b = TimeSeries::with_window_us(1_000);
+            b.observe(0, &one("x", 10));
+            b.observe(5_000, &one("x", 20));
+            if order {
+                a.merge(&b);
+                a
+            } else {
+                b.merge(&a);
+                b
+            }
+        };
+        assert_eq!(build(true).to_json(), build(false).to_json());
+        assert_eq!(build(true).counter_series("x"), vec![(0, 11), (3, 2), (5, 20)]);
+    }
+
+    #[test]
+    fn last_gauges_keep_later_window_sample_on_merge() {
+        let mut ts = TimeSeries::with_window_us(1_000);
+        ts.record(500, "epoch", MetricValue::GaugeLast(3));
+        ts.record(700, "epoch", MetricValue::GaugeLast(2));
+        assert_eq!(ts.gauge_series("epoch"), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_names_windows() {
+        let mut ts = TimeSeries::new();
+        ts.record(2 * DEFAULT_WINDOW_US, "flows", MetricValue::Counter(9));
+        let json = ts.to_json();
+        assert_eq!(json, ts.clone().to_json());
+        assert!(json.contains("\"window_us\":1000000"), "{json}");
+        assert!(json.contains("\"index\":2"), "{json}");
+        assert!(json.contains("\"flows\":9"), "{json}");
+    }
+
+    #[test]
+    fn chrome_trace_interleaves_spans_and_counter_tracks() {
+        let mut spans = Snapshot::new();
+        spans.push_spans([SpanRecord {
+            ts_us: 5,
+            dur_us: 1,
+            name: "hop",
+            cat: "netsim",
+            scenario: 0,
+            seq: 0,
+        }]);
+        let mut ts = TimeSeries::with_window_us(1_000);
+        ts.record(0, "pps", MetricValue::Counter(7));
+        let mut h = Histogram::new();
+        h.record(1);
+        ts.record(0, "lat", MetricValue::Hist(h)); // hists skipped in tracks
+        let trace = ts.chrome_trace_string(&spans);
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("\"ph\":\"C\""), "{trace}");
+        assert!(trace.contains("\"value\":7"), "{trace}");
+        assert!(!trace.contains("lat"), "histograms have no counter track: {trace}");
+        // Exactly one comma-terminated line (2 events total).
+        assert!(trace.lines().nth(1).unwrap().ends_with(','), "{trace}");
+        assert!(!trace.lines().nth(2).unwrap().ends_with(','), "{trace}");
+    }
+
+    #[test]
+    fn openmetrics_ends_with_eof_and_stamps_window_ends() {
+        let mut ts = TimeSeries::with_window_us(1_000_000);
+        ts.record(0, "load.pps", MetricValue::Counter(42));
+        ts.record(1_500_000, "load.pps", MetricValue::Counter(40));
+        let om = ts.to_openmetrics();
+        assert!(om.ends_with("# EOF\n"), "{om}");
+        assert!(om.contains("load_pps_total 42 1"), "{om}");
+        assert!(om.contains("load_pps_total 40 2"), "{om}");
+        // One TYPE line per metric family, not per sample.
+        assert_eq!(om.matches("# TYPE load_pps counter").count(), 1, "{om}");
+    }
+}

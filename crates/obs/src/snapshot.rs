@@ -18,7 +18,13 @@ use crate::hist::Histogram;
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
     Counter(u64),
+    /// A high-water-mark gauge: merging takes the maximum.
     Gauge(i64),
+    /// A last-value gauge (e.g. `policy.epoch`): merging keeps the value
+    /// from the later operand, not the larger one — forked cells all
+    /// report the same epoch, and "max" would silently turn a rollback
+    /// into a lie.
+    GaugeLast(i64),
     Hist(Histogram),
 }
 
@@ -133,10 +139,10 @@ impl Snapshot {
         }
     }
 
-    /// Gauge value by exact name.
+    /// Gauge value by exact name (either gauge kind).
     pub fn gauge(&self, name: &str) -> Option<i64> {
         match self.lookup(name) {
-            Some(MetricValue::Gauge(v)) => Some(*v),
+            Some(MetricValue::Gauge(v)) | Some(MetricValue::GaugeLast(v)) => Some(*v),
             _ => None,
         }
     }
@@ -199,7 +205,7 @@ impl Snapshot {
                 MetricValue::Counter(v) => {
                     let _ = write!(out, "{v}");
                 }
-                MetricValue::Gauge(v) => {
+                MetricValue::Gauge(v) | MetricValue::GaugeLast(v) => {
                     let _ = write!(out, "{v}");
                 }
                 MetricValue::Hist(h) => {
@@ -225,6 +231,13 @@ impl Snapshot {
         out
     }
 
+    /// The snapshot in OpenMetrics text exposition (timestampless samples,
+    /// terminated by `# EOF`) — the convenience over
+    /// [`crate::openmetrics::render`].
+    pub fn to_openmetrics(&self) -> String {
+        crate::openmetrics::render(self)
+    }
+
     /// Writes the span timeline in the Chrome trace-event JSON format
     /// (one complete-event per line inside the array — loads in
     /// `chrome://tracing` and Perfetto). `ts` is *virtual* microseconds;
@@ -234,16 +247,7 @@ impl Snapshot {
         writeln!(w, "[")?;
         for (i, span) in self.spans.iter().enumerate() {
             let comma = if i + 1 < self.spans.len() { "," } else { "" };
-            writeln!(
-                w,
-                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"seq\":{}}}}}{comma}",
-                json_string(span.name),
-                json_string(span.cat),
-                span.ts_us,
-                span.dur_us,
-                span.scenario,
-                span.seq,
-            )?;
+            writeln!(w, "{}{comma}", span_event_json(span))?;
         }
         writeln!(w, "]")
     }
@@ -256,10 +260,29 @@ impl Snapshot {
     }
 }
 
+/// One Chrome complete-event (`"ph":"X"`) object, no trailing comma —
+/// shared between [`Snapshot::write_chrome_trace`] and the combined
+/// spans-plus-counter-tracks writer in [`crate::series`].
+pub(crate) fn span_event_json(span: &SpanRecord) -> String {
+    format!(
+        "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"seq\":{}}}}}",
+        json_string(span.name),
+        json_string(span.cat),
+        span.ts_us,
+        span.dur_us,
+        span.scenario,
+        span.seq,
+    )
+}
+
 fn merge_value(into: &mut MetricValue, from: &MetricValue) {
     match (into, from) {
         (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
         (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+        // Last-value semantics: the later operand wins outright. Merge
+        // order is deterministic (index order everywhere snapshots merge),
+        // so "later" is well defined and thread-count independent.
+        (MetricValue::GaugeLast(a), MetricValue::GaugeLast(b)) => *a = *b,
         (MetricValue::Hist(a), MetricValue::Hist(b)) => a.merge(b),
         // Mixed kinds under one name is a registration bug; keep the
         // existing value rather than panicking in a reporting path.
@@ -269,7 +292,7 @@ fn merge_value(into: &mut MetricValue, from: &MetricValue) {
 
 /// Minimal JSON string escaping (metric and span names are plain ASCII
 /// dot-paths in practice, but stay correct for arbitrary input).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -315,6 +338,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("x"), 5);
         assert_eq!(a.gauge("g"), Some(5));
+    }
+
+    #[test]
+    fn merge_keeps_the_later_value_for_last_gauges() {
+        // The forked-cell scenario the split exists for: cell 0 ends at
+        // epoch 4, cell 1 (merged later, in index order) ends at epoch 2
+        // after a rollback. A Max gauge would report 4; the last-value
+        // kind must report what the later cell actually saw.
+        let mut a = Snapshot::new();
+        a.insert("policy.epoch", MetricValue::GaugeLast(4));
+        a.insert("depth", MetricValue::Gauge(4));
+        let mut b = Snapshot::new();
+        b.insert("policy.epoch", MetricValue::GaugeLast(2));
+        b.insert("depth", MetricValue::Gauge(2));
+        a.merge(&b);
+        assert_eq!(a.gauge("policy.epoch"), Some(2), "last-value gauge must not max");
+        assert_eq!(a.gauge("depth"), Some(4), "high-water gauge still maxes");
     }
 
     #[test]

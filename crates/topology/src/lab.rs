@@ -521,6 +521,19 @@ impl VantageLab {
             .collect()
     }
 
+    /// The flight-recorder ledger of device `id` for `packet`'s flow: the
+    /// last `n` rendered events, oldest first — the lookup the oracle's
+    /// `attach_device_ledger` wants for explaining a violation. Empty when
+    /// `id` is not a TSPU device (chaos links carry no recorder) or in an
+    /// obs-disabled build.
+    pub fn device_ledger(&self, id: MiddleboxId, packet: &[u8], n: usize) -> Vec<String> {
+        self.device_handles()
+            .into_iter()
+            .find(|h| h.id() == id)
+            .map(|h| self.net.middlebox(h).ledger_for_packet(packet, n))
+            .unwrap_or_default()
+    }
+
     /// One merged snapshot of the whole lab: the engine's `netsim.*`
     /// counters, every device's `device.<label>.*` metrics, and every
     /// chaos link's `link.<label>.*` counters. Metrics only — spans stay

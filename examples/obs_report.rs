@@ -95,10 +95,16 @@ fn main() {
     let trace_path = std::env::var("TSPU_TRACE_OUT").unwrap_or_else(|_| "trace.json".into());
     let snap_path =
         std::env::var("TSPU_SNAPSHOT_OUT").unwrap_or_else(|_| "obs_snapshot.json".into());
+    let om_path =
+        std::env::var("TSPU_OPENMETRICS_OUT").unwrap_or_else(|_| "metrics.om".into());
     let trace = File::create(&trace_path).expect("create trace file");
     snapshot.write_chrome_trace(BufWriter::new(trace)).expect("write chrome trace");
     std::fs::write(&snap_path, snapshot.to_json()).expect("write snapshot json");
-    println!("\nwrote {trace_path} ({} spans) and {snap_path}", snapshot.spans().len());
+    std::fs::write(&om_path, snapshot.to_openmetrics()).expect("write openmetrics");
+    println!(
+        "\nwrote {trace_path} ({} spans), {snap_path}, and {om_path}",
+        snapshot.spans().len()
+    );
     println!("snapshot fingerprint: {:016x}", fingerprint(&snapshot.to_json()));
 }
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Cross-PR performance trajectory: read every committed BENCH_pr*.json
+# (plus any extra summaries passed as arguments, e.g. the current CI
+# smoke run), print each bench id's ns_per_iter across PRs with the
+# delta between consecutive appearances, and gate the canonical per-hop
+# cost: core/device_hop_ns must not regress by more than 10% (or 3 ns
+# absolute, whichever is larger — same noise floor rationale as
+# bench_smoke.sh) from the best previous PR to the newest record.
+#
+# Usage:
+#   scripts/bench_trend.sh                    # committed trajectory only
+#   scripts/bench_trend.sh bench_smoke.json   # append a fresh smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - "$@" <<'EOF'
+import glob
+import json
+import re
+import sys
+
+# Committed PR summaries in PR order, then any extra files from argv
+# (a CI smoke run appends as the newest point on every trajectory).
+def pr_key(path):
+    m = re.search(r"BENCH_pr(\d+)\.json$", path)
+    return int(m.group(1)) if m else 10**9
+
+import os
+
+paths = sorted(glob.glob("BENCH_pr*.json"), key=pr_key)
+# Dedup by realpath: bench_smoke.sh hands us an absolute path that may
+# BE one of the committed summaries (the default BENCH_pr9.json out).
+seen = {os.path.realpath(p) for p in paths}
+paths += [p for p in sys.argv[1:] if os.path.realpath(p) not in seen]
+if not paths:
+    print("no BENCH_pr*.json files found", file=sys.stderr)
+    sys.exit(1)
+
+def label(path):
+    m = re.search(r"BENCH_pr(\d+)\.json$", path)
+    return f"pr{m.group(1)}" if m else path
+
+# trajectory: id -> [(label, ns_per_iter)]
+trajectory = {}
+order = []
+for path in paths:
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec["id"] not in trajectory:
+                order.append(rec["id"])
+                trajectory[rec["id"]] = []
+            trajectory[rec["id"]].append((label(path), rec["ns_per_iter"]))
+
+print(f"bench trajectory over {len(paths)} summaries: {', '.join(label(p) for p in paths)}")
+print()
+for rec_id in order:
+    points = trajectory[rec_id]
+    parts = []
+    prev = None
+    for tag, ns in points:
+        if prev is not None and prev > 0:
+            pct = 100.0 * (ns - prev) / prev
+            parts.append(f"{tag}={ns:g} ({pct:+.1f}%)")
+        else:
+            parts.append(f"{tag}={ns:g}")
+        prev = ns
+    print(f"  {rec_id}: {' -> '.join(parts)}")
+
+# The gate: the newest core/device_hop_ns record vs the best (minimum)
+# of all previous PRs. device/conntrack_data_packet is the same loop
+# under its pre-PR-8 name, so early PRs still anchor the baseline.
+hop_ids = ("core/device_hop_ns", "device/conntrack_data_packet")
+hop = []
+for rec_id in hop_ids:
+    hop.extend(trajectory.get(rec_id, []))
+# Re-sort into summary order: points were appended per id, so merge by
+# the position of each label in the paths list.
+tags = [label(p) for p in paths]
+hop.sort(key=lambda point: tags.index(point[0]))
+# Collapse same-summary duplicates (a summary carrying both ids) to the
+# minimum — they time the identical loop.
+by_tag = {}
+for tag, ns in hop:
+    by_tag[tag] = min(ns, by_tag.get(tag, float("inf")))
+hop = [(tag, by_tag[tag]) for tag in tags if tag in by_tag]
+
+print()
+if len(hop) < 2:
+    print("device hop gate: fewer than two summaries carry the hop record; nothing to compare")
+    sys.exit(0)
+
+newest_tag, newest = hop[-1]
+baseline_tag, baseline = min(hop[:-1], key=lambda point: point[1])
+delta = newest - baseline
+pct = 100.0 * delta / baseline if baseline else 0.0
+print(
+    f"device hop gate: {newest_tag}={newest:.2f} ns vs best prior "
+    f"{baseline_tag}={baseline:.2f} ns ({pct:+.2f}%)"
+)
+if newest > baseline * 1.10 and delta > 3.0:
+    print(
+        f"FAIL: core/device_hop_ns regressed {pct:+.2f}% "
+        f"(over both the 10% and the 3 ns budget)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print("device hop gate: OK (within 10% / 3 ns of the best prior PR)")
+EOF
