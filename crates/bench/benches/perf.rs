@@ -418,6 +418,91 @@ fn sweep_scale(_c: &mut Criterion) {
     );
 }
 
+/// Generated-topology scale records: graph build cost per AS (5000-AS
+/// headline graph), forking that image, route flips through the interned
+/// arena, tomography probe cost, and the 1k-domain registry sweep at
+/// three graph sizes. Sweep and build records always run at the id's
+/// promised scale; only iteration counts shrink under `BENCH_QUICK`.
+fn topo_scale(_c: &mut Criterion) {
+    use tspu_measure::sweep::{RunOpts, ScanPool, SweepSpec};
+    use tspu_measure::{LocalizeSpec, TomographyConfig};
+    use tspu_registry::Universe;
+    use tspu_topology::{policy_from_universe, GenParams, TopologySpec, VantageLab};
+
+    let quick = std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let universe = Universe::generate(2022);
+    let policy = policy_from_universe(&universe, false, true);
+
+    // Building the 5000-AS graph (hosts, interned routes, devices),
+    // amortized per AS.
+    let params_5k = GenParams::new(5000, 5000);
+    let start = std::time::Instant::now();
+    let image = VantageLab::builder()
+        .policy(policy.clone())
+        .topology(TopologySpec::Generated(params_5k))
+        .image();
+    criterion::report_custom("topo/gen_ns_per_as", start.elapsed().as_nanos() as f64 / 5_000.0, 5_000);
+
+    // Forking the 5000-AS image — the per-scenario bill a generated
+    // sweep or tomography cell pays.
+    let forks = if quick { 8 } else { 64 };
+    let start = std::time::Instant::now();
+    for i in 0..forks {
+        black_box(image.fork(i));
+    }
+    criterion::report_custom(
+        "topo/fork_ns_5000as",
+        start.elapsed().as_nanos() as f64 / forks as f64,
+        forks as u64,
+    );
+
+    // Route flips through the interned arena: a dense schedule (1 ms
+    // apart) armed once, then drained by the engine.
+    let flips = if quick { 200 } else { 2_000 };
+    let churny = GenParams::new(11, 200).churn(flips, Duration::from_millis(1));
+    let mut lab = VantageLab::builder()
+        .policy(policy.clone())
+        .topology(TopologySpec::Generated(churny))
+        .build();
+    lab.arm_route_churn();
+    let start = std::time::Instant::now();
+    lab.net.run_for(Duration::from_millis(flips as u64 + 10));
+    criterion::report_custom(
+        "topo/route_flip_ns",
+        start.elapsed().as_nanos() as f64 / flips as f64,
+        flips as u64,
+    );
+
+    // Tomography: wall microseconds per end-to-end probe, churn warps
+    // and the TTL cross-check included.
+    let cells = if quick { 2 } else { 8 };
+    let config = TomographyConfig::new(GenParams::new(7, 160)).cells(cells);
+    let pool = ScanPool::new(8);
+    let start = std::time::Instant::now();
+    let run = LocalizeSpec::tomography(policy, config)
+        .run(&pool, &RunOpts::quick())
+        .tomography
+        .expect("tomography run");
+    let elapsed_us = start.elapsed().as_nanos() as f64 / 1000.0;
+    assert!(run.named_fraction() >= 0.95, "tomography lost the ground truth");
+    let probes: usize = run.cells.iter().map(|c| c.probes.len()).sum();
+    criterion::report_custom("tomography/us_per_probe", elapsed_us / probes.max(1) as f64, probes as u64);
+
+    // The 1k-domain registry sweep at three generated graph sizes: the
+    // scan cost is a function of the domain list, not the graph.
+    let domains: Vec<String> =
+        universe.registry_sample.iter().take(1_000).map(|d| d.name.clone()).collect();
+    for ases in [100usize, 1_000, 5_000] {
+        let spec = SweepSpec::from_universe(&universe, domains.clone())
+            .with_topology(TopologySpec::Generated(GenParams::new(ases as u64, ases)));
+        let start = std::time::Instant::now();
+        let verdicts = spec.run(&pool, &RunOpts::quick()).verdicts;
+        let ns = start.elapsed().as_nanos() as f64;
+        assert_eq!(verdicts.len(), 1_000, "{ases}-AS sweep dropped scenarios");
+        criterion::report_custom(&format!("sweep/registry_1k_{ases}as"), ns / 1_000.0, 1_000);
+    }
+}
+
 /// Registry churn: the incremental-update claim in numbers. Applying a
 /// daily-sized delta to a 100k-domain compiled policy costs time
 /// proportional to the delta; recompiling the blocklist from scratch
@@ -613,6 +698,7 @@ criterion_group!(
     netsim_event_rate,
     wheel_schedule,
     sweep_scale,
+    topo_scale,
     churn_convergence,
     load_engine,
     profiles_differential

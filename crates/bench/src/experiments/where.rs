@@ -6,10 +6,10 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use tspu_measure::sweep::ScanPool;
-use tspu_measure::{echo, fragscan, localize, traceroute};
+use tspu_measure::sweep::{RunOpts, ScanPool};
+use tspu_measure::{echo, fragscan, traceroute, LocalizeSpec};
 use tspu_registry::Universe;
-use tspu_topology::{policy_from_universe, PlacementModel, Runet, RunetConfig, VantageLab};
+use tspu_topology::{policy_from_universe, PlacementModel, Runet, RunetConfig};
 
 use super::{universe, ExperimentReport};
 use crate::env_f64;
@@ -30,7 +30,10 @@ pub fn local_ttl() -> ExperimentReport {
     let pool = ScanPool::from_env();
     let mut body = String::new();
     for vantage in ["Rostelecom", "ER-Telecom", "OBIT"] {
-        let found = localize::localize_symmetric_pooled(&policy, vantage, 55_000, 8, &pool);
+        let found = LocalizeSpec::symmetric(policy.clone(), vantage)
+            .port_base(55_000)
+            .run(&pool, &RunOpts::quick())
+            .first();
         let _ = writeln!(
             body,
             "{vantage}: symmetric TSPU between hop {} and {} (paper: within the first 3 hops)",
@@ -51,7 +54,10 @@ pub fn upstream_only() -> ExperimentReport {
         ("ER-Telecom", "none"),
         ("OBIT", "two, at the first link of the transit ISPs (per destination)"),
     ] {
-        let found = localize::find_upstream_only_pooled(&policy, vantage, 56_000, 8, &pool);
+        let found = LocalizeSpec::upstream(policy.clone(), vantage)
+            .port_base(56_000)
+            .run(&pool, &RunOpts::quick())
+            .devices;
         let _ = writeln!(
             body,
             "{vantage}: {} upstream-only device(s) found at hop boundaries {:?}  (paper: {paper})",
@@ -68,8 +74,11 @@ pub fn fig8() -> ExperimentReport {
     let mut body = String::new();
 
     // Left: identify upstream-only devices from a vantage point.
-    let mut lab = VantageLab::builder().universe(&universe()).table1().build();
-    let found = localize::find_upstream_only(&mut lab, "Rostelecom", 57_000, 8);
+    let policy = policy_from_universe(&universe(), false, true);
+    let found = LocalizeSpec::upstream(policy, "Rostelecom")
+        .port_base(57_000)
+        .run(&ScanPool::from_env(), &RunOpts::quick())
+        .devices;
     body.push_str(concat!(
         "left (from a vantage point): the US machine opens the connection, so
 ",

@@ -56,9 +56,37 @@ impl DomainCampaign {
 /// classification, including the split-handshake follow-up that exposes
 /// SNI-IV membership (§6.2: "the measurement machines were configured to
 /// respond to a SYN with a SYN to start a split handshake").
+///
+/// On the Fig. 1 lab the probing client is the ER-Telecom vantage; on a
+/// generated topology it is client `port as usize % clients` — sweep
+/// drivers pass index-derived ports, so scenarios spread across clients
+/// deterministically. Use [`test_domain_from`] to pick the client
+/// explicitly.
 pub fn test_domain(lab: &mut VantageLab, domain: &str, port: u16) -> DomainVerdict {
-    let vantage = lab.vantage("ER-Telecom");
-    let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port };
+    let (host, addr) = match &lab.gen {
+        Some(gen) => {
+            let c = &gen.clients[port as usize % gen.clients.len()];
+            (c.host, c.addr)
+        }
+        None => {
+            let vantage = lab.vantage("ER-Telecom");
+            (vantage.host, vantage.addr)
+        }
+    };
+    test_domain_from(lab, host, addr, domain, port)
+}
+
+/// [`test_domain`] from an explicit local endpoint — the form generated
+/// topologies and tomography probes use, where the client is a scenario
+/// coordinate rather than a fixed vantage.
+pub fn test_domain_from(
+    lab: &mut VantageLab,
+    local_host: tspu_netsim::HostId,
+    local_addr: std::net::Ipv4Addr,
+    domain: &str,
+    port: u16,
+) -> DomainVerdict {
+    let local = ScriptEnd { host: local_host, addr: local_addr, port };
     let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
     let behavior = classify_behavior(
         &mut lab.net,
@@ -75,8 +103,7 @@ pub fn test_domain(lab: &mut VantageLab, domain: &str, port: u16) -> DomainVerdi
         ObservedBehavior::RstAck => {
             // RST-blocked: check for SNI-IV membership with the split
             // handshake (which evades SNI-I).
-            let vantage = lab.vantage("ER-Telecom");
-            let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port: port ^ 0x8000 };
+            let local = ScriptEnd { host: local_host, addr: local_addr, port: port ^ 0x8000 };
             let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
             let split = vec![
                 ScriptStep::new(ProbeSide::Local, TcpFlags::SYN),

@@ -12,6 +12,7 @@
 //! | [`sequences`] | Fig. 4 (TCP trigger sequences) |
 //! | [`timeouts`] | Fig. 5, Table 2, Table 8 |
 //! | [`localize`] | §7.1 TTL localization, §7.1.1 upstream-only devices |
+//! | [`tomography`] | AS-level censor localization on generated graphs |
 //! | [`echo`] | Fig. 8-right, Table 4 (Quack echo measurements) |
 //! | [`fragscan`] | §7.2 fragmentation fingerprint, Fig. 9, Fig. 12, Table 5 |
 //! | [`traceroute`] | Figs. 10–11 (TSPU links) |
@@ -41,13 +42,16 @@ pub mod reliability;
 pub mod sequences;
 pub mod sweep;
 pub mod timeouts;
+pub mod tomography;
 pub mod traceroute;
 
 pub use behaviors::{classify_behavior, ObservedBehavior};
 pub use chaos::{ChaosCell, ChaosScenario, ChaosSweep};
 pub use churn::{churn_delta, ChurnCampaign, ChurnReport, DeltaConvergence};
 pub use harness::{PacketSummary, ProbeSide, ScriptResult, ScriptStep};
+pub use localize::{LocalizeRun, LocalizeSpec, LocalizeTechnique, LocalizedDevice};
 pub use profiles::{
     DifferentialCampaign, DnsVerdict, HttpVerdict, ProfileCell, ProfileMatrix, TlsVerdict,
 };
 pub use sweep::{PoolReport, PoolRun, RunOpts, ScanPool, SweepRun, SweepSpec, WorkerReport};
+pub use tomography::{ProbeObs, TomographyCell, TomographyConfig, TomographyRun};

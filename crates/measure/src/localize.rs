@@ -1,20 +1,27 @@
-//! Local-to-remote TSPU localization (§7.1): TTL-limited triggers find the
-//! hop where blocking begins; the Fig. 8-left protocol finds additional
-//! upstream-only devices that symmetric probing cannot see.
+//! TSPU localization (§7.1): where on the path — and on generated graphs,
+//! in which AS — enforcement happens.
 //!
-//! Each TTL probe is one self-contained trial on a fresh flow, so the
-//! sweep parallelizes scenario-per-TTL through [`crate::sweep::ScanPool`]
-//! (`*_pooled` variants) with results identical to the sequential walk.
+//! One entry point, shaped like [`crate::sweep::SweepSpec::run`]:
+//! [`LocalizeSpec::run`] takes the pool and a [`RunOpts`] and dispatches
+//! on [`LocalizeTechnique`] — the §7.1 symmetric TTL walk, the §7.1.1
+//! upstream-only protocol (Fig. 8-left), or churn-driven tomography
+//! ([`crate::tomography`]) — replacing the old `localize_symmetric` /
+//! `localize_symmetric_pooled` / `find_upstream_only` /
+//! `find_upstream_only_pooled` driver family. TTL trials shard
+//! scenario-per-TTL across the pool, each on a private lab forked from a
+//! warm image; results are identical at every thread count.
 
 use std::time::Duration;
 
 use tspu_core::PolicyHandle;
-use tspu_topology::VantageLab;
+use tspu_obs::Snapshot;
+use tspu_topology::{TopologySpec, VantageLab};
 use tspu_wire::tcp::TcpFlags;
 use tspu_wire::tls::ClientHelloBuilder;
 
 use crate::harness::{run_script, ProbeSide, ScriptEnd, ScriptStep};
-use crate::sweep::{RunOpts, ScanPool};
+use crate::sweep::{PoolReport, RunOpts, ScanPool};
+use crate::tomography::{run_tomography, TomographyConfig, TomographyRun};
 
 /// Result of the TTL sweep: the device lies between `hop` and `hop + 1`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,13 +29,30 @@ pub struct LocalizedDevice {
     pub after_hop: u8,
 }
 
+/// The probing client's script end. On the Fig. 1 lab `vantage` is an ISP
+/// name; on a generated lab it is a client index rendered as a string
+/// (`"0"`, `"1"`, …) — generated topologies have no named vantages.
+fn local_end(lab: &VantageLab, vantage: &str, port: u16) -> ScriptEnd {
+    match &lab.gen {
+        Some(gen) => {
+            let index: usize =
+                vantage.parse().expect("generated labs: vantage is a client index string");
+            let client = &gen.clients[index];
+            ScriptEnd { host: client.host, addr: client.addr, port }
+        }
+        None => {
+            let vantage = lab.vantage(vantage);
+            ScriptEnd { host: vantage.host, addr: vantage.addr, port }
+        }
+    }
+}
+
 /// One symmetric-localization trial: control packets (full TTL) establish
 /// the flow, the trigger is TTL-limited, and a remote control response
 /// tests for blocking. Returns whether the flow was blocked (RST/ACK seen
 /// at the local side).
 pub fn symmetric_trial(lab: &mut VantageLab, vantage_name: &str, port: u16, ttl: u8) -> bool {
-    let vantage = lab.vantage(vantage_name);
-    let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port };
+    let local = local_end(lab, vantage_name, port);
     let remote = ScriptEnd { host: lab.us_main, addr: lab.us_main_addr, port: 443 };
     let mut steps = crate::harness::handshake_prefix();
     steps.push(
@@ -50,8 +74,7 @@ pub fn symmetric_trial(lab: &mut VantageLab, vantage_name: &str, port: u16, ttl:
 /// SNI-II ClientHello and a 12-packet volley; blocking shows as missing
 /// volley packets at the remote.
 pub fn upstream_trial(lab: &mut VantageLab, vantage_name: &str, port: u16, ttl: u8) -> bool {
-    let vantage = lab.vantage(vantage_name);
-    let local = ScriptEnd { host: vantage.host, addr: vantage.addr, port };
+    let local = local_end(lab, vantage_name, port);
     // The US peer's port must be 443: from the upstream-only device's
     // reversed perspective the RU side is a client talking to remote
     // port 443 — the same quirk that forces the echo technique to pin
@@ -83,7 +106,7 @@ pub fn upstream_trial(lab: &mut VantageLab, vantage_name: &str, port: u16, ttl: 
 /// value N where we do not observe blocking but TTL N+1 results in
 /// blocking, the TSPU device exists between hop N and N+1." Blocked
 /// already at TTL 1 means the device sits on the first link.
-fn first_onset(blocked: &[bool]) -> Option<LocalizedDevice> {
+pub(crate) fn first_onset(blocked: &[bool]) -> Option<LocalizedDevice> {
     blocked
         .iter()
         .enumerate()
@@ -92,7 +115,7 @@ fn first_onset(blocked: &[bool]) -> Option<LocalizedDevice> {
 }
 
 /// Every false→true transition — one per device on the path.
-fn all_onsets(blocked: &[bool]) -> Vec<LocalizedDevice> {
+pub(crate) fn all_onsets(blocked: &[bool]) -> Vec<LocalizedDevice> {
     blocked
         .iter()
         .enumerate()
@@ -101,75 +124,166 @@ fn all_onsets(blocked: &[bool]) -> Vec<LocalizedDevice> {
         .collect()
 }
 
-/// §7.1: sends triggers with increasing TTL; one trial per TTL, each on a
-/// fresh source port and flow.
-pub fn localize_symmetric(
-    lab: &mut VantageLab,
-    vantage_name: &str,
-    port_base: u16,
-    max_ttl: u8,
-) -> Option<LocalizedDevice> {
-    let blocked: Vec<bool> = (1..=max_ttl)
-        .map(|ttl| symmetric_trial(lab, vantage_name, port_base + u16::from(ttl), ttl))
-        .collect();
-    first_onset(&blocked)
+/// Which localization technique a [`LocalizeSpec`] runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocalizeTechnique {
+    /// §7.1 symmetric TTL walk: first blocking onset on the path.
+    SymmetricTtl,
+    /// §7.1.1 upstream-only protocol: every onset, one per device.
+    UpstreamTtl,
+    /// Churn-driven tomography on a generated topology.
+    Tomography(TomographyConfig),
 }
 
-/// [`localize_symmetric`] sharded TTL-per-scenario across the pool, each
-/// trial on a private lab forked from a warm scan image built once.
-/// Identical results at any thread count.
-pub fn localize_symmetric_pooled(
-    policy: &PolicyHandle,
-    vantage_name: &str,
-    port_base: u16,
-    max_ttl: u8,
-    pool: &ScanPool,
-) -> Option<LocalizedDevice> {
-    let ttls: Vec<u8> = (1..=max_ttl).collect();
-    let image = VantageLab::builder().policy(policy.clone()).image();
-    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), index, &ttl| {
-        let mut lab = image.fork(index);
-        symmetric_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
-    });
-    let blocked = run.results;
-    first_onset(&blocked)
+/// Shared immutable description of a localization run — the
+/// [`crate::sweep::SweepSpec`]-shaped spec unifying the old four-driver
+/// family with tomography under one `run(pool, &RunOpts)`.
+#[derive(Clone)]
+pub struct LocalizeSpec {
+    pub policy: PolicyHandle,
+    /// The lab the TTL techniques probe. [`LocalizeTechnique::Tomography`]
+    /// carries its own generated topology and ignores this field.
+    pub topology: TopologySpec,
+    /// Probing client: ISP name on Fig. 1, client index string (`"0"`…)
+    /// on generated labs. Unused by tomography (it probes every client).
+    pub vantage: String,
+    /// First trial port; trial `ttl` probes `port_base + ttl`.
+    pub port_base: u16,
+    /// Deepest TTL the walk tries.
+    pub max_ttl: u8,
+    pub technique: LocalizeTechnique,
 }
 
-/// §7.1.1 (Fig. 8-left): detects upstream-only devices. The US machine
-/// opens the connection (so symmetric devices treat the remote as client
-/// and stay quiet); the RU side answers with a SYN/ACK which upstream-only
-/// devices see *first*, making them treat the RU side as client. A
-/// TTL-limited SNI-II ClientHello then walks the path: once it reaches the
-/// upstream-only device, the flow gets the delayed-drop verdict, observed
-/// by counting suppressed follow-ups.
-pub fn find_upstream_only(
-    lab: &mut VantageLab,
-    vantage_name: &str,
-    port_base: u16,
-    max_ttl: u8,
-) -> Vec<LocalizedDevice> {
-    let blocked: Vec<bool> = (1..=max_ttl)
-        .map(|ttl| upstream_trial(lab, vantage_name, port_base + u16::from(ttl), ttl))
-        .collect();
-    all_onsets(&blocked)
+impl LocalizeSpec {
+    /// A §7.1 symmetric TTL walk from `vantage` (port base 50 000,
+    /// max TTL 8 — the defaults every old call site used).
+    pub fn symmetric(policy: PolicyHandle, vantage: &str) -> LocalizeSpec {
+        LocalizeSpec {
+            policy,
+            topology: TopologySpec::Fig1,
+            vantage: vantage.to_string(),
+            port_base: 50_000,
+            max_ttl: 8,
+            technique: LocalizeTechnique::SymmetricTtl,
+        }
+    }
+
+    /// A §7.1.1 upstream-only walk from `vantage` (port base 52 000).
+    pub fn upstream(policy: PolicyHandle, vantage: &str) -> LocalizeSpec {
+        LocalizeSpec {
+            policy,
+            topology: TopologySpec::Fig1,
+            vantage: vantage.to_string(),
+            port_base: 52_000,
+            max_ttl: 8,
+            technique: LocalizeTechnique::UpstreamTtl,
+        }
+    }
+
+    /// A tomography campaign over `config`'s generated topology.
+    pub fn tomography(policy: PolicyHandle, config: TomographyConfig) -> LocalizeSpec {
+        LocalizeSpec {
+            policy,
+            topology: TopologySpec::Generated(config.params.clone()),
+            vantage: String::new(),
+            port_base: 0,
+            max_ttl: 0,
+            technique: LocalizeTechnique::Tomography(config),
+        }
+    }
+
+    /// Overrides the TTL-trial port base.
+    pub fn port_base(mut self, port_base: u16) -> LocalizeSpec {
+        self.port_base = port_base;
+        self
+    }
+
+    /// Overrides the deepest TTL.
+    pub fn max_ttl(mut self, max_ttl: u8) -> LocalizeSpec {
+        self.max_ttl = max_ttl;
+        self
+    }
+
+    /// Runs the lab the TTL walk probes on a different topology (e.g. a
+    /// generated graph with `vantage` naming a client index).
+    pub fn with_topology(mut self, topology: TopologySpec) -> LocalizeSpec {
+        self.topology = topology;
+        self
+    }
+
+    /// The single localization entry point. TTL techniques shard
+    /// scenario-per-TTL across the pool (trial `ttl` on port
+    /// `port_base + ttl`, a pure function of the scenario); tomography
+    /// shards cell-per-scenario. Deterministic at every thread count.
+    pub fn run(&self, pool: &ScanPool, opts: &RunOpts) -> LocalizeRun {
+        let symmetric = match &self.technique {
+            LocalizeTechnique::SymmetricTtl => true,
+            LocalizeTechnique::UpstreamTtl => false,
+            LocalizeTechnique::Tomography(config) => {
+                let (tomography, snapshot, report) =
+                    run_tomography(config, &self.policy, pool, opts);
+                return LocalizeRun {
+                    devices: Vec::new(),
+                    tomography: Some(tomography),
+                    snapshot,
+                    report,
+                };
+            }
+        };
+        let image = VantageLab::builder()
+            .policy(self.policy.clone())
+            .topology(self.topology.clone())
+            .image();
+        let ttls: Vec<u8> = (1..=self.max_ttl).collect();
+        let observe = opts.observe;
+        let run = pool.run(&ttls, opts, || (), |(), index, &ttl| {
+            let mut lab = image.fork(index);
+            let port = self.port_base + u16::from(ttl);
+            let blocked = if symmetric {
+                symmetric_trial(&mut lab, &self.vantage, port, ttl)
+            } else {
+                upstream_trial(&mut lab, &self.vantage, port, ttl)
+            };
+            (blocked, observe.then(|| lab.take_obs().with_scenario(index as u32)))
+        });
+        let mut blocked = Vec::with_capacity(run.results.len());
+        let mut snapshot = observe.then(Snapshot::new);
+        for (b, snap) in run.results {
+            blocked.push(b);
+            if let (Some(total), Some(snap)) = (snapshot.as_mut(), snap.as_ref()) {
+                total.merge(snap);
+            }
+        }
+        let devices = if symmetric {
+            first_onset(&blocked).into_iter().collect()
+        } else {
+            all_onsets(&blocked)
+        };
+        LocalizeRun { devices, tomography: None, snapshot, report: run.report }
+    }
 }
 
-/// [`find_upstream_only`] sharded TTL-per-scenario across the pool.
-pub fn find_upstream_only_pooled(
-    policy: &PolicyHandle,
-    vantage_name: &str,
-    port_base: u16,
-    max_ttl: u8,
-    pool: &ScanPool,
-) -> Vec<LocalizedDevice> {
-    let ttls: Vec<u8> = (1..=max_ttl).collect();
-    let image = VantageLab::builder().policy(policy.clone()).image();
-    let run = pool.run(&ttls, &RunOpts::quick(), || (), |(), index, &ttl| {
-        let mut lab = image.fork(index);
-        upstream_trial(&mut lab, vantage_name, port_base + u16::from(ttl), ttl)
-    });
-    let blocked = run.results;
-    all_onsets(&blocked)
+/// What [`LocalizeSpec::run`] returns.
+#[derive(Debug, Clone)]
+pub struct LocalizeRun {
+    /// Localized devices in onset order. Symmetric walks report at most
+    /// one (the first onset); upstream walks one per device; tomography
+    /// none (its results are AS-level, in [`LocalizeRun::tomography`]).
+    pub devices: Vec<LocalizedDevice>,
+    /// `Some` iff the spec's technique was tomography.
+    pub tomography: Option<TomographyRun>,
+    /// Merged campaign snapshot, `Some` iff [`RunOpts::observe`].
+    pub snapshot: Option<Snapshot>,
+    /// Wall-clock report, `Some` iff [`RunOpts::report`].
+    pub report: Option<PoolReport>,
+}
+
+impl LocalizeRun {
+    /// The first localized device, if any — what the symmetric walk's
+    /// old `Option<LocalizedDevice>` return carried.
+    pub fn first(&self) -> Option<LocalizedDevice> {
+        self.devices.first().copied()
+    }
 }
 
 #[cfg(test)]
@@ -178,17 +292,17 @@ mod tests {
     use tspu_registry::Universe;
     use tspu_topology::policy_from_universe;
 
-    fn lab() -> VantageLab {
-        let universe = Universe::generate(3);
-        VantageLab::builder().universe(&universe).table1().build()
+    fn policy() -> PolicyHandle {
+        policy_from_universe(&Universe::generate(3), false, true)
     }
 
     #[test]
     fn symmetric_device_within_first_three_hops() {
-        let mut lab = lab();
+        let policy = policy();
+        let pool = ScanPool::single_thread();
         for vantage in ["Rostelecom", "ER-Telecom", "OBIT"] {
-            let found = localize_symmetric(&mut lab, vantage, 50_000, 8)
-                .unwrap_or_else(|| panic!("no device found at {vantage}"));
+            let run = LocalizeSpec::symmetric(policy.clone(), vantage).run(&pool, &RunOpts::quick());
+            let found = run.first().unwrap_or_else(|| panic!("no device found at {vantage}"));
             // The lab installs symmetric devices after hop 2.
             assert_eq!(found.after_hop, 2, "{vantage}");
             assert!(found.after_hop <= 3, "§7.1: within the first three hops");
@@ -197,37 +311,57 @@ mod tests {
 
     #[test]
     fn upstream_only_found_on_rostelecom_and_obit() {
-        let mut lab = lab();
+        let policy = policy();
+        let pool = ScanPool::single_thread();
         // Rostelecom: upstream-only device one hop behind the symmetric
         // one (after hop 3).
-        let found = find_upstream_only(&mut lab, "Rostelecom", 52_000, 8);
-        assert_eq!(found.len(), 1, "{found:?}");
-        assert_eq!(found[0].after_hop, 3);
+        let found = LocalizeSpec::upstream(policy.clone(), "Rostelecom")
+            .run(&pool, &RunOpts::quick())
+            .devices;
+        assert_eq!(found, vec![LocalizedDevice { after_hop: 3 }], "{found:?}");
 
         // OBIT: at the first transit link (after hop 3 in the lab).
-        let found = find_upstream_only(&mut lab, "OBIT", 53_000, 8);
-        assert_eq!(found.len(), 1, "{found:?}");
-        assert_eq!(found[0].after_hop, 3);
+        let found =
+            LocalizeSpec::upstream(policy.clone(), "OBIT").run(&pool, &RunOpts::quick()).devices;
+        assert_eq!(found, vec![LocalizedDevice { after_hop: 3 }], "{found:?}");
 
         // ER-Telecom: none.
-        let found = find_upstream_only(&mut lab, "ER-Telecom", 54_000, 8);
+        let found =
+            LocalizeSpec::upstream(policy, "ER-Telecom").run(&pool, &RunOpts::quick()).devices;
         assert!(found.is_empty(), "{found:?}");
     }
 
     #[test]
     fn pooled_localization_matches_sequential() {
-        let universe = Universe::generate(3);
-        let policy = policy_from_universe(&universe, false, true);
-        for threads in [1, 2, 8] {
+        let policy = policy();
+        let sequential = |spec: &LocalizeSpec| {
+            spec.run(&ScanPool::single_thread(), &RunOpts::quick()).devices
+        };
+        for threads in [2, 8] {
             let pool = ScanPool::new(threads);
             for vantage in ["Rostelecom", "ER-Telecom", "OBIT"] {
-                let sym = localize_symmetric_pooled(&policy, vantage, 50_000, 8, &pool);
-                assert_eq!(sym, Some(LocalizedDevice { after_hop: 2 }), "{vantage} x{threads}");
+                let spec = LocalizeSpec::symmetric(policy.clone(), vantage);
+                assert_eq!(
+                    spec.run(&pool, &RunOpts::quick()).devices,
+                    sequential(&spec),
+                    "{vantage} x{threads}"
+                );
             }
-            let upstream = find_upstream_only_pooled(&policy, "Rostelecom", 52_000, 8, &pool);
-            assert_eq!(upstream, vec![LocalizedDevice { after_hop: 3 }], "x{threads}");
-            let none = find_upstream_only_pooled(&policy, "ER-Telecom", 54_000, 8, &pool);
-            assert!(none.is_empty(), "x{threads}: {none:?}");
+            let spec = LocalizeSpec::upstream(policy.clone(), "Rostelecom");
+            assert_eq!(spec.run(&pool, &RunOpts::quick()).devices, sequential(&spec));
+            let spec = LocalizeSpec::upstream(policy.clone(), "ER-Telecom");
+            assert!(spec.run(&pool, &RunOpts::quick()).devices.is_empty(), "x{threads}");
         }
+    }
+
+    #[test]
+    fn onset_helpers_pin_transitions() {
+        assert_eq!(first_onset(&[false, false, true, true]), Some(LocalizedDevice { after_hop: 2 }));
+        assert_eq!(first_onset(&[true, true]), Some(LocalizedDevice { after_hop: 0 }));
+        assert_eq!(first_onset(&[false, false]), None);
+        assert_eq!(
+            all_onsets(&[false, true, false, true]),
+            vec![LocalizedDevice { after_hop: 1 }, LocalizedDevice { after_hop: 3 }]
+        );
     }
 }

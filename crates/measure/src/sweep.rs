@@ -19,7 +19,7 @@ use std::time::Instant;
 use tspu_core::PolicyHandle;
 use tspu_obs::{Histogram, MetricValue, Snapshot};
 use tspu_registry::Universe;
-use tspu_topology::{policy_from_universe, VantageLab};
+use tspu_topology::{policy_from_universe, TopologySpec, VantageLab};
 
 use crate::domains::{test_domain, DomainCampaign, DomainVerdict};
 
@@ -344,11 +344,15 @@ impl PoolReport {
 pub struct SweepSpec {
     pub policy: PolicyHandle,
     pub domains: Vec<String>,
+    /// Which lab the sweep probes: the Fig. 1 vantage lab (default), or a
+    /// generated AS graph — scenarios then probe from generated clients,
+    /// rotating by scenario port.
+    pub topology: TopologySpec,
 }
 
 impl SweepSpec {
     pub fn new(policy: PolicyHandle, domains: Vec<String>) -> SweepSpec {
-        SweepSpec { policy, domains }
+        SweepSpec { policy, domains, topology: TopologySpec::Fig1 }
     }
 
     /// A spec over the universe's central policy (the post-March-4 epoch
@@ -361,7 +365,15 @@ impl SweepSpec {
         SweepSpec {
             policy: policy_from_universe(universe, false, true),
             domains: domains.into_iter().map(Into::into).collect(),
+            topology: TopologySpec::Fig1,
         }
+    }
+
+    /// Runs the sweep on a different lab topology (e.g. a generated
+    /// 5000-AS graph instead of the Fig. 1 vantage lab).
+    pub fn with_topology(mut self, topology: TopologySpec) -> SweepSpec {
+        self.topology = topology;
+        self
     }
 
     pub fn len(&self) -> usize {
@@ -390,7 +402,10 @@ impl SweepSpec {
     /// wall-clock side lands in the separate [`PoolReport`]
     /// (with [`RunOpts::report`]).
     pub fn run(&self, pool: &ScanPool, opts: &RunOpts) -> SweepRun {
-        let image = VantageLab::builder().policy(self.policy.clone()).image();
+        let image = VantageLab::builder()
+            .policy(self.policy.clone())
+            .topology(self.topology.clone())
+            .image();
         if !opts.observe {
             let run = pool.run(&self.domains, opts, || (), |(), index, domain| {
                 let mut lab = image.fork(index);

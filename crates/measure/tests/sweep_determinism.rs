@@ -3,8 +3,8 @@
 //! simulation stack is `Send` so it can be sharded at all.
 
 use tspu_measure::domains::DomainVerdict;
-use tspu_measure::localize;
 use tspu_measure::sweep::{registry_campaign, RunOpts, ScanPool, SweepSpec};
+use tspu_measure::LocalizeSpec;
 use tspu_registry::Universe;
 use tspu_topology::{policy_from_universe, VantageLab};
 
@@ -82,16 +82,20 @@ fn campaign_aggregation_is_thread_count_independent() {
 #[test]
 fn pooled_localization_is_thread_count_independent() {
     let policy = policy_from_universe(&Universe::generate(2022), false, true);
-    let baseline: Vec<_> = ["Rostelecom", "ER-Telecom", "OBIT"]
-        .iter()
-        .map(|v| localize::localize_symmetric_pooled(&policy, v, 55_000, 8, &ScanPool::new(1)))
-        .collect();
-    for threads in [2, 8] {
-        let pool = ScanPool::new(threads);
-        let parallel: Vec<_> = ["Rostelecom", "ER-Telecom", "OBIT"]
+    let localize = |pool: &ScanPool| -> Vec<_> {
+        ["Rostelecom", "ER-Telecom", "OBIT"]
             .iter()
-            .map(|v| localize::localize_symmetric_pooled(&policy, v, 55_000, 8, &pool))
-            .collect();
+            .map(|v| {
+                LocalizeSpec::symmetric(policy.clone(), v)
+                    .port_base(55_000)
+                    .run(pool, &RunOpts::quick())
+                    .first()
+            })
+            .collect()
+    };
+    let baseline = localize(&ScanPool::new(1));
+    for threads in [2, 8] {
+        let parallel = localize(&ScanPool::new(threads));
         assert_eq!(parallel, baseline, "{threads} threads");
     }
 }

@@ -124,6 +124,11 @@ enum EventKind {
     SendFrom { host: HostId, packet: Vec<u8> },
     /// An application timer.
     Timer { host: HostId },
+    /// A scheduled routing-table flip: at its instant, the (src, dst)
+    /// entry starts resolving to `rid`. Packets already in flight keep the
+    /// route id they were scheduled with — mirroring how a BGP path change
+    /// affects new traffic, not packets already past the decision point.
+    Reroute { src: HostId, dst: HostId, rid: RouteId },
 }
 
 /// The deterministic simulator. See the crate docs for the model.
@@ -171,6 +176,9 @@ pub struct Network {
     g_wheel_depth: GaugeId,
     /// High-water overflow-heap size (`TimerWheel::overflow_len`).
     g_wheel_overflow: GaugeId,
+    /// Scheduled route flips applied ([`Network::schedule_reroute`]) —
+    /// the churn rate the tomography campaigns read back.
+    c_route_flips: CounterId,
 }
 
 impl Network {
@@ -183,6 +191,7 @@ impl Network {
         let g_events_popped = registry.gauge_last("events_popped");
         let g_wheel_depth = registry.gauge("wheel_depth");
         let g_wheel_overflow = registry.gauge("wheel_overflow");
+        let c_route_flips = registry.counter("route_flips");
         Network {
             now: Time::ZERO,
             queue: TimerWheel::new(),
@@ -204,6 +213,7 @@ impl Network {
             g_events_popped,
             g_wheel_depth,
             g_wheel_overflow,
+            c_route_flips,
         }
     }
 
@@ -353,8 +363,17 @@ impl Network {
     }
 
     /// Interns a route, returning the arena slot shared by all
-    /// structurally identical routes.
-    fn intern_route(&mut self, route: Route) -> RouteId {
+    /// structurally identical routes. Re-interning a route already in the
+    /// arena — the common case under routing churn, where paths flip back
+    /// and forth between a small set of alternatives — returns the
+    /// existing slot without growing the arena.
+    ///
+    /// Public so topology builders can pre-intern alternate paths (e.g. a
+    /// backup provider route) and later install them by id via
+    /// [`Network::schedule_reroute`]; ids obtained before
+    /// [`Network::image`] stay valid in every fork, since forks share the
+    /// arena.
+    pub fn intern_route(&mut self, route: Route) -> RouteId {
         let mut hasher = FxHasher::default();
         route.hash(&mut hasher);
         let key = hasher.finish();
@@ -438,6 +457,37 @@ impl Network {
     /// that otherwise only wake on their own requested timers.
     pub fn arm_timer(&mut self, host: HostId, delay: Duration) {
         self.push_event(self.now + delay, EventKind::Timer { host });
+    }
+
+    /// Schedules a routing-table flip: after `delay` of virtual time the
+    /// directed (src, dst) entry resolves to `rid` — an interned route id
+    /// from [`Network::intern_route`]. This is the churn primitive: a
+    /// topology arms a whole flip schedule up front (like
+    /// `PolicyUpdater`'s timer-driven deltas) and the event loop applies
+    /// each flip at its exact instant, deterministically. The flip is a
+    /// single map insert against the copy-on-write route table, so a
+    /// forked network churns without touching its siblings.
+    pub fn schedule_reroute(&mut self, delay: Duration, src: HostId, dst: HostId, rid: RouteId) {
+        assert!(
+            (rid.0 as usize) < self.route_arena.len(),
+            "schedule_reroute: route id {} not in arena (len {})",
+            rid.0,
+            self.route_arena.len()
+        );
+        self.push_event(self.now + delay, EventKind::Reroute { src, dst, rid });
+    }
+
+    /// Immediately repoints the directed (src, dst) entry at an interned
+    /// route — the synchronous form of [`Network::schedule_reroute`].
+    pub fn apply_reroute(&mut self, src: HostId, dst: HostId, rid: RouteId) {
+        assert!(
+            (rid.0 as usize) < self.route_arena.len(),
+            "apply_reroute: route id {} not in arena (len {})",
+            rid.0,
+            self.route_arena.len()
+        );
+        Arc::make_mut(&mut self.routes).insert((src, dst), rid);
+        self.registry.inc(self.c_route_flips);
     }
 
     /// Drains the packets delivered to `host` so far.
@@ -607,6 +657,7 @@ impl Network {
                 self.do_deliver(dst, packet);
             }
             EventKind::Timer { host } => self.do_timer(host),
+            EventKind::Reroute { src, dst, rid } => self.apply_reroute(src, dst, rid),
         }
     }
 
@@ -993,6 +1044,7 @@ impl Network {
             g_events_popped: self.g_events_popped,
             g_wheel_depth: self.g_wheel_depth,
             g_wheel_overflow: self.g_wheel_overflow,
+            c_route_flips: self.c_route_flips,
         }
     }
 }
@@ -1026,6 +1078,7 @@ pub struct NetworkImage {
     g_events_popped: GaugeId,
     g_wheel_depth: GaugeId,
     g_wheel_overflow: GaugeId,
+    c_route_flips: CounterId,
 }
 
 impl NetworkImage {
@@ -1059,6 +1112,7 @@ impl NetworkImage {
             g_events_popped: self.g_events_popped,
             g_wheel_depth: self.g_wheel_depth,
             g_wheel_overflow: self.g_wheel_overflow,
+            c_route_flips: self.c_route_flips,
         }
     }
 }
@@ -1360,6 +1414,85 @@ mod tests {
         assert_eq!(fork_b.route(a, b).unwrap().steps.len(), 1);
         assert_eq!(fork_b.host_by_addr(Ipv4Addr::new(203, 0, 113, 9)), None);
         assert_eq!(net.route(a, b).unwrap().steps.len(), 1);
+    }
+
+    #[test]
+    fn scheduled_reroute_flips_path_at_virtual_instant() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let primary = net.intern_route(Route::through(&[R1]));
+        let backup = net.intern_route(Route::through(&[R1, R2]));
+        net.apply_reroute(a, b, primary);
+        net.schedule_reroute(Duration::from_secs(10), a, b, backup);
+
+        // Before the flip: one router, TTL decremented once.
+        net.send_from(a, packet(A, B, 64, b"pre"));
+        net.run_for(Duration::from_secs(5));
+        let pre = net.take_inbox(b);
+        assert_eq!(Ipv4Packet::new_checked(&pre[0].1[..]).unwrap().ttl(), 63);
+        assert_eq!(net.route(a, b).unwrap().steps.len(), 1);
+
+        // Past the flip instant: the backup path, two routers.
+        net.run_for(Duration::from_secs(10));
+        assert_eq!(net.route(a, b).unwrap().steps.len(), 2);
+        net.send_from(a, packet(A, B, 64, b"post"));
+        net.run_until_idle();
+        let post = net.take_inbox(b);
+        assert_eq!(Ipv4Packet::new_checked(&post[0].1[..]).unwrap().ttl(), 62);
+    }
+
+    #[test]
+    fn scheduled_reroute_does_not_leak_into_forks() {
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        net.set_route_symmetric(a, b, Route::through(&[R1]));
+        let backup = net.intern_route(Route::through(&[R1, R2]));
+        let image = net.image();
+
+        let mut fork_a = image.fork();
+        let fork_b = image.fork();
+        // The interned id survives into the fork (shared arena) and the
+        // flip stays private to the fork that applied it.
+        fork_a.schedule_reroute(Duration::from_secs(1), a, b, backup);
+        fork_a.run_until_idle();
+        assert_eq!(fork_a.route(a, b).unwrap().steps.len(), 2);
+        assert_eq!(fork_b.route(a, b).unwrap().steps.len(), 1);
+        assert_eq!(net.route(a, b).unwrap().steps.len(), 1);
+    }
+
+    #[test]
+    fn repeated_route_flips_do_not_grow_the_arena() {
+        // The churn regression: flipping the same (src, dst) pair between
+        // two alternatives 1,000 times — whether by re-interning the full
+        // route each time or by scheduled reroute — must leave the arena
+        // at exactly its two slots.
+        let mut net = Network::with_default_latency();
+        let a = net.add_host(A);
+        let b = net.add_host(B);
+        let primary = Route::through(&[R1]);
+        let backup = Route::through(&[R1, R2]);
+        net.set_route(a, b, primary.clone());
+        net.set_route(a, b, backup.clone());
+        let arena = net.interned_routes();
+        assert_eq!(arena, 2);
+
+        for i in 0..1_000 {
+            let route = if i % 2 == 0 { primary.clone() } else { backup.clone() };
+            net.set_route(a, b, route);
+        }
+        assert_eq!(net.interned_routes(), arena, "re-interning flipped routes grew the arena");
+
+        let rid_primary = net.intern_route(primary);
+        let rid_backup = net.intern_route(backup);
+        for i in 0..1_000u32 {
+            let rid = if i % 2 == 0 { rid_backup } else { rid_primary };
+            net.schedule_reroute(Duration::from_millis(u64::from(i) + 1), a, b, rid);
+        }
+        net.run_until_idle();
+        assert_eq!(net.interned_routes(), arena, "scheduled reroutes grew the arena");
+        assert_eq!(net.obs_snapshot().counter("netsim.route_flips"), 1_000);
     }
 
     #[test]

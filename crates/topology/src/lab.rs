@@ -27,6 +27,7 @@ use tspu_netsim::{HostId, MiddleboxHandle};
 use tspu_obs::Snapshot;
 use tspu_registry::{stats, Universe};
 
+use crate::gen::{GenTopology, TopologySpec};
 use crate::policy_build::{policy_from_universe, TOR_ENTRY_NODE};
 
 /// One in-country vantage point.
@@ -68,6 +69,11 @@ pub struct VantageLab {
     /// Chaos links installed by [`VantageLab::apply_fault_plan`], labeled
     /// `"<vantage>-fwd"` / `"<vantage>-rev"`, for per-link fault stats.
     pub chaos_links: Vec<(String, MiddleboxHandle<ChaosLink>)>,
+    /// Ground truth of a generated topology
+    /// ([`TopologySpec::Generated`]): clients with both provider paths,
+    /// placed devices, churn schedule. `None` on the Fig. 1 lab. Shared
+    /// by `Arc` into every image fork, like the route arena.
+    pub gen: Option<std::sync::Arc<GenTopology>>,
 }
 
 /// Addresses of the fixed endpoints.
@@ -126,6 +132,7 @@ pub struct LabBuilder<'a> {
     table1: bool,
     fault_plan: Option<&'a FaultPlan>,
     censor_profile: Option<CensorProfile>,
+    topology: TopologySpec,
 }
 
 impl<'a> LabBuilder<'a> {
@@ -186,6 +193,16 @@ impl<'a> LabBuilder<'a> {
         self
     }
 
+    /// Selects the topology: [`TopologySpec::Fig1`] (the default, the
+    /// paper's fixed lab) or [`TopologySpec::Generated`] (the seeded AS
+    /// graph). The Fig.-1-only axes — [`LabBuilder::table1`] failure dice
+    /// and [`LabBuilder::fault_plan`] chaos wiring — are no-ops on
+    /// generated labs, whose devices are always reliable.
+    pub fn topology(mut self, spec: TopologySpec) -> LabBuilder<'a> {
+        self.topology = spec;
+        self
+    }
+
     /// Builds the lab.
     ///
     /// # Panics
@@ -198,8 +215,14 @@ impl<'a> LabBuilder<'a> {
                 .expect("LabBuilder: give .policy(...) or .universe(...) to derive one");
             policy_from_universe(universe, self.throttle_active, self.quic_filter.unwrap_or(true))
         });
-        let mut lab =
-            VantageLab::build_inner(self.universe, policy, !self.table1, self.censor_profile);
+        let mut lab = match &self.topology {
+            TopologySpec::Fig1 => {
+                VantageLab::build_inner(self.universe, policy, !self.table1, self.censor_profile)
+            }
+            TopologySpec::Generated(params) => {
+                crate::gen::build_generated(params, policy, self.censor_profile)
+            }
+        };
         if let Some(plan) = self.fault_plan {
             lab.apply_fault_plan(plan);
         }
@@ -409,6 +432,7 @@ impl VantageLab {
             tor_addr: TOR_ENTRY_NODE,
             resolvers,
             chaos_links: Vec::new(),
+            gen: None,
         }
     }
 
@@ -486,6 +510,18 @@ impl VantageLab {
                 ));
             }
         }
+        if let Some(gen) = &self.gen {
+            for d in &gen.devices {
+                let device = self.net.middlebox(d.handle);
+                spec.devices.push(audit_for_profile(
+                    d.handle.id(),
+                    &d.label,
+                    device.policy().clone(),
+                    restart_times(&device.device_faults().restarts),
+                    device.censor_profile().clone(),
+                ));
+            }
+        }
         spec
     }
 
@@ -494,12 +530,40 @@ impl VantageLab {
         self.vantages.iter().find(|v| v.name == name).expect("known vantage")
     }
 
-    /// Every TSPU device handle in the lab, in vantage order.
+    /// Every TSPU device handle in the lab: vantage devices in vantage
+    /// order, then generated-topology devices in placement order.
     fn device_handles(&self) -> Vec<MiddleboxHandle<TspuDevice>> {
         self.vantages
             .iter()
             .flat_map(|v| std::iter::once(v.sym_device).chain(v.upstream_devices.iter().copied()))
+            .chain(self.gen.iter().flat_map(|g| g.devices.iter().map(|d| d.handle)))
             .collect()
+    }
+
+    /// Arms a generated topology's churn schedule on the engine: every
+    /// [`crate::gen::ChurnEvent`] becomes scheduled reroutes (both
+    /// destinations, both directions) firing at its virtual instant. A
+    /// no-op on the Fig. 1 lab. Call on a fresh lab or fork, before any
+    /// virtual time passes — the schedule's instants are absolute.
+    ///
+    /// Churn is armed explicitly rather than baked into the image because
+    /// sweep drivers that `run_until_idle` would otherwise warp through
+    /// the entire flip schedule inside their first scenario.
+    pub fn arm_route_churn(&mut self) {
+        let Some(gen) = self.gen.clone() else { return };
+        assert_eq!(
+            self.net.now(),
+            tspu_netsim::Time::ZERO,
+            "arm_route_churn: arm the schedule before virtual time advances"
+        );
+        for ev in &gen.churn {
+            let c = &gen.clients[ev.client];
+            let v = if ev.to_backup { &c.backup } else { &c.primary };
+            for dst in [self.us_main, self.us_second] {
+                self.net.schedule_reroute(ev.at, c.host, dst, v.forward);
+                self.net.schedule_reroute(ev.at, dst, c.host, v.reverse);
+            }
+        }
     }
 
     /// Enables or disables virtual-time span tracing on the engine and on
@@ -585,6 +649,7 @@ impl VantageLab {
             resolvers: self.resolvers.clone(),
             chaos_links: self.chaos_links.clone(),
             fault_plan: None,
+            gen: self.gen.clone(),
         }
     }
 
@@ -622,6 +687,8 @@ pub struct LabImage {
     chaos_links: Vec<(String, MiddleboxHandle<ChaosLink>)>,
     /// A fault plan to wire through each fork ([`LabBuilder::image`]).
     fault_plan: Option<FaultPlan>,
+    /// Generated-topology ground truth, shared into every fork.
+    gen: Option<std::sync::Arc<GenTopology>>,
 }
 
 impl LabImage {
@@ -651,6 +718,7 @@ impl LabImage {
             tor_addr: self.tor_addr,
             resolvers: self.resolvers.clone(),
             chaos_links: self.chaos_links.clone(),
+            gen: self.gen.clone(),
         };
         if let Some(plan) = &self.fault_plan {
             lab.apply_fault_plan(plan);
@@ -859,6 +927,37 @@ mod tests {
         // image untouched.
         let again = image.fork(0);
         assert_eq!(again.obs_snapshot().counter("netsim.events_processed"), 0);
+    }
+
+    #[test]
+    fn explicit_fig1_spec_is_byte_identical_to_default() {
+        // The TopologySpec pin: `.topology(TopologySpec::Fig1)` must be
+        // the exact lab the default builder produces — same verdicts,
+        // same instrument readings, same interned-route count.
+        let universe = Universe::generate(11);
+        let policy = policy_from_universe(&universe, false, true);
+        let run = |mut lab: VantageLab| {
+            assert!(lab.gen.is_none());
+            lab.net.set_app(lab.us_main, Box::new(ServerApp::https_site(US_MAIN)));
+            let v = lab.vantage("Rostelecom");
+            let (host, addr) = (v.host, v.addr);
+            let ch = ClientHelloBuilder::new("twitter.com").build();
+            let (app, report, syn) =
+                TcpClient::start(TcpClientConfig::new(addr, 49100, US_MAIN, 443, ch));
+            lab.net.set_app(host, Box::new(app));
+            lab.net.send_from(host, syn);
+            lab.net.run_until_idle();
+            (report.outcome(), lab.net.interned_routes(), format!("{:?}", lab.obs_snapshot()))
+        };
+        let default_lab =
+            VantageLab::builder().universe(&universe).policy(policy.clone()).table1().build();
+        let explicit = VantageLab::builder()
+            .universe(&universe)
+            .policy(policy)
+            .table1()
+            .topology(TopologySpec::Fig1)
+            .build();
+        assert_eq!(run(default_lab), run(explicit));
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property-based pins for the seeded AS-graph generator:
+//!
+//! 1. **Purity** — the generator is a pure function of `(seed, GenParams)`:
+//!    building the same spec twice yields identical clients, devices,
+//!    churn schedules, and route arenas.
+//! 2. **Connectivity** — every probing client reaches both US
+//!    destinations on every supported placement, with provider-diverse
+//!    variants and well-formed `[leaf, transit, border]` AS paths.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tspu_core::PolicyHandle;
+use tspu_registry::Universe;
+use tspu_topology::{
+    policy_from_universe, GenParams, Placement, TopologySpec, VantageLab,
+};
+
+fn policy() -> PolicyHandle {
+    static POLICY: OnceLock<PolicyHandle> = OnceLock::new();
+    POLICY.get_or_init(|| policy_from_universe(&Universe::generate(3), false, true)).clone()
+}
+
+fn params() -> impl Strategy<Value = GenParams> {
+    (
+        any::<u64>(),
+        100usize..=1200,
+        1usize..=8,
+        prop_oneof![
+            Just(Placement::AllTransit),
+            Just(Placement::BorderOnly),
+            (0usize..=5).prop_map(Placement::RandomK),
+        ],
+        0usize..=12,
+        5u64..=60,
+    )
+        .prop_map(|(seed, num_ases, clients, placement, flips, period)| {
+            GenParams::new(seed, num_ases)
+                .clients(clients)
+                .placement(placement)
+                .churn(flips, Duration::from_secs(period))
+        })
+}
+
+/// Everything observable about a generated topology, rendered to one
+/// comparable string: graph shape, client variants (route ids included —
+/// they pin the interning order), devices, churn, and the route table
+/// arena size.
+fn fingerprint(lab: &VantageLab) -> String {
+    let gen = lab.gen.as_ref().expect("generated lab");
+    let devices: Vec<(usize, &str)> =
+        gen.devices.iter().map(|d| (d.as_id, d.label.as_str())).collect();
+    format!(
+        "transits={} clients={:?} devices={:?} churn={:?} arena={}",
+        gen.num_transits,
+        gen.clients,
+        devices,
+        gen.churn,
+        lab.net.interned_routes(),
+    )
+}
+
+fn build(p: &GenParams) -> VantageLab {
+    VantageLab::builder()
+        .policy(policy())
+        .topology(TopologySpec::Generated(p.clone()))
+        .build()
+}
+
+proptest! {
+    /// Same `(seed, GenParams)` ⇒ byte-identical topology.
+    #[test]
+    fn generator_is_pure(p in params()) {
+        prop_assert_eq!(fingerprint(&build(&p)), fingerprint(&build(&p)));
+    }
+
+    /// Every client reaches both destinations in both directions, on
+    /// provider-diverse variants whose AS paths are `[leaf, transit,
+    /// border]` with in-range ids.
+    #[test]
+    fn clients_are_connected_and_diverse(p in params()) {
+        let lab = build(&p);
+        let gen = lab.gen.as_ref().unwrap();
+        for (i, c) in gen.clients.iter().enumerate() {
+            for dst in [lab.us_main, lab.us_second] {
+                prop_assert!(lab.net.route(c.host, dst).is_some(), "client {i} forward");
+                prop_assert!(lab.net.route(dst, c.host).is_some(), "client {i} reverse");
+            }
+            prop_assert_ne!(c.primary.transit_as, c.backup.transit_as, "client {i} diversity");
+            for v in [&c.primary, &c.backup] {
+                prop_assert_eq!(&v.path_ases, &vec![c.leaf_as, v.transit_as, 0]);
+                prop_assert!(
+                    (1..=gen.num_transits).contains(&v.transit_as),
+                    "client {i} transit {} out of range",
+                    v.transit_as
+                );
+            }
+        }
+        // Churn replay covers the whole schedule without panicking and
+        // ends on a consistent state.
+        for c in 0..gen.clients.len() {
+            let _ = gen.variant_after(c, gen.churn.len());
+        }
+    }
+}
+
+/// The seed reaches the graph: a one-bit change moves device placement on
+/// a random-`k` layout (deterministic spot check — the purity property
+/// above guarantees each side reproduces itself).
+#[test]
+fn seed_reaches_the_graph() {
+    let base = GenParams::new(42, 600).placement(Placement::RandomK(3));
+    let other = GenParams { seed: 43, ..base.clone() };
+    assert_ne!(fingerprint(&build(&base)), fingerprint(&build(&other)));
+}

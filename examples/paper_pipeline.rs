@@ -13,9 +13,10 @@
 
 use tspu_measure::behaviors::{classify_behavior, ObservedBehavior};
 use tspu_measure::harness::{handshake_prefix, ProbeSide, ScriptEnd, ScriptStep};
-use tspu_measure::{domains, echo, fragscan, localize, timeouts};
+use tspu_measure::sweep::{RunOpts, ScanPool};
+use tspu_measure::{domains, echo, fragscan, timeouts, LocalizeSpec};
 use tspu_registry::Universe;
-use tspu_topology::{Runet, RunetConfig, VantageLab};
+use tspu_topology::{policy_from_universe, Runet, RunetConfig, VantageLab};
 use tspu_wire::tcp::TcpFlags;
 use tspu_wire::tls::ClientHelloBuilder;
 
@@ -96,9 +97,17 @@ fn main() {
 
     // ───────────────────────── §7 WHERE does it block? ─────────────────────────
     println!("\n§7 WHERE — TTL localization from the vantage points:");
+    let policy = policy_from_universe(&universe, false, true);
+    let pool = ScanPool::from_env();
     for name in ["Rostelecom", "ER-Telecom", "OBIT"] {
-        let found = localize::localize_symmetric(&mut lab, name, 26_000, 8);
-        let upstream = localize::find_upstream_only(&mut lab, name, 27_000, 8);
+        let found = LocalizeSpec::symmetric(policy.clone(), name)
+            .port_base(26_000)
+            .run(&pool, &RunOpts::quick())
+            .first();
+        let upstream = LocalizeSpec::upstream(policy.clone(), name)
+            .port_base(27_000)
+            .run(&pool, &RunOpts::quick())
+            .devices;
         println!(
             "  {name:<12} symmetric device after hop {}, {} upstream-only device(s)",
             found.map(|d| d.after_hop).unwrap_or(0),

@@ -36,6 +36,13 @@
 # obs/overhead_* records can resolve), moves the hop guard to the PR 8
 # baseline, and finishes by running scripts/bench_trend.sh so the full
 # cross-PR trajectory (with its own 10% hop gate) prints with every run.
+# PR 10 adds the generated-topology records: topo/gen_ns_per_as (5000-AS
+# graph build amortized per AS), topo/fork_ns_5000as,
+# topo/route_flip_ns (interned-arena path flips),
+# tomography/us_per_probe (value is wall microseconds per end-to-end
+# probe), and the 1k-domain sweep at three graph sizes
+# (sweep/registry_1k_{100,1000,5000}as); the hop guard moves to the
+# PR 9 baseline.
 #
 # Noise control: the enabled/disabled obs batches are interleaved
 # (A/B/A/B) so a frequency ramp or a neighbor stealing the core hits
@@ -48,7 +55,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 # cargo runs bench binaries from the package dir, so anchor relative
 # output paths to the workspace root.
 case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
@@ -221,12 +228,12 @@ if hop:
         rec["iters"] = enabled["iters"]
         rec["source"] = "obs/device_hop_enabled"
     derived.append(rec)
-    # Regression guard vs the PR 8 baseline: the flight-recorder and
-    # time-series instrumentation must be free on the hot path. 5%
-    # relative with a 3 ns absolute floor (same rationale as the obs
-    # budget: on a ~50 ns hop, scheduler noise alone can exceed 5%).
+    # Regression guard vs the PR 9 baseline: the topology generator and
+    # churn machinery must be free on the hot path. 5% relative with a
+    # 3 ns absolute floor (same rationale as the obs budget: on a ~50 ns
+    # hop, scheduler noise alone can exceed 5%).
     import os
-    baseline_path = "BENCH_pr8.json"
+    baseline_path = "BENCH_pr9.json"
     if os.path.exists(baseline_path):
         baseline = None
         with open(baseline_path) as fh:
@@ -242,10 +249,10 @@ if hop:
         if baseline is not None:
             delta = rec["ns_per_iter"] - baseline
             percent = 100.0 * delta / baseline if baseline else 0.0
-            print(f"device hop vs PR 8: {rec['ns_per_iter']:.2f} ns vs {baseline:.2f} ns ({percent:+.2f}%)")
+            print(f"device hop vs PR 9: {rec['ns_per_iter']:.2f} ns vs {baseline:.2f} ns ({percent:+.2f}%)")
             assert rec["ns_per_iter"] <= baseline * 1.05 or delta <= 3.0, (
                 f"device hop regressed to {rec['ns_per_iter']:.2f} ns "
-                f"({percent:+.2f}% vs PR 8 baseline {baseline:.2f} ns) — "
+                f"({percent:+.2f}% vs PR 9 baseline {baseline:.2f} ns) — "
                 "over both the 5% and the 3 ns budget"
             )
 
